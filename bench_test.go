@@ -1,0 +1,200 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (DESIGN.md §3 maps each to its experiment runner), at
+// bench-friendly scale. The full-scale numbers come from cmd/octopus-bench;
+// these targets exercise the identical code paths and report the headline
+// metric of each experiment as a custom unit.
+package octopus
+
+import (
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/adversary"
+	"github.com/octopus-dht/octopus/internal/anonymity"
+	"github.com/octopus-dht/octopus/internal/experiments"
+)
+
+func benchSecurityConfig(strategy adversary.Strategy) experiments.SecurityConfig {
+	return experiments.SecurityConfig{
+		N:           150,
+		F:           0.20,
+		Strategy:    strategy,
+		Duration:    400 * time.Second,
+		SampleEvery: 100 * time.Second,
+		Seed:        1,
+	}
+}
+
+func benchAnonConfig(scheme anonymity.Scheme, dummies int) anonymity.Config {
+	return anonymity.Config{
+		N:          4000,
+		F:          0.20,
+		Alpha:      0.01,
+		Dummies:    dummies,
+		WalkLength: 3,
+		SuccList:   6,
+		Scheme:     scheme,
+		Trials:     60,
+		PreSimRuns: 600,
+		Seed:       1,
+	}
+}
+
+func BenchmarkTable1TimingAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := adversary.DefaultTimingConfig()
+		cfg.N = 100_000
+		cfg.SamplePairs = 100
+		cfg.Seed = int64(i + 1)
+		res := adversary.SimulateTimingAttack(cfg)
+		b.ReportMetric(res.ErrorRate*100, "err%")
+		b.ReportMetric(res.InfoLeakBits, "leak-bits")
+	}
+}
+
+func BenchmarkTable2Identification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchSecurityConfig(adversary.Strategy{AttackRate: 1, BiasLookups: true})
+		cfg.ChurnMean = 60 * time.Minute
+		cfg.Seed = int64(i + 1)
+		res := experiments.RunSecurity(cfg)
+		b.ReportMetric(res.FalsePositiveRate*100, "FP%")
+		b.ReportMetric(res.FalseNegativeRate*100, "FN%")
+	}
+}
+
+func BenchmarkTable3Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultEfficiencyConfig()
+		cfg.Lookups = 60
+		cfg.WarmUp = 90 * time.Second
+		cfg.BandwidthWindow = 3 * time.Minute
+		cfg.Seed = int64(i + 1)
+		res := experiments.RunOctopusEfficiency(cfg)
+		b.ReportMetric(res.MeanLatency.Seconds(), "mean-s")
+		b.ReportMetric(res.BandwidthKbps[5*time.Minute], "kbps@5m")
+	}
+}
+
+func benchDecay(b *testing.B, strategy adversary.Strategy, lookups, dos bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := benchSecurityConfig(strategy)
+		if lookups {
+			cfg.LookupEvery = time.Minute
+		}
+		cfg.DoSDefense = dos
+		cfg.Seed = int64(i + 1)
+		res := experiments.RunSecurity(cfg)
+		b.ReportMetric(res.FinalMalicious*100, "final-mal%")
+		if lookups {
+			b.ReportMetric(float64(res.TotalBiased), "biased")
+		}
+	}
+}
+
+func BenchmarkFig3aLookupBias(b *testing.B) {
+	benchDecay(b, adversary.Strategy{AttackRate: 1, BiasLookups: true}, false, false)
+}
+
+func BenchmarkFig3bBiasedLookups(b *testing.B) {
+	benchDecay(b, adversary.Strategy{AttackRate: 1, BiasLookups: true}, true, false)
+}
+
+func BenchmarkFig3cManipulation(b *testing.B) {
+	benchDecay(b, adversary.Strategy{
+		AttackRate: 1, ManipulateFingers: true, ConsistentPredRate: 0.5}, false, false)
+}
+
+func BenchmarkFig4Pollution(b *testing.B) {
+	benchDecay(b, adversary.Strategy{
+		AttackRate: 1, BiasLookups: true, ManipulateFingers: true,
+		ConsistentPredRate: 0.5}, false, false)
+}
+
+func BenchmarkFig9SelectiveDoS(b *testing.B) {
+	benchDecay(b, adversary.Strategy{AttackRate: 1, SelectiveDrop: true}, true, true)
+}
+
+func BenchmarkFig5aInitiatorAnonymity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := anonymity.New(benchAnonConfig(anonymity.SchemeOctopus, 6)).Analyze()
+		b.ReportMetric(res.LeakInitiator, "leakI-bits")
+	}
+}
+
+func BenchmarkFig5bInitiatorComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		oct := anonymity.New(benchAnonConfig(anonymity.SchemeOctopus, 6)).Analyze()
+		nis := anonymity.New(benchAnonConfig(anonymity.SchemeNISAN, 0)).Analyze()
+		b.ReportMetric(nis.LeakInitiator/oct.LeakInitiator, "nisan/octopus")
+	}
+}
+
+func BenchmarkFig5cTargetAnonymity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := anonymity.New(benchAnonConfig(anonymity.SchemeOctopus, 6)).Analyze()
+		b.ReportMetric(res.LeakTarget, "leakT-bits")
+	}
+}
+
+func BenchmarkFig6TargetComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		oct := anonymity.New(benchAnonConfig(anonymity.SchemeOctopus, 6)).Analyze()
+		nis := anonymity.New(benchAnonConfig(anonymity.SchemeNISAN, 0)).Analyze()
+		b.ReportMetric(nis.LeakTarget/oct.LeakTarget, "nisan/octopus")
+	}
+}
+
+func BenchmarkFig7aLatencyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultEfficiencyConfig()
+		cfg.Lookups = 60
+		cfg.WarmUp = 90 * time.Second
+		cfg.BandwidthWindow = time.Minute
+		cfg.Seed = int64(i + 1)
+		res := experiments.RunChordEfficiency(cfg)
+		b.ReportMetric(res.MedianLatency.Seconds(), "median-s")
+	}
+}
+
+func BenchmarkFig7bCAWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchSecurityConfig(adversary.Strategy{AttackRate: 1, BiasLookups: true})
+		cfg.Seed = int64(i + 1)
+		res := experiments.RunSecurity(cfg)
+		pts := res.CAWorkloadSeries().Points
+		if len(pts) > 0 {
+			b.ReportMetric(pts[0].V, "peak-msg/s")
+			b.ReportMetric(pts[len(pts)-1].V, "final-msg/s")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationDummyPlacement compares target-anonymity leak with and
+// without dummy queries.
+func BenchmarkAblationDummyPlacement(b *testing.B) {
+	for _, dummies := range []int{0, 6} {
+		b.Run(map[int]string{0: "none", 6: "six"}[dummies], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := anonymity.New(benchAnonConfig(anonymity.SchemeOctopus, dummies)).Analyze()
+				b.ReportMetric(res.LeakTarget, "leakT-bits")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPathSplitting quantifies §4.2's argument: a single shared
+// path makes every query linkable to the same exit, collapsing the dummy
+// defense. Modeled by comparing Octopus (split paths) against NISAN-style
+// full linkage.
+func BenchmarkAblationPathSplitting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		split := anonymity.New(benchAnonConfig(anonymity.SchemeOctopus, 6)).Analyze()
+		linked := anonymity.New(benchAnonConfig(anonymity.SchemeNISAN, 6)).Analyze()
+		b.ReportMetric(split.LeakTarget, "split-leakT")
+		b.ReportMetric(linked.LeakTarget, "linked-leakT")
+	}
+}

@@ -1,0 +1,307 @@
+// Command octopus-bench regenerates every table and figure of the paper's
+// evaluation. Each subcommand prints the same rows or series the paper
+// reports; see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	octopus-bench [flags] <experiment>
+//
+// Experiments: table1 table2 table3 fig3a fig3b fig3c fig4 fig5a fig5b
+// fig5c fig6 fig7a fig7b fig9 all
+//
+// The -scale flag shrinks every experiment for quick runs (0.1 ≈ seconds,
+// 1.0 = paper scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/adversary"
+	"github.com/octopus-dht/octopus/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "octopus-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	scale float64
+	seed  int64
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("octopus-bench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.3, "experiment scale factor (1.0 = paper scale)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: octopus-bench [-scale f] [-seed n] <%s>", "table1|table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig9|all")
+	}
+	opt := options{scale: *scale, seed: *seed}
+
+	all := map[string]func(io.Writer, options) error{
+		"table1": table1, "table2": table2, "table3": table3,
+		"fig3a": fig3a, "fig3b": fig3b, "fig3c": fig3c, "fig4": fig4,
+		"fig5a": fig5a, "fig5b": fig5b, "fig5c": fig5c, "fig6": fig6,
+		"fig7a": fig7a, "fig7b": fig7b, "fig9": fig9,
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		order := []string{"table1", "table2", "table3", "fig3a", "fig3b", "fig3c",
+			"fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "fig9"}
+		for _, n := range order {
+			if err := all[n](w, opt); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := all[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return fn(w, opt)
+}
+
+func scaled(base int, scale float64, floor int) int {
+	v := int(float64(base) * scale)
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+func scaledDur(base time.Duration, scale float64, floor time.Duration) time.Duration {
+	v := time.Duration(float64(base) * scale)
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// securityConfig assembles a scaled §5 configuration.
+func securityConfig(opt options) experiments.SecurityConfig {
+	cfg := experiments.DefaultSecurityConfig()
+	cfg.N = scaled(1000, opt.scale, 200)
+	cfg.Duration = scaledDur(1000*time.Second, 1, 1000*time.Second)
+	cfg.SampleEvery = 50 * time.Second
+	cfg.Seed = opt.seed
+	return cfg
+}
+
+func table1(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Table 1: error rate of end-to-end timing analysis attack ==")
+	n := scaled(1_000_000, opt.scale, 100_000)
+	rows := experiments.RunTable1(n, scaled(1000, opt.scale, 200), opt.seed)
+	fmt.Fprintf(w, "%-12s %-8s %-12s %-14s %s\n", "max delay", "alpha", "error rate", "leak (bits)", "candidates")
+	for _, r := range rows {
+		alpha := fmt.Sprintf("%.1f%%", r.Alpha*100)
+		errRate := fmt.Sprintf("%.2f%%", r.ErrorRate*100)
+		fmt.Fprintf(w, "%-12v %-8s %-12s %-14.3f %d\n",
+			r.MaxDelay, alpha, errRate, r.InfoLeak, r.Candidates)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func table2(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Table 2: false positive/negative/alarm rates (attack rate 100%) ==")
+	base := securityConfig(opt)
+	rows := experiments.RunTable2(base)
+	fmt.Fprintf(w, "%-26s %-10s %-12s %-12s %s\n", "attack", "lifetime", "false pos", "false neg", "false alarm")
+	for _, r := range rows {
+		fp := fmt.Sprintf("%.2f%%", r.FalsePositive*100)
+		fn := fmt.Sprintf("%.2f%%", r.FalseNegative*100)
+		fa := fmt.Sprintf("%.2f%%", r.FalseAlarm*100)
+		fmt.Fprintf(w, "%-26s %-10v %-12s %-12s %s\n", r.Attack, r.ChurnMean, fp, fn, fa)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func table3(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Table 3: efficiency comparison (207-node testbed) ==")
+	cfg := experiments.DefaultEfficiencyConfig()
+	cfg.Lookups = scaled(2000, opt.scale, 200)
+	cfg.Seed = opt.seed
+	rows := []experiments.SchemeEfficiency{
+		experiments.RunOctopusEfficiency(cfg),
+		experiments.RunChordEfficiency(cfg),
+		experiments.RunHaloEfficiency(cfg),
+	}
+	fmt.Fprintf(w, "%-9s %-11s %-13s %-18s %s\n",
+		"scheme", "mean lat", "median lat", "bw @LK=5min", "bw @LK=10min")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %-11.2fs %-13.2fs %-18.2f %.2f kbps\n",
+			r.Name, r.MeanLatency.Seconds(), r.MedianLatency.Seconds(),
+			r.BandwidthKbps[5*time.Minute], r.BandwidthKbps[10*time.Minute])
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// securitySeries runs one attack and prints its malicious-fraction decay.
+func securitySeries(w io.Writer, opt options, title string, strategy func(rate float64) adversary.Strategy) error {
+	fmt.Fprintln(w, title)
+	for _, rate := range []float64{1.0, 0.5} {
+		cfg := securityConfig(opt)
+		cfg.Strategy = strategy(rate)
+		res := experiments.RunSecurity(cfg)
+		fmt.Fprintf(w, "-- attack rate = %.0f%% --\n", rate*100)
+		fmt.Fprint(w, res.MaliciousSeries().Format("fraction of malicious nodes"))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func fig3a(w io.Writer, opt options) error {
+	return securitySeries(w, opt, "== Fig 3(a): malicious nodes remaining under lookup bias attack ==",
+		func(rate float64) adversary.Strategy {
+			return adversary.Strategy{AttackRate: rate, BiasLookups: true}
+		})
+}
+
+func fig3b(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Fig 3(b): all lookups vs biased lookups (lookup bias attack) ==")
+	cfg := securityConfig(opt)
+	cfg.Strategy = adversary.Strategy{AttackRate: 1, BiasLookups: true}
+	cfg.LookupEvery = time.Minute
+	res := experiments.RunSecurity(cfg)
+	fmt.Fprintf(w, "%-12s %-12s %s\n", "time(s)", "lookups", "biased")
+	for _, s := range res.Samples {
+		fmt.Fprintf(w, "%-12.0f %-12d %d\n", s.T.Seconds(), s.Lookups, s.Biased)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func fig3c(w io.Writer, opt options) error {
+	return securitySeries(w, opt, "== Fig 3(c): malicious nodes remaining under fingertable manipulation ==",
+		func(rate float64) adversary.Strategy {
+			return adversary.Strategy{AttackRate: rate, ManipulateFingers: true, ConsistentPredRate: 0.5}
+		})
+}
+
+func fig4(w io.Writer, opt options) error {
+	return securitySeries(w, opt, "== Fig 4: malicious nodes remaining under fingertable pollution ==",
+		func(rate float64) adversary.Strategy {
+			return adversary.Strategy{
+				AttackRate: rate, BiasLookups: true,
+				ManipulateFingers: true, ConsistentPredRate: 0.5,
+			}
+		})
+}
+
+func anonConfig(opt options) experiments.AnonymityConfig {
+	cfg := experiments.DefaultAnonymityConfig()
+	cfg.N = scaled(100_000, opt.scale, 10_000)
+	cfg.Trials = scaled(300, opt.scale, 120)
+	cfg.PreSimRuns = scaled(3000, opt.scale, 1000)
+	cfg.Seed = opt.seed
+	return cfg
+}
+
+func printAnonCurves(w io.Writer, curves []experiments.AnonymityCurve, target bool) {
+	for _, c := range curves {
+		fmt.Fprintf(w, "-- %s --\n", c.Label)
+		fmt.Fprintf(w, "%-8s %-10s %-10s %s\n", "f", "H (bits)", "ideal", "leak")
+		for _, p := range c.Points {
+			h, ideal := p.Result.HInitiator, p.Result.IdealInitiator
+			if target {
+				h, ideal = p.Result.HTarget, p.Result.IdealTarget
+			}
+			fmt.Fprintf(w, "%-8.2f %-10.2f %-10.2f %.2f\n", p.F, h, ideal, ideal-h)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func fig5a(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Fig 5(a): initiator anonymity H(I) of Octopus ==")
+	printAnonCurves(w, experiments.RunFig5a(anonConfig(opt)), false)
+	return nil
+}
+
+func fig5b(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Fig 5(b): initiator anonymity comparison (alpha = 1%) ==")
+	printAnonCurves(w, experiments.RunComparison(anonConfig(opt)), false)
+	return nil
+}
+
+func fig5c(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Fig 5(c): target anonymity H(T) of Octopus ==")
+	printAnonCurves(w, experiments.RunFig5c(anonConfig(opt)), true)
+	return nil
+}
+
+func fig6(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Fig 6: target anonymity comparison (alpha = 1%) ==")
+	printAnonCurves(w, experiments.RunComparison(anonConfig(opt)), true)
+	return nil
+}
+
+func fig7a(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Fig 7(a): CDF of lookup latency ==")
+	cfg := experiments.DefaultEfficiencyConfig()
+	cfg.Lookups = scaled(2000, opt.scale, 200)
+	cfg.Seed = opt.seed
+	for _, r := range []experiments.SchemeEfficiency{
+		experiments.RunChordEfficiency(cfg),
+		experiments.RunOctopusEfficiency(cfg),
+		experiments.RunHaloEfficiency(cfg),
+	} {
+		fmt.Fprintf(w, "-- %s --\n", r.Name)
+		fmt.Fprintf(w, "%-12s %s\n", "latency(ms)", "CDF")
+		for _, p := range r.CDF {
+			fmt.Fprintf(w, "%-12.0f %.3f\n", p.Value*1000, p.Fraction)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func fig7b(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Fig 7(b): CA workload (messages/s) per attack ==")
+	attacks := []struct {
+		name     string
+		strategy adversary.Strategy
+	}{
+		{"lookup bias", adversary.Strategy{AttackRate: 1, BiasLookups: true}},
+		{"FT manipulation", adversary.Strategy{AttackRate: 1, ManipulateFingers: true, ConsistentPredRate: 0.5}},
+		{"FT pollution", adversary.Strategy{AttackRate: 1, BiasLookups: true, ManipulateFingers: true, ConsistentPredRate: 0.5}},
+	}
+	for _, atk := range attacks {
+		cfg := securityConfig(opt)
+		cfg.Strategy = atk.strategy
+		res := experiments.RunSecurity(cfg)
+		fmt.Fprintf(w, "-- %s --\n", atk.name)
+		fmt.Fprint(w, res.CAWorkloadSeries().Format("CA messages/s"))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func fig9(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Fig 9: malicious nodes remaining under selective DoS ==")
+	for _, rate := range []float64{1.0, 0.5} {
+		cfg := securityConfig(opt)
+		cfg.Strategy = adversary.Strategy{AttackRate: rate, SelectiveDrop: true}
+		cfg.LookupEvery = time.Minute
+		cfg.DoSDefense = true
+		res := experiments.RunSecurity(cfg)
+		fmt.Fprintf(w, "-- attack rate = %.0f%% --\n", rate*100)
+		fmt.Fprint(w, res.MaliciousSeries().Format("fraction of malicious nodes"))
+	}
+	fmt.Fprintln(w)
+	return nil
+}

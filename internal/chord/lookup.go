@@ -1,0 +1,160 @@
+package chord
+
+import (
+	"errors"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+)
+
+// Errors reported by lookups.
+var (
+	// ErrLookupTimeout means an intermediate node failed to answer.
+	ErrLookupTimeout = errors.New("chord: lookup step timed out")
+	// ErrLookupDiverged means a hop failed to make clockwise progress
+	// toward the key — either a routing anomaly or active manipulation.
+	ErrLookupDiverged = errors.New("chord: lookup stopped converging")
+	// ErrLookupHops means MaxLookupHops was exceeded.
+	ErrLookupHops = errors.New("chord: lookup exceeded max hops")
+)
+
+// LookupStats describes one completed (or failed) lookup.
+type LookupStats struct {
+	// Hops is the number of intermediate nodes queried.
+	Hops int
+	// Queried lists the queried nodes in order.
+	Queried []Peer
+	// Started and Finished are virtual timestamps.
+	Started, Finished time.Duration
+	// Timeouts counts per-hop RPC timeouts encountered.
+	Timeouts int
+}
+
+// Latency returns the wall (virtual) duration of the lookup.
+func (s LookupStats) Latency() time.Duration { return s.Finished - s.Started }
+
+// Lookup iteratively resolves the owner of key, invoking cb exactly once.
+// This is the vanilla Chord iterative lookup (§2): the key is revealed to
+// every queried node and the initiator contacts intermediate nodes directly
+// — the two anonymity defects Octopus corrects.
+func (n *Node) Lookup(key id.ID, cb func(Peer, LookupStats, error)) {
+	n.lookupFrom(NoPeer, key, cb)
+}
+
+// LookupVia starts the iterative lookup at the given first hop instead of
+// the local routing state (used by joins and by the Torsk buddy protocol).
+func (n *Node) LookupVia(first Peer, key id.ID, cb func(Peer, LookupStats, error)) {
+	n.lookupFrom(first, key, cb)
+}
+
+func (n *Node) lookupFrom(first Peer, key id.ID, cb func(Peer, LookupStats, error)) {
+	stats := LookupStats{Started: n.sim.Now()}
+	finish := func(owner Peer, err error) {
+		stats.Finished = n.sim.Now()
+		if n.OnLookupDone != nil {
+			n.OnLookupDone(key, owner, err)
+		}
+		cb(owner, stats, err)
+	}
+
+	var step func(cur Peer)
+	step = func(cur Peer) {
+		if stats.Hops >= n.Cfg.MaxLookupHops {
+			finish(NoPeer, ErrLookupHops)
+			return
+		}
+		stats.Hops++
+		stats.Queried = append(stats.Queried, cur)
+		n.net.Call(n.Self.Addr, cur.Addr, FindNextReq{Key: key}, n.Cfg.RPCTimeout,
+			func(resp simnet.Message, err error) {
+				if err != nil {
+					stats.Timeouts++
+					finish(NoPeer, ErrLookupTimeout)
+					return
+				}
+				r, ok := resp.(FindNextResp)
+				if !ok {
+					finish(NoPeer, ErrLookupDiverged)
+					return
+				}
+				if r.Done {
+					finish(r.Owner, nil)
+					return
+				}
+				if !r.Next.Valid() {
+					finish(NoPeer, ErrLookupDiverged)
+					return
+				}
+				// Convergence guard: each hop must move strictly
+				// clockwise toward the key.
+				if !id.StrictBetween(r.Next.ID, cur.ID, key) {
+					finish(NoPeer, ErrLookupDiverged)
+					return
+				}
+				step(r.Next)
+			})
+	}
+
+	if first.Valid() {
+		step(first)
+		return
+	}
+	// Resolve locally when possible.
+	if len(n.preds) > 0 && n.preds[0].Valid() &&
+		id.Between(key, n.preds[0].ID, n.Self.ID) {
+		finish(n.Self, nil)
+		return
+	}
+	if owner, ok := n.ownerAmongSuccessors(key); ok {
+		finish(owner, nil)
+		return
+	}
+	next, ok := n.closestPreceding(key)
+	if !ok {
+		if len(n.succs) > 0 {
+			finish(n.succs[0], nil)
+		} else {
+			finish(n.Self, nil) // singleton ring
+		}
+		return
+	}
+	step(next)
+}
+
+// Join bootstraps a fresh node into the ring via any live member: it looks
+// up its own identifier to find its successor, adopts it, primes the
+// predecessor list from the successor's state, and lets stabilization do the
+// rest. done receives the join outcome.
+func (n *Node) Join(bootstrap Peer, done func(error)) {
+	n.LookupVia(bootstrap, n.Self.ID, func(owner Peer, _ LookupStats, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if !owner.Valid() || owner.ID == n.Self.ID {
+			done(errors.New("chord: join found no distinct successor"))
+			return
+		}
+		// Routing bootstraps through the successor list alone; the
+		// fingertable fills via finger updates. (Seeding fingers with
+		// the successor would publish false finger claims — the
+		// successor is almost never the owner of any ideal position.)
+		n.succs = []Peer{owner}
+		// Prime the predecessor list from the successor's: the new node
+		// sits immediately before its successor, so it inherits the
+		// successor's former predecessors.
+		n.net.Call(n.Self.Addr, owner.Addr,
+			GetTableReq{IncludePredecessors: true}, n.Cfg.RPCTimeout,
+			func(resp simnet.Message, err error) {
+				if err == nil {
+					if r, ok := resp.(GetTableResp); ok {
+						n.preds = mergeNeighborList(n.Self, NoPeer,
+							r.Table.Predecessors, n.Cfg.Successors)
+					}
+				}
+				n.stabilize(true)
+				done(nil)
+			})
+	})
+}

@@ -1,0 +1,114 @@
+package chord
+
+import (
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/xcrypto"
+)
+
+// RPC message types exchanged by the routing layer. Size() implements
+// simnet.Message using the paper's wire accounting (xcrypto/wire.go).
+
+const peerWireSize = xcrypto.RoutingItemWireSize
+
+// PingReq checks liveness.
+type PingReq struct{}
+
+// Size implements simnet.Message.
+func (PingReq) Size() int { return xcrypto.HeaderWireSize }
+
+// PingResp acknowledges a ping.
+type PingResp struct{}
+
+// Size implements simnet.Message.
+func (PingResp) Size() int { return xcrypto.HeaderWireSize }
+
+// FindNextReq is the classic Chord iterative-lookup step: the key is exposed
+// to the queried node, which replies with its best next hop. Used by the
+// Chord and Halo baselines (NISAN and Octopus hide the key by fetching whole
+// tables instead).
+type FindNextReq struct {
+	Key id.ID
+}
+
+// Size implements simnet.Message.
+func (FindNextReq) Size() int { return xcrypto.HeaderWireSize + xcrypto.KeyIDWireSize }
+
+// FindNextResp answers a FindNextReq.
+type FindNextResp struct {
+	// Done reports that the queried node knows the key's owner directly:
+	// the key falls between the queried node and one of its successors.
+	Done bool
+	// Owner is the key owner when Done.
+	Owner Peer
+	// Next is the closest preceding node to continue the lookup at when
+	// not Done.
+	Next Peer
+}
+
+// Size implements simnet.Message.
+func (FindNextResp) Size() int { return xcrypto.HeaderWireSize + 1 + 2*peerWireSize }
+
+// GetTableReq asks a node for its routing table. NISAN requests fingers
+// only; Octopus requests fingers plus the successor list (§4.3); the
+// surveillance mechanisms additionally request the predecessor list (§4.4).
+type GetTableReq struct {
+	IncludeSuccessors   bool
+	IncludePredecessors bool
+}
+
+// Size implements simnet.Message.
+func (GetTableReq) Size() int { return xcrypto.HeaderWireSize + 2 }
+
+// GetTableResp carries the (optionally signed) routing table.
+type GetTableResp struct {
+	Table RoutingTable
+}
+
+// Size implements simnet.Message.
+func (r GetTableResp) Size() int { return r.Table.WireSize() }
+
+// StabilizeReq implements one step of Chord stabilization in either
+// direction: the caller asks a neighbor for its neighbor list and its
+// closest link back toward the caller.
+type StabilizeReq struct {
+	// Clockwise selects successor-list stabilization; false selects the
+	// anti-clockwise predecessor-list protocol Octopus adds (§4.3).
+	Clockwise bool
+}
+
+// Size implements simnet.Message.
+func (StabilizeReq) Size() int { return xcrypto.HeaderWireSize + 1 }
+
+// StabilizeResp carries the neighbor list in the requested direction plus
+// the responder's closest link in the opposite direction, which the caller
+// uses exactly as Chord's successor.predecessor probe.
+type StabilizeResp struct {
+	// Neighbors is the responder's successor list (clockwise) or
+	// predecessor list (anti-clockwise). Signed as part of Table when the
+	// responder has an identity: Octopus requires signed successor lists
+	// so they can serve as pollution proofs (§4.3, Fig. 2(b)).
+	Table RoutingTable
+	// Back is the responder's predecessor (clockwise) or successor
+	// (anti-clockwise).
+	Back Peer
+}
+
+// Size implements simnet.Message.
+func (r StabilizeResp) Size() int { return r.Table.WireSize() + peerWireSize }
+
+// NotifyReq tells a neighbor the caller believes it is adjacent to it.
+type NotifyReq struct {
+	// Clockwise true means "I believe I am your predecessor" (sent to the
+	// successor); false means "I believe I am your successor".
+	Clockwise bool
+	Who       Peer
+}
+
+// Size implements simnet.Message.
+func (NotifyReq) Size() int { return xcrypto.HeaderWireSize + 1 + peerWireSize }
+
+// NotifyResp acknowledges a notify.
+type NotifyResp struct{}
+
+// Size implements simnet.Message.
+func (NotifyResp) Size() int { return xcrypto.HeaderWireSize }

@@ -1,0 +1,563 @@
+package chord
+
+import (
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/xcrypto"
+)
+
+// Config carries the routing-layer parameters. The defaults are the paper's
+// §5.1 experiment setup.
+type Config struct {
+	// Fingers is the fingertable length. Finger i targets
+	// self + 2^(Bits-Fingers+i), so the table covers the top Fingers
+	// octaves of the ring — the only ones that are distinct when
+	// N << 2^Bits.
+	Fingers int
+	// Successors is the successor-list length; the predecessor list has
+	// the same length (§4.3).
+	Successors int
+	// StabilizeEvery is the period of both stabilization protocols.
+	StabilizeEvery time.Duration
+	// FixFingersEvery is the period of finger-update lookups.
+	FixFingersEvery time.Duration
+	// RPCTimeout bounds every request/response exchange.
+	RPCTimeout time.Duration
+	// MaxLookupHops aborts lookups that stop converging.
+	MaxLookupHops int
+	// SignTables attaches owner signatures and timestamps to all routing
+	// tables (required by Octopus; baselines leave it off).
+	SignTables bool
+	// DisableFingerUpdates suppresses the built-in finger-update timer.
+	// Octopus sets it and runs its own secured finger updates (§4.5).
+	DisableFingerUpdates bool
+}
+
+// DefaultConfig returns the paper's §5.1 parameters: 12 fingers, 6
+// successors/predecessors, stabilization every 2 s, finger updates every
+// 30 s.
+func DefaultConfig() Config {
+	return Config{
+		Fingers:         12,
+		Successors:      6,
+		StabilizeEvery:  2 * time.Second,
+		FixFingersEvery: 30 * time.Second,
+		RPCTimeout:      2 * time.Second,
+		MaxLookupHops:   128,
+	}
+}
+
+// Identity is a node's cryptographic identity: a key pair plus the CA
+// certificate that binds it to the node's ring position.
+type Identity struct {
+	Scheme xcrypto.Scheme
+	Key    xcrypto.KeyPair
+	Cert   xcrypto.Certificate
+}
+
+// Interceptor lets an adversary replace a node's honest response to an RPC.
+// It receives the honest reply and returns the (possibly manipulated) reply
+// actually sent; ok=false drops the request.
+type Interceptor func(from simnet.Address, req, honest simnet.Message, honestOK bool) (simnet.Message, bool)
+
+// Node is one Chord participant.
+type Node struct {
+	Cfg  Config
+	Self Peer
+
+	net   *simnet.Network
+	sim   *simnet.Simulator
+	ident *Identity
+
+	fingers []Peer
+	succs   []Peer
+	preds   []Peer
+	nextFix int
+	running bool
+	stops   []func()
+
+	// Intercept, when set, filters every outgoing response (adversary
+	// hook).
+	Intercept Interceptor
+	// Extra handles message types unknown to the routing layer (Octopus
+	// relay and surveillance traffic).
+	Extra simnet.Handler
+	// FingerCandidate, when set, vets the result of a finger-update
+	// lookup before installation (Octopus secure finger update, §4.5).
+	// The implementation must call accept exactly once.
+	FingerCandidate func(slot int, cand Peer, accept func(bool))
+	// OnNeighborTable fires whenever a stabilization exchange delivers a
+	// neighbor's signed table (Octopus proof queue, §4.3).
+	OnNeighborTable func(src Peer, table RoutingTable)
+	// OnLookupDone fires after each locally-initiated lookup completes.
+	OnLookupDone func(key id.ID, owner Peer, err error)
+}
+
+// NewNode creates a node bound to addr on the network. It does not start
+// timers or bind the handler; call Start (or Ring helpers) for that.
+func NewNode(net *simnet.Network, cfg Config, self Peer, ident *Identity) *Node {
+	return &Node{
+		Cfg:     cfg,
+		Self:    self,
+		net:     net,
+		sim:     net.Sim(),
+		ident:   ident,
+		fingers: make([]Peer, cfg.Fingers),
+		succs:   nil,
+		preds:   nil,
+	}
+}
+
+// Network returns the node's network.
+func (n *Node) Network() *simnet.Network { return n.net }
+
+// Sim returns the simulator driving the node.
+func (n *Node) Sim() *simnet.Simulator { return n.sim }
+
+// Identity returns the node's identity (nil when unsigned).
+func (n *Node) Identity() *Identity { return n.ident }
+
+// Running reports whether the node's timers are active.
+func (n *Node) Running() bool { return n.running }
+
+// Successors returns a copy of the successor list.
+func (n *Node) Successors() []Peer { return clonePeers(n.succs) }
+
+// Predecessors returns a copy of the predecessor list.
+func (n *Node) Predecessors() []Peer { return clonePeers(n.preds) }
+
+// Fingers returns a copy of the fingertable.
+func (n *Node) Fingers() []Peer { return clonePeers(n.fingers) }
+
+// SetSuccessors overwrites the successor list (ring bootstrap and tests).
+func (n *Node) SetSuccessors(ps []Peer) { n.succs = clonePeers(ps) }
+
+// SetPredecessors overwrites the predecessor list.
+func (n *Node) SetPredecessors(ps []Peer) { n.preds = clonePeers(ps) }
+
+// SetFinger overwrites one finger slot.
+func (n *Node) SetFinger(i int, p Peer) {
+	if i >= 0 && i < len(n.fingers) {
+		n.fingers[i] = p
+	}
+}
+
+// FingerTarget returns the ideal identifier of finger slot i.
+func (n *Node) FingerTarget(i int) id.ID {
+	return n.Self.ID.FingerTarget(id.Bits - n.Cfg.Fingers + i)
+}
+
+// Start binds the node's handler and launches the maintenance timers:
+// successor stabilization, predecessor stabilization (anti-clockwise, §4.3),
+// and finger-update lookups.
+func (n *Node) Start() {
+	if n.running {
+		return
+	}
+	n.net.Bind(n.Self.Addr, n.handle)
+	n.running = true
+	n.stops = append(n.stops,
+		n.sim.Every(n.Cfg.StabilizeEvery, func() { n.stabilize(true) }),
+		n.sim.Every(n.Cfg.StabilizeEvery, func() { n.stabilize(false) }),
+	)
+	if !n.Cfg.DisableFingerUpdates {
+		n.stops = append(n.stops,
+			n.sim.Every(n.Cfg.FixFingersEvery, func() { n.fixNextFinger() }))
+	}
+}
+
+// Stop cancels the timers and takes the node off the network (used by the
+// churn model for node death).
+func (n *Node) Stop() {
+	for _, stop := range n.stops {
+		stop()
+	}
+	n.stops = nil
+	n.running = false
+	n.net.SetAlive(n.Self.Addr, false)
+}
+
+// Table assembles the node's routing table for a querier, signing it when
+// the node runs in signed mode.
+func (n *Node) Table(includeSucc, includePred bool) RoutingTable {
+	fingers, exps := n.fingersWithExps()
+	rt := RoutingTable{
+		Owner:      n.Self,
+		Fingers:    fingers,
+		FingerExps: exps,
+		Timestamp:  n.sim.Now(),
+	}
+	if includeSucc {
+		rt.Successors = clonePeers(n.succs)
+	}
+	if includePred {
+		rt.Predecessors = clonePeers(n.preds)
+	}
+	n.signTable(&rt)
+	return rt
+}
+
+func (n *Node) signTable(rt *RoutingTable) {
+	if n.Cfg.SignTables && n.ident != nil {
+		// Signing failures cannot occur with the in-tree schemes on
+		// well-formed keys; a nil Sig would simply fail verification
+		// downstream, which is the correct degraded behaviour.
+		_ = rt.Sign(n.ident.Scheme, n.ident.Key)
+	}
+}
+
+func (n *Node) validFingers() []Peer {
+	out := make([]Peer, 0, len(n.fingers))
+	for _, f := range n.fingers {
+		if f.Valid() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fingersWithExps returns the valid fingers alongside the exponent of each
+// one's ideal position.
+func (n *Node) fingersWithExps() ([]Peer, []uint8) {
+	fingers := make([]Peer, 0, len(n.fingers))
+	exps := make([]uint8, 0, len(n.fingers))
+	for slot, f := range n.fingers {
+		if f.Valid() {
+			fingers = append(fingers, f)
+			exps = append(exps, uint8(id.Bits-n.Cfg.Fingers+slot))
+		}
+	}
+	return fingers, exps
+}
+
+// knownPeers returns every peer the node can route through.
+func (n *Node) knownPeers() []Peer {
+	out := make([]Peer, 0, len(n.fingers)+len(n.succs))
+	out = append(out, n.validFingers()...)
+	out = append(out, n.succs...)
+	return out
+}
+
+// OwnerInSuccessors resolves a key against the node's own successor list:
+// when the key falls within the list's span, the owner is known locally
+// with no network traffic. Octopus's lookups use it both as a fast path and
+// to keep low finger slots fresh (their ideal positions sit inside the
+// successor window).
+func (n *Node) OwnerInSuccessors(key id.ID) (Peer, bool) {
+	return n.ownerAmongSuccessors(key)
+}
+
+// ownerAmongSuccessors checks whether the key's owner is directly known:
+// scanning self → succs[0] → succs[1] ... the owner is the first node whose
+// ID the key does not exceed.
+func (n *Node) ownerAmongSuccessors(key id.ID) (Peer, bool) {
+	if key == n.Self.ID {
+		return n.Self, true
+	}
+	prev := n.Self.ID
+	for _, s := range n.succs {
+		if !s.Valid() {
+			continue
+		}
+		if id.Between(key, prev, s.ID) {
+			return s, true
+		}
+		prev = s.ID
+	}
+	return NoPeer, false
+}
+
+// closestPreceding picks the known peer most tightly preceding key.
+func (n *Node) closestPreceding(key id.ID) (Peer, bool) {
+	peers := n.knownPeers()
+	ids := make([]id.ID, len(peers))
+	for i, p := range peers {
+		ids[i] = p.ID
+	}
+	best, ok := id.ClosestPreceding(n.Self.ID, key, ids)
+	if !ok {
+		return NoPeer, false
+	}
+	for _, p := range peers {
+		if p.ID == best {
+			return p, true
+		}
+	}
+	return NoPeer, false
+}
+
+// handle is the node's RPC dispatcher.
+func (n *Node) handle(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+	resp, ok := n.honestHandle(from, req)
+	if n.Intercept != nil {
+		return n.Intercept(from, req, resp, ok)
+	}
+	return resp, ok
+}
+
+func (n *Node) honestHandle(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+	switch m := req.(type) {
+	case PingReq:
+		return PingResp{}, true
+
+	case FindNextReq:
+		return n.handleFindNext(m), true
+
+	case GetTableReq:
+		return GetTableResp{Table: n.Table(m.IncludeSuccessors, m.IncludePredecessors)}, true
+
+	case StabilizeReq:
+		return n.handleStabilize(m), true
+
+	case NotifyReq:
+		n.handleNotify(m)
+		return NotifyResp{}, true
+
+	default:
+		if n.Extra != nil {
+			return n.Extra(from, req)
+		}
+		return nil, false
+	}
+}
+
+func (n *Node) handleFindNext(m FindNextReq) FindNextResp {
+	if len(n.preds) > 0 && n.preds[0].Valid() &&
+		id.Between(m.Key, n.preds[0].ID, n.Self.ID) {
+		return FindNextResp{Done: true, Owner: n.Self}
+	}
+	if owner, ok := n.ownerAmongSuccessors(m.Key); ok {
+		return FindNextResp{Done: true, Owner: owner}
+	}
+	next, ok := n.closestPreceding(m.Key)
+	if !ok {
+		// We know nothing closer; we are effectively the predecessor,
+		// so our first successor (or self in a singleton ring) owns
+		// the key.
+		if len(n.succs) > 0 {
+			return FindNextResp{Done: true, Owner: n.succs[0]}
+		}
+		return FindNextResp{Done: true, Owner: n.Self}
+	}
+	return FindNextResp{Next: next}
+}
+
+func (n *Node) handleStabilize(m StabilizeReq) StabilizeResp {
+	if m.Clockwise {
+		rt := RoutingTable{
+			Owner:      n.Self,
+			Successors: clonePeers(n.succs),
+			Timestamp:  n.sim.Now(),
+		}
+		n.signTable(&rt)
+		back := NoPeer
+		if len(n.preds) > 0 {
+			back = n.preds[0]
+		}
+		return StabilizeResp{Table: rt, Back: back}
+	}
+	rt := RoutingTable{
+		Owner:        n.Self,
+		Predecessors: clonePeers(n.preds),
+		Timestamp:    n.sim.Now(),
+	}
+	n.signTable(&rt)
+	back := NoPeer
+	if len(n.succs) > 0 {
+		back = n.succs[0]
+	}
+	return StabilizeResp{Table: rt, Back: back}
+}
+
+func (n *Node) handleNotify(m NotifyReq) {
+	if !m.Who.Valid() || m.Who.ID == n.Self.ID {
+		return
+	}
+	if m.Clockwise {
+		// The sender believes it is our predecessor.
+		if len(n.preds) == 0 || !n.preds[0].Valid() ||
+			id.StrictBetween(m.Who.ID, n.preds[0].ID, n.Self.ID) {
+			n.preds = insertFront(n.preds, m.Who, n.Cfg.Successors)
+		}
+		return
+	}
+	// The sender believes it is our successor.
+	if len(n.succs) == 0 || !n.succs[0].Valid() ||
+		id.StrictBetween(m.Who.ID, n.Self.ID, n.succs[0].ID) {
+		n.succs = insertFront(n.succs, m.Who, n.Cfg.Successors)
+	}
+}
+
+// insertFront puts p at the head of list, dropping duplicates and trimming
+// to max entries.
+func insertFront(list []Peer, p Peer, max int) []Peer {
+	out := make([]Peer, 0, max)
+	out = append(out, p)
+	for _, q := range list {
+		if q.ID == p.ID || !q.Valid() {
+			continue
+		}
+		if len(out) >= max {
+			break
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// stabilize runs one round of the clockwise (successor) or anti-clockwise
+// (predecessor) stabilization protocol.
+func (n *Node) stabilize(clockwise bool) {
+	if !n.running {
+		return
+	}
+	var target Peer
+	if clockwise {
+		if len(n.succs) == 0 {
+			n.recoverSuccessor()
+			return
+		}
+		target = n.succs[0]
+	} else {
+		if len(n.preds) == 0 {
+			return // repaired by successors' clockwise notifies
+		}
+		target = n.preds[0]
+	}
+	n.net.Call(n.Self.Addr, target.Addr, StabilizeReq{Clockwise: clockwise}, n.Cfg.RPCTimeout,
+		func(resp simnet.Message, err error) {
+			if !n.running {
+				return
+			}
+			if err != nil {
+				n.dropNeighbor(target, clockwise)
+				return
+			}
+			r, ok := resp.(StabilizeResp)
+			if !ok {
+				return
+			}
+			n.absorbStabilize(target, r, clockwise)
+		})
+}
+
+func (n *Node) absorbStabilize(target Peer, r StabilizeResp, clockwise bool) {
+	// Identity check: after churn a NEW node may answer at the old
+	// neighbor's address. Merging its table under the old identity would
+	// poison the neighbor lists, so treat it as the old neighbor's death.
+	if r.Table.Owner.ID != target.ID {
+		n.dropNeighbor(target, clockwise)
+		return
+	}
+	if clockwise {
+		list := mergeNeighborList(n.Self, target, r.Table.Successors, n.Cfg.Successors)
+		// Chord's predecessor probe: if our successor knows a closer
+		// predecessor than us, it becomes our new first successor.
+		if r.Back.Valid() && id.StrictBetween(r.Back.ID, n.Self.ID, target.ID) {
+			list = insertFront(list, r.Back, n.Cfg.Successors)
+		}
+		n.succs = list
+		if n.OnNeighborTable != nil {
+			n.OnNeighborTable(target, r.Table)
+		}
+		if len(n.succs) > 0 {
+			n.net.Call(n.Self.Addr, n.succs[0].Addr,
+				NotifyReq{Clockwise: true, Who: n.Self}, n.Cfg.RPCTimeout,
+				func(simnet.Message, error) {})
+		}
+		return
+	}
+	list := mergeNeighborList(n.Self, target, r.Table.Predecessors, n.Cfg.Successors)
+	if r.Back.Valid() && id.StrictBetween(r.Back.ID, target.ID, n.Self.ID) {
+		list = insertFront(list, r.Back, n.Cfg.Successors)
+	}
+	n.preds = list
+	if n.OnNeighborTable != nil {
+		n.OnNeighborTable(target, r.Table)
+	}
+	if len(n.preds) > 0 {
+		n.net.Call(n.Self.Addr, n.preds[0].Addr,
+			NotifyReq{Clockwise: false, Who: n.Self}, n.Cfg.RPCTimeout,
+			func(simnet.Message, error) {})
+	}
+}
+
+// mergeNeighborList computes [target] + target's own neighbor list, dropping
+// self and duplicates, trimmed to max. This is exactly how Chord maintains
+// successor lists, and (per §4.3) the node must keep the signed source table
+// as its pollution proof — see OnNeighborTable.
+func mergeNeighborList(self, target Peer, theirs []Peer, max int) []Peer {
+	out := make([]Peer, 0, max)
+	seen := map[id.ID]bool{self.ID: true}
+	add := func(p Peer) {
+		if len(out) >= max || !p.Valid() || seen[p.ID] {
+			return
+		}
+		seen[p.ID] = true
+		out = append(out, p)
+	}
+	add(target)
+	for _, p := range theirs {
+		add(p)
+	}
+	return out
+}
+
+func (n *Node) dropNeighbor(p Peer, clockwise bool) {
+	filter := func(list []Peer) []Peer {
+		out := list[:0]
+		for _, q := range list {
+			if q.ID != p.ID {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	if clockwise {
+		n.succs = filter(n.succs)
+	} else {
+		n.preds = filter(n.preds)
+	}
+	// A dead node is also purged from the fingertable so lookups stop
+	// routing through it.
+	for i, f := range n.fingers {
+		if f.Valid() && f.ID == p.ID {
+			n.fingers[i] = NoPeer
+		}
+	}
+}
+
+// recoverSuccessor rebuilds an empty successor list from any live finger.
+func (n *Node) recoverSuccessor() {
+	for _, f := range n.validFingers() {
+		n.succs = []Peer{f}
+		return
+	}
+}
+
+// fixNextFinger runs one finger-update lookup (§4.5) for the next slot in
+// round-robin order.
+func (n *Node) fixNextFinger() {
+	if !n.running || n.Cfg.Fingers == 0 {
+		return
+	}
+	slot := n.nextFix
+	n.nextFix = (n.nextFix + 1) % n.Cfg.Fingers
+	target := n.FingerTarget(slot)
+	n.Lookup(target, func(owner Peer, _ LookupStats, err error) {
+		if err != nil || !n.running || !owner.Valid() {
+			return
+		}
+		if n.FingerCandidate != nil {
+			n.FingerCandidate(slot, owner, func(accept bool) {
+				if accept && n.running {
+					n.SetFinger(slot, owner)
+				}
+			})
+			return
+		}
+		n.SetFinger(slot, owner)
+	})
+}

@@ -1,0 +1,93 @@
+// Package core implements Octopus itself — the paper's primary contribution.
+//
+// An Octopus node is a Chord participant (internal/chord) extended with:
+//
+//   - two-phase random walks that select anonymization relay pairs
+//     (Appendix I);
+//   - onion-modelled anonymous paths I → A → B → (Ci, Di) → Ei over which
+//     every query of a lookup travels separately (§4.1–4.2, Fig. 1);
+//   - anonymous lookups that fetch whole signed routing tables (fingers +
+//     successor list) so the key is never revealed, split each query over a
+//     fresh relay pair, and interleave dummy queries (§4.2–4.3);
+//   - secret neighbor surveillance, secret finger surveillance, and secure
+//     finger updates (§4.3–4.5);
+//   - the CA protocol that turns surveillance reports into revocations via
+//     proof-chain investigations (§4.6, Fig. 2), plus the selective-DoS
+//     witness/receipt defense (Appendix II).
+//
+// Everything runs inside the deterministic event simulator; see DESIGN.md
+// for the substitution notes (signature scheme, latency model).
+package core
+
+import (
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+)
+
+// Config carries every Octopus protocol parameter. Defaults follow §5.1.
+type Config struct {
+	// Chord configures the underlying routing layer. SignTables is
+	// forced on — Octopus requires signed, timestamped tables.
+	Chord chord.Config
+	// WalkLength is l, the number of hops per random-walk phase
+	// (Appendix I); the full walk visits 2l nodes.
+	WalkLength int
+	// WalkEvery is the period of relay-selection random walks (15 s).
+	WalkEvery time.Duration
+	// SurveilEvery is the period of both secret surveillance checks
+	// (60 s).
+	SurveilEvery time.Duration
+	// Dummies is the number of dummy queries interleaved into each
+	// anonymous lookup (§4.2; the anonymity evaluation uses 2 and 6).
+	Dummies int
+	// ProofQueue is the number of most recent signed successor lists kept
+	// as pollution proofs (6, §5.1).
+	ProofQueue int
+	// TableBuffer is the number of received fingertables buffered for
+	// secret finger surveillance.
+	TableBuffer int
+	// RelayPoolMax caps the stock of unused relay pairs.
+	RelayPoolMax int
+	// QueryTimeout bounds one anonymous query round trip.
+	QueryTimeout time.Duration
+	// RelayDelayMax is the maximum random delay added by the second
+	// relay B to frustrate timing analysis (§4.7: up to 100 ms).
+	RelayDelayMax time.Duration
+	// MaxLookupQueries aborts anonymous lookups that stop converging.
+	MaxLookupQueries int
+	// DoSDefense arms the Appendix II dropped-query reporting: a query
+	// that times out while all four path relays answer pings is reported
+	// to the CA for a receipt-trail investigation.
+	DoSDefense bool
+	// EstimatedSize is the node's estimate of the network size, feeding
+	// the NISAN-style bound checker used on walk and lookup tables.
+	EstimatedSize int
+	// BoundFactor scales the bound checker's acceptance window.
+	BoundFactor float64
+}
+
+// DefaultConfig returns the paper's §5.1 parameters.
+func DefaultConfig() Config {
+	return Config{
+		Chord:            defaultChordConfig(),
+		WalkLength:       3,
+		WalkEvery:        15 * time.Second,
+		SurveilEvery:     60 * time.Second,
+		Dummies:          6,
+		ProofQueue:       6,
+		TableBuffer:      16,
+		RelayPoolMax:     32,
+		QueryTimeout:     4 * time.Second,
+		RelayDelayMax:    100 * time.Millisecond,
+		MaxLookupQueries: 64,
+		EstimatedSize:    1000,
+		BoundFactor:      8,
+	}
+}
+
+func defaultChordConfig() chord.Config {
+	cfg := chord.DefaultConfig()
+	cfg.SignTables = true
+	return cfg
+}

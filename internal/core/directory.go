@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/xcrypto"
+)
+
+// Directory models certificate distribution. On the real wire every signed
+// routing table carries its owner's 50-byte certificate (accounted in
+// SignedTableWireSize), so any receiver can verify the owner's signature
+// after checking the certificate against the CA key. The simulator keeps
+// the equivalent key material in one shared map instead of copying
+// certificates into every message value.
+type Directory struct {
+	scheme xcrypto.Scheme
+	keys   map[id.ID]xcrypto.PublicKey
+}
+
+// NewDirectory creates an empty directory for the given scheme.
+func NewDirectory(scheme xcrypto.Scheme) *Directory {
+	return &Directory{scheme: scheme, keys: make(map[id.ID]xcrypto.PublicKey)}
+}
+
+// Scheme returns the signature scheme in use.
+func (d *Directory) Scheme() xcrypto.Scheme { return d.scheme }
+
+// Register records a node's public key (performed when the CA issues the
+// node's certificate).
+func (d *Directory) Register(node id.ID, key xcrypto.PublicKey) {
+	d.keys[node] = key
+}
+
+// Key returns a node's public key.
+func (d *Directory) Key(node id.ID) (xcrypto.PublicKey, bool) {
+	k, ok := d.keys[node]
+	return k, ok
+}
+
+// VerifyTable checks a routing table's owner signature.
+func (d *Directory) VerifyTable(t chord.RoutingTable) bool {
+	key, ok := d.keys[t.Owner.ID]
+	if !ok {
+		return false
+	}
+	return t.VerifySig(d.scheme, key)
+}
+
+// NewIdentityFactory returns a chord.IdentityFactory that mints a key pair
+// per node, registers it in the directory, and has the CA issue the
+// certificate.
+func NewIdentityFactory(dir *Directory, ca *xcrypto.CA, rng *rand.Rand) chord.IdentityFactory {
+	return func(self chord.Peer) *chord.Identity {
+		kp, err := dir.scheme.GenerateKey(rng)
+		if err != nil {
+			return nil
+		}
+		cert, err := ca.Issue(self.ID, int64(self.Addr), kp.Public, 0)
+		if err != nil {
+			return nil
+		}
+		dir.Register(self.ID, kp.Public)
+		return &chord.Identity{Scheme: dir.scheme, Key: kp, Cert: cert}
+	}
+}
+
+// boundCheck filters a claimed fingertable against its owner's ideal finger
+// positions, NISAN-style (§4.1: "the initiator applies bound checking on
+// the fingertables returned by intermediate nodes of the random walk to
+// limit fingertable manipulation"). A finger is accepted when it trails
+// some ideal position by at most `factor` expected inter-node gaps.
+func boundCheck(owner chord.Peer, fingers []chord.Peer, estSize int, factor float64) []chord.Peer {
+	if estSize < 2 {
+		estSize = 2
+	}
+	bound := uint64(float64(^uint64(0)/uint64(estSize)) * factor)
+	out := make([]chord.Peer, 0, len(fingers))
+	for _, f := range fingers {
+		if !f.Valid() || f.ID == owner.ID {
+			continue
+		}
+		for i := 0; i < id.Bits; i++ {
+			if owner.ID.FingerTarget(i).Distance(f.ID) <= bound {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Clock abstraction for freshness checks.
+type simClock interface {
+	Now() time.Duration
+}
+
+var _ simClock = (*simnet.Simulator)(nil)

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+)
+
+// Lookup errors.
+var (
+	// ErrLookupExhausted means the query budget ran out before
+	// convergence.
+	ErrLookupExhausted = errors.New("core: lookup exhausted its query budget")
+	// ErrLookupNoRoute means no candidate node could be queried at all.
+	ErrLookupNoRoute = errors.New("core: lookup found no route toward the key")
+)
+
+// LookupStats describes one Octopus lookup.
+type LookupStats struct {
+	// Queries is the number of real (non-dummy) queries sent.
+	Queries int
+	// Dummies is the number of dummy queries interleaved (§4.2).
+	Dummies int
+	// Queried lists the real queried nodes in order.
+	Queried []chord.Peer
+	// PairsUsed counts relay pairs consumed (head + one per query).
+	PairsUsed int
+	// Rejected counts responses discarded for bad signatures.
+	Rejected int
+	// Started and Finished are virtual timestamps.
+	Started, Finished time.Duration
+}
+
+// Latency returns the virtual duration of the lookup.
+func (s LookupStats) Latency() time.Duration { return s.Finished - s.Started }
+
+// DirectLookupResult is the outcome of a non-anonymous signed-table lookup
+// (used for finger updates, §4.5): the owner plus the signed table that
+// asserted it, which doubles as non-repudiable evidence if the result turns
+// out to be biased.
+type DirectLookupResult struct {
+	Owner chord.Peer
+	// Evidence is the signed routing table that introduced Owner.
+	// HasEvidence is false when the owner was already known locally.
+	Evidence    chord.RoutingTable
+	HasEvidence bool
+}
+
+// tableLookup is the shared iterative convergence engine: Octopus lookups,
+// like NISAN's, fetch whole routing tables so the key is never revealed; in
+// Octopus the tables additionally carry the successor list (§4.3), which
+// both speeds up the final hops and makes every answer a signed, verifiable
+// claim.
+type tableLookup struct {
+	n              *Node
+	key            id.ID
+	known          map[id.ID]chord.Peer
+	source         map[id.ID]chord.RoutingTable
+	queried        map[id.ID]bool
+	closestQueried chord.Peer
+	stats          LookupStats
+	send           func(target chord.Peer, done func(simnet.Message, error)) bool
+	finish         func(chord.Peer, DirectLookupResult, error)
+
+	// Owner candidacy follows Chord semantics: the owner is the first
+	// node at/after the key in the successor list of a queried
+	// predecessor. ownerBest tracks the candidate vouched for by the
+	// queried node closest to the key, with its signed table as
+	// evidence. Relying on queried successor lists (instead of any
+	// stale merged entry) keeps lookups from resolving to long-dead
+	// nodes remembered by distant fingertables.
+	ownerBest     chord.Peer
+	ownerEvidence chord.RoutingTable
+	ownerSrcDist  uint64
+	ownerFound    bool
+}
+
+func (n *Node) newTableLookup(key id.ID,
+	send func(chord.Peer, func(simnet.Message, error)) bool,
+	finish func(chord.Peer, DirectLookupResult, error)) *tableLookup {
+	tl := &tableLookup{
+		n:              n,
+		key:            key,
+		known:          make(map[id.ID]chord.Peer),
+		source:         make(map[id.ID]chord.RoutingTable),
+		queried:        make(map[id.ID]bool),
+		closestQueried: n.Chord.Self,
+		send:           send,
+		finish:         finish,
+	}
+	tl.stats.Started = n.sim.Now()
+	for _, p := range n.Chord.Fingers() {
+		if p.Valid() {
+			tl.known[p.ID] = p
+		}
+	}
+	for _, p := range n.Chord.Successors() {
+		tl.known[p.ID] = p
+	}
+	return tl
+}
+
+// bestUnqueried returns the known node most tightly preceding the key that
+// improves on closestQueried.
+func (tl *tableLookup) bestUnqueried() (chord.Peer, bool) {
+	self := tl.n.Chord.Self
+	best, found := chord.NoPeer, false
+	var bestDist uint64
+	for _, p := range tl.known {
+		if tl.queried[p.ID] || !id.StrictBetween(p.ID, tl.closestQueried.ID, tl.key) {
+			continue
+		}
+		d := self.ID.Distance(p.ID)
+		if !found || d > bestDist {
+			best, bestDist, found = p, d, true
+		}
+	}
+	return best, found
+}
+
+// recordOwnerCandidate checks whether a queried node's successor list
+// vouches for the key's owner: walking owner → succ[0] → succ[1] …, the
+// owner of the key is the first entry at/after it.
+func (tl *tableLookup) recordOwnerCandidate(t chord.RoutingTable) {
+	prev := t.Owner.ID
+	for _, s := range t.Successors {
+		if !s.Valid() {
+			continue
+		}
+		if id.Between(tl.key, prev, s.ID) {
+			srcDist := tl.n.Chord.Self.ID.Distance(t.Owner.ID)
+			if !tl.ownerFound || srcDist > tl.ownerSrcDist {
+				tl.ownerBest, tl.ownerEvidence = s, t
+				tl.ownerSrcDist = srcDist
+				tl.ownerFound = true
+			}
+			return
+		}
+		prev = s.ID
+	}
+}
+
+// absorb merges a verified table into the knowledge set.
+func (tl *tableLookup) absorb(from chord.Peer, t chord.RoutingTable) {
+	add := func(p chord.Peer) {
+		if !p.Valid() || p.ID == tl.n.Chord.Self.ID {
+			return
+		}
+		if _, seen := tl.known[p.ID]; !seen {
+			tl.known[p.ID] = p
+			tl.source[p.ID] = t
+		}
+	}
+	for _, p := range boundCheck(t.Owner, t.Fingers, tl.n.cfg.EstimatedSize, tl.n.cfg.BoundFactor) {
+		add(p)
+	}
+	// Successor-list entries sit immediately after the owner; a separate
+	// tight bound applies (k consecutive nodes span about k expected
+	// gaps, with generous slack for density fluctuations).
+	succBound := uint64(float64(^uint64(0)/uint64(max(2, tl.n.cfg.EstimatedSize))) *
+		tl.n.cfg.BoundFactor * float64(max(1, tl.n.cfg.Chord.Successors)))
+	for _, p := range t.Successors {
+		if p.Valid() && t.Owner.ID.Distance(p.ID) <= succBound {
+			add(p)
+		}
+	}
+}
+
+func (tl *tableLookup) step() {
+	if tl.stats.Queries == 0 {
+		// Keys within the local successor window resolve without any
+		// queries — essential for low finger slots, whose ideal
+		// positions precede the node's own first successor.
+		if owner, ok := tl.n.Chord.OwnerInSuccessors(tl.key); ok {
+			tl.done(owner, nil)
+			return
+		}
+	}
+	if tl.stats.Queries >= tl.n.cfg.MaxLookupQueries {
+		tl.done(chord.NoPeer, ErrLookupExhausted)
+		return
+	}
+	next, ok := tl.bestUnqueried()
+	if !ok {
+		if !tl.ownerFound {
+			tl.done(chord.NoPeer, ErrLookupNoRoute)
+			return
+		}
+		tl.done(tl.ownerBest, nil)
+		return
+	}
+	tl.queried[next.ID] = true
+	tl.stats.Queries++
+	tl.stats.Queried = append(tl.stats.Queried, next)
+	sent := tl.send(next, func(resp simnet.Message, err error) {
+		if err == nil {
+			if r, ok := resp.(chord.GetTableResp); ok {
+				table := r.Table
+				if table.Owner.ID != next.ID ||
+					(tl.n.dir != nil && !tl.n.dir.VerifyTable(table)) {
+					// Wrong responder (address reuse after churn)
+					// or bad signature: discard.
+					tl.stats.Rejected++
+				} else {
+					if id.StrictBetween(next.ID, tl.closestQueried.ID, tl.key) {
+						tl.closestQueried = next
+					}
+					tl.absorb(next, table)
+					tl.recordOwnerCandidate(table)
+					tl.n.bufferTable(table)
+				}
+			}
+		}
+		tl.step()
+	})
+	if !sent {
+		tl.done(chord.NoPeer, ErrNoRelays)
+	}
+}
+
+func (tl *tableLookup) done(owner chord.Peer, err error) {
+	tl.stats.Finished = tl.n.sim.Now()
+	res := DirectLookupResult{Owner: owner}
+	if owner.Valid() {
+		switch {
+		case tl.ownerFound && tl.ownerBest.ID == owner.ID:
+			res.Evidence = tl.ownerEvidence
+			res.HasEvidence = true
+		default:
+			if t, ok := tl.source[owner.ID]; ok {
+				res.Evidence = t
+				res.HasEvidence = true
+			}
+		}
+	}
+	tl.finish(owner, res, err)
+}
+
+// AnonLookup resolves the owner of key anonymously: the initiator is hidden
+// behind a shared (A, B) relay pair, every query travels over a fresh
+// (Ci, Di) pair (§4.2, Fig. 1(b)), queried nodes only ever see a
+// GetTableReq (the key never leaves the initiator), and dummy queries are
+// interleaved to blunt range estimation. cb is invoked exactly once.
+func (n *Node) AnonLookup(key id.ID, cb func(chord.Peer, LookupStats, error)) {
+	n.stats.LookupsStarted++
+	head, err := n.takePair()
+	for tries := 0; err == nil && head.contains(n.Chord.Self) && tries < 4; tries++ {
+		head, err = n.takePair()
+	}
+	if err == nil && head.contains(n.Chord.Self) {
+		err = ErrNoRelays
+	}
+	if err != nil {
+		n.stats.LookupsFailed++
+		cb(chord.NoPeer, LookupStats{Started: n.sim.Now(), Finished: n.sim.Now()}, err)
+		return
+	}
+	dummiesLeft := n.cfg.Dummies
+	var tl *tableLookup
+	send := func(target chord.Peer, done func(simnet.Message, error)) bool {
+		pair, err := n.takePairDisjoint(head)
+		if err != nil {
+			return false
+		}
+		tl.stats.PairsUsed++
+		n.anonQuery(head, pair, target, chord.GetTableReq{IncludeSuccessors: true}, done)
+		// Interleave dummy queries so an observer cannot tell real
+		// query positions from padding (§4.2). Half-probability per
+		// real step spreads them across the lookup.
+		for dummiesLeft > 0 && n.sim.Rand().Intn(2) == 0 {
+			dummiesLeft--
+			n.sendDummy(head, tl)
+		}
+		return true
+	}
+	tl = n.newTableLookup(key, send, func(owner chord.Peer, _ DirectLookupResult, err error) {
+		// Flush any dummies the probabilistic interleaving left over.
+		for dummiesLeft > 0 {
+			dummiesLeft--
+			n.sendDummy(head, tl)
+		}
+		tl.stats.PairsUsed++ // the head pair
+		if err != nil {
+			n.stats.LookupsFailed++
+		} else {
+			n.stats.LookupsCompleted++
+		}
+		cb(owner, tl.stats, err)
+	})
+	tl.step()
+}
+
+// sendDummy issues one dummy query through a fresh pair to a target drawn
+// from the lookup's current knowledge, mimicking real query placement.
+func (n *Node) sendDummy(head RelayPair, tl *tableLookup) {
+	pair, err := n.takePairDisjoint(head)
+	if err != nil {
+		return
+	}
+	// Candidates are sorted so the random choice is deterministic per
+	// seed (map iteration order is not).
+	candidates := make([]chord.Peer, 0, len(tl.known))
+	for _, p := range tl.known {
+		candidates = append(candidates, p)
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ID < candidates[j].ID })
+	target := candidates[n.sim.Rand().Intn(len(candidates))]
+	tl.stats.Dummies++
+	tl.stats.PairsUsed++
+	n.stats.DummiesSent++
+	n.anonQuery(head, pair, target, chord.GetTableReq{IncludeSuccessors: true},
+		func(simnet.Message, error) {}) // dummy answers are discarded
+}
+
+// DirectTableLookup resolves the owner of key non-anonymously but over
+// signed tables, as Octopus's periodic finger-update lookups do (§4.5). The
+// returned evidence backs a pollution report if the result fails the
+// security check.
+func (n *Node) DirectTableLookup(key id.ID, cb func(DirectLookupResult, LookupStats, error)) {
+	var tl *tableLookup
+	send := func(target chord.Peer, done func(simnet.Message, error)) bool {
+		n.net.Call(n.Chord.Self.Addr, target.Addr,
+			chord.GetTableReq{IncludeSuccessors: true}, n.cfg.Chord.RPCTimeout, done)
+		return true
+	}
+	tl = n.newTableLookup(key, send, func(_ chord.Peer, res DirectLookupResult, err error) {
+		cb(res, tl.stats, err)
+	})
+	tl.step()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ = time.Duration(0)

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/xcrypto"
+)
+
+// Network is a complete simulated Octopus deployment: the node population,
+// the certificate directory, and the CA bound one address past the ring.
+type Network struct {
+	Sim   *simnet.Simulator
+	Net   *simnet.Network
+	Ring  *chord.Ring
+	Nodes []*Node
+	Dir   *Directory
+	Auth  *xcrypto.CA
+	CA    *CA
+}
+
+// BuildNetwork creates n Octopus nodes with consistent initial routing
+// state, CA-issued identities, and all protocol timers running. The CA
+// occupies address n. By default a revocation ejects the node from the
+// network (its certificate is void, so peers stop talking to it), which is
+// modelled by stopping it.
+func BuildNetwork(sim *simnet.Simulator, lat simnet.LatencyModel, n int, cfg Config) (*Network, error) {
+	net := simnet.NewNetwork(sim, lat, n+1)
+	dir := NewDirectory(xcrypto.SimScheme{})
+	auth, err := xcrypto.NewCA(dir.Scheme(), sim.Rand())
+	if err != nil {
+		return nil, err
+	}
+
+	chordCfg := cfg.Chord
+	chordCfg.SignTables = true
+	chordCfg.DisableFingerUpdates = true
+	identFor := NewIdentityFactory(dir, auth, sim.Rand())
+	ring := chord.BuildRing(net, chordCfg, n, identFor)
+
+	caAddr := simnet.Address(n)
+	ca := NewCA(net, caAddr, dir, auth)
+
+	nw := &Network{
+		Sim:   sim,
+		Net:   net,
+		Ring:  ring,
+		Nodes: make([]*Node, n),
+		Dir:   dir,
+		Auth:  auth,
+		CA:    ca,
+	}
+	for i, cn := range ring.Nodes() {
+		node := New(cn, cfg, caAddr, dir)
+		node.StartProtocols()
+		nw.Nodes[i] = node
+	}
+	ca.OnRevoke = func(p chord.Peer, _ ReportKind) { nw.Eject(p) }
+	return nw, nil
+}
+
+// Node returns the Octopus node at an address slot.
+func (nw *Network) Node(addr simnet.Address) *Node {
+	if addr < 0 || int(addr) >= len(nw.Nodes) {
+		return nil
+	}
+	return nw.Nodes[addr]
+}
+
+// Eject removes a revoked node from the network: with a void certificate
+// no peer accepts its messages, so the node is equivalent to dead.
+func (nw *Network) Eject(p chord.Peer) {
+	if node := nw.Node(p.Addr); node != nil && node.Chord.Self.ID == p.ID {
+		node.Stop()
+	}
+}
+
+// AliveMaliciousFraction is a convenience for security experiments: the
+// fraction of the population in `malicious` that is still running.
+func (nw *Network) AliveMaliciousFraction(malicious map[simnet.Address]bool) float64 {
+	if len(nw.Nodes) == 0 {
+		return 0
+	}
+	alive := 0
+	for addr := range malicious {
+		if node := nw.Node(addr); node != nil && node.Chord.Running() {
+			alive++
+		}
+	}
+	return float64(alive) / float64(len(nw.Nodes))
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+)
+
+// RelayPair is a pair of anonymization relays — the last two hops of one
+// random walk (Appendix I, Fig. 1(b)).
+type RelayPair struct {
+	First, Second chord.Peer
+}
+
+// Valid reports whether both relays are set.
+func (p RelayPair) Valid() bool { return p.First.Valid() && p.Second.Valid() }
+
+// NodeStats counts protocol activity for the experiment harness.
+type NodeStats struct {
+	LookupsStarted   uint64
+	LookupsCompleted uint64
+	LookupsFailed    uint64
+	QueriesSent      uint64
+	DummiesSent      uint64
+	WalksStarted     uint64
+	WalksCompleted   uint64
+	WalksFailed      uint64
+	ReportsSent      uint64
+	FallbackPairs    uint64
+	ChecksRun        uint64
+	RelayedForwards  uint64
+	RelayedReplies   uint64
+}
+
+// backRoute is per-relay reverse-path state for one query.
+type backRoute struct {
+	prev  simnet.Address
+	delay time.Duration
+}
+
+// pendingQuery is initiator-side state for one outstanding anonymous query.
+type pendingQuery struct {
+	cb    func(simnet.Message, error)
+	timer *simnet.Timer
+}
+
+// ErrQueryTimeout is reported when an anonymous query's reply never returns.
+var ErrQueryTimeout = errors.New("core: anonymous query timed out")
+
+// ErrExitFailed is reported when the reply came back but the exit relay
+// could not reach the queried node (dead target — the path itself worked).
+var ErrExitFailed = errors.New("core: exit relay could not reach the queried node")
+
+// ErrNoRelays is reported when no relay pair can be assembled.
+var ErrNoRelays = errors.New("core: relay pool empty and no fallback available")
+
+// Node is one Octopus participant.
+type Node struct {
+	cfg    Config
+	Chord  *chord.Node
+	sim    *simnet.Simulator
+	net    *simnet.Network
+	caAddr simnet.Address
+	dir    *Directory
+
+	qidSeq  uint64
+	walkSeq uint64
+	nextFix int
+
+	backRoutes map[uint64]backRoute
+	pending    map[uint64]*pendingQuery
+	receipts   map[uint64]Receipt
+	statements map[uint64][]WitnessResp
+
+	pool        []RelayPair
+	proofQueue  []chord.RoutingTable
+	tableBuffer []chord.RoutingTable
+	// fingerProv records, keyed by the installed finger's identifier,
+	// the signed table that vouched for it during its secured update
+	// (§4.5). When the CA later questions the finger — possibly after
+	// the slot has already healed — this provenance shifts the blame to
+	// the deceiver.
+	fingerProv map[id.ID]chord.RoutingTable
+
+	stats NodeStats
+	stops []func()
+
+	// DropFilter, when set, makes this node a selective-DoS relay: any
+	// RelayForward for which it returns true is silently discarded
+	// (adversary hook, Appendix II).
+	DropFilter func(m RelayForward, from simnet.Address) bool
+	// OnForward observes relay traffic (adversary instrumentation).
+	OnForward func(qid uint64, from, next simnet.Address)
+	// OnExit observes exit queries (adversary instrumentation).
+	OnExit func(qid uint64, from, target simnet.Address)
+	// DisableReceipts turns off the Appendix II receipt protocol (used
+	// by experiments that do not study selective DoS, to isolate costs).
+	DisableReceipts bool
+	// OnNeighborCheck observes each completed neighbor-surveillance
+	// probe: the tested predecessor and whether a provable omission was
+	// found (experiment instrumentation for Table 2's accuracy rates).
+	OnNeighborCheck func(target chord.Peer, detected bool)
+	// OnFingerCheck observes each completed finger consistency probe:
+	// the table owner under test, the claimed finger that was checked,
+	// and whether a closer node was found.
+	OnFingerCheck func(owner, claimed chord.Peer, detected bool, err error)
+}
+
+// New builds an Octopus node over an existing Chord node (whose tables must
+// be signed — SignTables is forced on). caAddr is the CA's network address;
+// dir supplies certificate material for verifying table signatures.
+func New(cn *chord.Node, cfg Config, caAddr simnet.Address, dir *Directory) *Node {
+	cfg.Chord = cn.Cfg
+	cfg.Chord.SignTables = true
+	cn.Cfg.SignTables = true
+	n := &Node{
+		cfg:        cfg,
+		Chord:      cn,
+		sim:        cn.Sim(),
+		net:        cn.Network(),
+		caAddr:     caAddr,
+		dir:        dir,
+		backRoutes: make(map[uint64]backRoute),
+		pending:    make(map[uint64]*pendingQuery),
+		receipts:   make(map[uint64]Receipt),
+		statements: make(map[uint64][]WitnessResp),
+		fingerProv: make(map[id.ID]chord.RoutingTable),
+	}
+	cn.Cfg.DisableFingerUpdates = true
+	cn.Extra = n.handleExtra
+	cn.OnNeighborTable = n.recordProof
+	return n
+}
+
+// Self returns the node's peer identity.
+func (n *Node) Self() chord.Peer { return n.Chord.Self }
+
+// Stats returns a copy of the activity counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// PoolSize reports the number of unused relay pairs.
+func (n *Node) PoolSize() int { return len(n.pool) }
+
+// Start launches the Chord layer plus Octopus's periodic machinery.
+func (n *Node) Start() {
+	n.Chord.Start()
+	n.StartProtocols()
+}
+
+// StartProtocols launches only the Octopus-level timers (relay-selection
+// walks, both surveillance checks, secured finger updates); the Chord layer
+// must already be running. Builders that start the Chord ring first use
+// this entry point.
+func (n *Node) StartProtocols() {
+	n.stops = append(n.stops,
+		n.sim.Every(n.cfg.WalkEvery, n.startWalk),
+		n.sim.Every(n.cfg.SurveilEvery, n.neighborSurveillance),
+		n.sim.Every(n.cfg.SurveilEvery, n.fingerSurveillance),
+		n.sim.Every(n.cfg.Chord.FixFingersEvery, n.secureFingerUpdate),
+	)
+}
+
+// Stop halts all timers and the Chord layer.
+func (n *Node) Stop() {
+	for _, stop := range n.stops {
+		stop()
+	}
+	n.stops = nil
+	n.Chord.Stop()
+}
+
+// recordProof keeps the most recent signed successor lists received during
+// stabilization — the pollution proofs of §4.3 (Fig. 2(b)).
+func (n *Node) recordProof(src chord.Peer, table chord.RoutingTable) {
+	if table.Successors == nil {
+		return // anti-clockwise tables carry predecessors; not proofs
+	}
+	n.proofQueue = append(n.proofQueue, table.Clone())
+	if len(n.proofQueue) > n.cfg.ProofQueue {
+		n.proofQueue = n.proofQueue[len(n.proofQueue)-n.cfg.ProofQueue:]
+	}
+}
+
+// recordFingerProvenance stores a finger's vouching table. Entries are
+// pruned by age, never by count pressure alone — evicting live provenance
+// would leave an honest node unable to prove it was deceived.
+func (n *Node) recordFingerProvenance(finger id.ID, evidence chord.RoutingTable) {
+	const maxAge = 10 * time.Minute
+	if len(n.fingerProv) > 512 {
+		cutoff := n.sim.Now() - maxAge
+		for k, v := range n.fingerProv {
+			if v.Timestamp < cutoff {
+				delete(n.fingerProv, k)
+			}
+		}
+	}
+	n.fingerProv[finger] = evidence.Clone()
+}
+
+// bufferTable stores a received fingertable for later secret finger
+// surveillance (§4.4).
+func (n *Node) bufferTable(t chord.RoutingTable) {
+	if len(t.Fingers) == 0 {
+		return
+	}
+	n.tableBuffer = append(n.tableBuffer, t.Clone())
+	if len(n.tableBuffer) > n.cfg.TableBuffer {
+		n.tableBuffer = n.tableBuffer[len(n.tableBuffer)-n.cfg.TableBuffer:]
+	}
+}
+
+// addPair stocks a freshly selected relay pair. Pairs containing the node
+// itself are useless as anonymization relays (a walk can circle back) and
+// are discarded.
+func (n *Node) addPair(p RelayPair) {
+	if !p.Valid() || p.contains(n.Chord.Self) || p.First.ID == p.Second.ID {
+		return
+	}
+	if len(n.pool) < n.cfg.RelayPoolMax {
+		n.pool = append(n.pool, p)
+	}
+}
+
+// overlaps reports whether two relay pairs (or a pair and the initiator)
+// share a node. Every relay on an anonymous path must be distinct — the
+// per-query reverse-path state lives at each relay, so a node appearing
+// twice on one path would clobber its own bookkeeping.
+func (p RelayPair) overlaps(q RelayPair) bool {
+	return p.First.ID == q.First.ID || p.First.ID == q.Second.ID ||
+		p.Second.ID == q.First.ID || p.Second.ID == q.Second.ID
+}
+
+func (p RelayPair) contains(id0 chord.Peer) bool {
+	return p.First.ID == id0.ID || p.Second.ID == id0.ID
+}
+
+// takePairDisjoint pops a relay pair disjoint from `head` and from the
+// initiator itself. Pool pairs are preferred (rejected ones go back);
+// when the pool runs dry a pair is synthesized from the node's distinct
+// fingers, explicitly excluding the head's members.
+func (n *Node) takePairDisjoint(head RelayPair) (RelayPair, error) {
+	if head.contains(n.Chord.Self) {
+		return RelayPair{}, ErrNoRelays
+	}
+	var rejected []RelayPair
+	defer func() { n.pool = append(n.pool, rejected...) }()
+	for tries := 0; tries < 8 && len(n.pool) > 0; tries++ {
+		p := n.pool[len(n.pool)-1]
+		n.pool = n.pool[:len(n.pool)-1]
+		if !p.overlaps(head) && !p.contains(n.Chord.Self) {
+			return p, nil
+		}
+		rejected = append(rejected, p)
+	}
+	return n.synthPair(head)
+}
+
+// synthPair builds a fallback pair from the node's distinct fingers,
+// excluding the given pair's members. It sacrifices relay independence and
+// is counted in stats (used only when the walk-fed pool runs dry).
+func (n *Node) synthPair(exclude RelayPair) (RelayPair, error) {
+	seen := map[id.ID]bool{
+		n.Chord.Self.ID:  true,
+		exclude.First.ID: true, exclude.Second.ID: true,
+	}
+	var candidates []chord.Peer
+	for _, f := range n.Chord.Fingers() {
+		if f.Valid() && !seen[f.ID] {
+			seen[f.ID] = true
+			candidates = append(candidates, f)
+		}
+	}
+	if len(candidates) < 2 {
+		return RelayPair{}, ErrNoRelays
+	}
+	rng := n.sim.Rand()
+	i := rng.Intn(len(candidates))
+	j := rng.Intn(len(candidates) - 1)
+	if j >= i {
+		j++
+	}
+	n.stats.FallbackPairs++
+	return RelayPair{First: candidates[i], Second: candidates[j]}, nil
+}
+
+// peekPairDisjoint is the non-consuming variant for surveillance probes.
+func (n *Node) peekPairDisjoint(head RelayPair) (RelayPair, error) {
+	for tries := 0; tries < 8; tries++ {
+		p, err := n.peekPair()
+		if err != nil {
+			return RelayPair{}, err
+		}
+		if !p.overlaps(head) && !p.contains(n.Chord.Self) && !head.contains(n.Chord.Self) {
+			return p, nil
+		}
+	}
+	return RelayPair{}, ErrNoRelays
+}
+
+// peekPair picks a random relay pair WITHOUT consuming it. Surveillance
+// probes use it: they need source anonymity but not pairwise unlinkability
+// across queries, so reusing walk-produced pairs is safe and keeps the pool
+// from starving (real lookups still consume single-use pairs via takePair).
+func (n *Node) peekPair() (RelayPair, error) {
+	if len(n.pool) > 0 {
+		return n.pool[n.sim.Rand().Intn(len(n.pool))], nil
+	}
+	return n.takePair() // fallback synthesizes from fingers
+}
+
+// takePair pops a relay pair from the pool; when the pool is dry it falls
+// back to synthesizing one from the node's own fingers.
+func (n *Node) takePair() (RelayPair, error) {
+	if len(n.pool) > 0 {
+		p := n.pool[len(n.pool)-1]
+		n.pool = n.pool[:len(n.pool)-1]
+		return p, nil
+	}
+	return n.synthPair(RelayPair{First: chord.NoPeer, Second: chord.NoPeer})
+}
+
+// handleExtra dispatches Octopus-specific messages arriving at the Chord
+// layer.
+func (n *Node) handleExtra(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+	switch m := req.(type) {
+	case RelayForward:
+		n.handleForward(from, m)
+		return nil, false
+	case RelayReply:
+		n.handleReply(from, m)
+		return nil, false
+	case Receipt:
+		n.receipts[m.QID] = m
+		return nil, false
+	case ProofReq:
+		return n.handleProofReq(m), true
+	case WitnessReq:
+		n.serveWitness(from, m)
+		return nil, false
+	case WitnessResp:
+		n.statements[m.QID] = append(n.statements[m.QID], m)
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// handleForward implements the relay role: issue a receipt, record the
+// reverse path, honor the layer's artificial delay, then forward inward or
+// perform the exit query.
+func (n *Node) handleForward(from simnet.Address, m RelayForward) {
+	if n.DropFilter != nil && n.DropFilter(m, from) {
+		return // selective-DoS adversary
+	}
+	n.stats.RelayedForwards++
+	if !n.DisableReceipts {
+		n.sendReceipt(from, m.QID)
+	}
+	n.backRoutes[m.QID] = backRoute{prev: from, delay: m.Delay}
+	// Reverse-path state for queries whose replies never come back must
+	// not accumulate forever.
+	qid := m.QID
+	n.sim.After(4*n.cfg.QueryTimeout, func() { delete(n.backRoutes, qid) })
+
+	deliver := func() {
+		if m.Exit != nil {
+			if n.OnExit != nil {
+				n.OnExit(m.QID, from, m.Exit.Target)
+			}
+			n.performExit(m.QID, *m.Exit)
+			return
+		}
+		if m.Local != nil {
+			n.handleLocalDelivery(m.QID, m.Local)
+			return
+		}
+		if m.Inner == nil || m.Next == simnet.NoAddress {
+			return
+		}
+		if n.OnForward != nil {
+			n.OnForward(m.QID, from, m.Next)
+		}
+		n.net.Send(n.Chord.Self.Addr, m.Next, *m.Inner)
+		n.watchReceipt(m.QID, m.Next, m.Inner)
+	}
+	if m.Delay > 0 {
+		n.sim.After(time.Duration(n.sim.Rand().Int63n(int64(m.Delay))), deliver)
+		return
+	}
+	deliver()
+}
+
+// performExit executes the innermost layer: query the target node and route
+// the answer backwards.
+func (n *Node) performExit(qid uint64, exit ExitAction) {
+	n.net.Call(n.Chord.Self.Addr, exit.Target, exit.Req, n.cfg.Chord.RPCTimeout,
+		func(resp simnet.Message, err error) {
+			reply := RelayReply{QID: qid, Depth: 1}
+			if err != nil {
+				reply.Failed = true
+			} else {
+				reply.Resp = resp
+			}
+			n.routeReplyBack(qid, reply)
+		})
+}
+
+// handleReply routes an answer one hop back toward the initiator, applying
+// the same artificial delay the forward leg used at this relay.
+func (n *Node) handleReply(from simnet.Address, m RelayReply) {
+	if p, ok := n.pending[m.QID]; ok {
+		delete(n.pending, m.QID)
+		p.timer.Cancel()
+		if m.Failed {
+			p.cb(nil, ErrExitFailed)
+			return
+		}
+		p.cb(m.Resp, nil)
+		return
+	}
+	n.stats.RelayedReplies++
+	m.Depth++
+	n.routeReplyBack(m.QID, m)
+}
+
+func (n *Node) routeReplyBack(qid uint64, m RelayReply) {
+	route, ok := n.backRoutes[qid]
+	if !ok {
+		return
+	}
+	delete(n.backRoutes, qid)
+	send := func() { n.net.Send(n.Chord.Self.Addr, route.prev, m) }
+	if route.delay > 0 {
+		n.sim.After(time.Duration(n.sim.Rand().Int63n(int64(route.delay))), send)
+		return
+	}
+	send()
+}
+
+// handleLocalDelivery processes the innermost layer of a relayed message
+// addressed to this node itself (currently only phase-2 walk seeds). The
+// handler must eventually answer via routeReplyBack with the same QID.
+func (n *Node) handleLocalDelivery(qid uint64, req simnet.Message) {
+	if m, ok := req.(WalkSeedReq); ok {
+		n.runPhaseTwo(qid, m)
+	}
+}
+
+// chainQuery sends req through an arbitrary relay route and returns the
+// query identifier. With a valid target the final relay acts as exit and
+// queries target; with target == chord.NoPeer the final relay consumes req
+// itself (Local delivery). delayAt, when >= 0, selects the route index that
+// must add the random anti-timing delay. cb is invoked exactly once, always
+// asynchronously.
+func (n *Node) chainQuery(route []chord.Peer, target chord.Peer, req simnet.Message,
+	timeout time.Duration, delayAt int, cb func(simnet.Message, error)) uint64 {
+	if len(route) == 0 {
+		// Degenerate direct query (bootstrap only).
+		n.net.Call(n.Chord.Self.Addr, target.Addr, req, timeout, cb)
+		return 0
+	}
+	n.qidSeq++
+	qid := n.qidSeq<<16 | uint64(n.Chord.Self.Addr)&0xffff
+
+	// Build layers inside-out.
+	var inner *RelayForward
+	if target.Valid() {
+		inner = &RelayForward{QID: qid, Exit: &ExitAction{Target: target.Addr, Req: req}, Depth: 1}
+	} else {
+		inner = &RelayForward{QID: qid, Local: req, Depth: 1}
+	}
+	// inner is the layer for route[len-1]; wrap the remaining relays.
+	for i := len(route) - 1; i >= 1; i-- {
+		layer := &RelayForward{QID: qid, Next: route[i].Addr, Inner: inner, Depth: inner.Depth + 1}
+		if i-1 == delayAt {
+			layer.Delay = n.cfg.RelayDelayMax
+		}
+		inner = layer
+	}
+	timer := n.sim.After(timeout, func() {
+		if p, ok := n.pending[qid]; ok {
+			delete(n.pending, qid)
+			p.cb(nil, ErrQueryTimeout)
+		}
+	})
+	n.pending[qid] = &pendingQuery{cb: cb, timer: timer}
+	n.net.Send(n.Chord.Self.Addr, route[0].Addr, *inner)
+	return qid
+}
+
+// anonQuery sends req to target through the 4-relay anonymous path
+// I → A → B → Ci → Di → target (Fig. 1(b)) and invokes cb exactly once.
+// head is the lookup's shared (A, B) pair; pair is this query's (Ci, Di).
+// Relay B (route index 1) adds the anti-timing-analysis delay (§4.7). With
+// DoSDefense on, a silent loss triggers the Appendix II reporting path.
+func (n *Node) anonQuery(head, pair RelayPair, target chord.Peer, req simnet.Message, cb func(simnet.Message, error)) {
+	n.stats.QueriesSent++
+	route := []chord.Peer{head.First, head.Second, pair.First, pair.Second}
+	var qid uint64
+	qid = n.chainQuery(route, target, req, n.cfg.QueryTimeout, 1,
+		func(resp simnet.Message, err error) {
+			// chainQuery completes strictly asynchronously, so qid is
+			// assigned by the time this runs. Only a silent loss
+			// implicates the path; an explicit exit failure means the
+			// relays all did their job (the target was unreachable).
+			if errors.Is(err, ErrQueryTimeout) && n.cfg.DoSDefense {
+				n.reportDroppedQuery(qid, head, pair)
+			}
+			cb(resp, err)
+		})
+}

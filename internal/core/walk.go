@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/simnet"
+)
+
+// Two-phase random walk for anonymization-relay selection (Appendix I).
+//
+// Phase 1 is driven by the initiator: it visits l nodes U1..Ul, requesting
+// each node's signed fingertable through the incrementally built onion path
+// and choosing the next hop uniformly from the bound-checked table.
+//
+// Phase 2 is delegated to Ul, guided by a random seed the initiator sends
+// through the phase-1 path. Ul walks l further hops, choosing each next hop
+// by a seed-derived index into the current (bound-checked) fingertable, and
+// returns every signed table it saw. The initiator re-derives the
+// seed-driven choices to verify Ul walked honestly; the last two hops
+// U_{2l-1}, U_{2l} become the relay pair. Splitting the walk keeps the
+// relay pair unlinkable to the initiator and limits timing analysis.
+
+// Walk errors.
+var (
+	errWalkBadResponse = errors.New("core: walk hop returned an unexpected response")
+	errWalkBadSig      = errors.New("core: walk table signature invalid")
+	errWalkDeadEnd     = errors.New("core: walk table empty after bound checking")
+	errWalkDishonest   = errors.New("core: phase-2 verification failed")
+)
+
+// walkResult reports the outcome of a completed random walk.
+type walkResult struct {
+	pair   RelayPair
+	tables []chord.RoutingTable // every signed table seen (buffered for §4.4)
+}
+
+// startWalk launches one relay-selection walk; it runs every cfg.WalkEvery.
+func (n *Node) startWalk() {
+	n.stats.WalksStarted++
+	n.runWalk(func(res walkResult, err error) {
+		for _, t := range res.tables {
+			n.bufferTable(t)
+		}
+		if err != nil {
+			n.stats.WalksFailed++
+			return
+		}
+		n.stats.WalksCompleted++
+		n.addPair(res.pair)
+	})
+}
+
+// acceptedFingers applies the walk's bound check to a verified table.
+func (n *Node) acceptedFingers(t chord.RoutingTable) []chord.Peer {
+	return boundCheck(t.Owner, t.Fingers, n.cfg.EstimatedSize, n.cfg.BoundFactor)
+}
+
+func (n *Node) runWalk(cb func(walkResult, error)) {
+	rng := n.sim.Rand()
+	fingers := n.Chord.Fingers()
+	if len(fingers) == 0 {
+		cb(walkResult{}, ErrNoRelays)
+		return
+	}
+	var res walkResult
+	visited := []chord.Peer{fingers[rng.Intn(len(fingers))]}
+	l := n.cfg.WalkLength
+
+	var phase1 func(hop int)
+	phase1 = func(hop int) {
+		cur := visited[hop-1]
+		route := clonePeers(visited[:hop-1])
+		n.chainQuery(route, cur, chord.GetTableReq{}, n.cfg.QueryTimeout, -1,
+			func(resp simnet.Message, err error) {
+				if err != nil {
+					cb(res, err)
+					return
+				}
+				r, ok := resp.(chord.GetTableResp)
+				if !ok {
+					cb(res, errWalkBadResponse)
+					return
+				}
+				table := r.Table
+				if n.dir != nil && !n.dir.VerifyTable(table) {
+					cb(res, errWalkBadSig)
+					return
+				}
+				res.tables = append(res.tables, table)
+				if hop == l {
+					n.phaseTwo(visited, cb, &res)
+					return
+				}
+				accepted := n.acceptedFingers(table)
+				if len(accepted) == 0 {
+					cb(res, errWalkDeadEnd)
+					return
+				}
+				visited = append(visited, accepted[rng.Intn(len(accepted))])
+				phase1(hop + 1)
+			})
+	}
+	phase1(1)
+}
+
+// phaseTwo sends the seed to Ul through the phase-1 path and verifies the
+// returned evidence.
+func (n *Node) phaseTwo(visited []chord.Peer, cb func(walkResult, error), res *walkResult) {
+	rng := n.sim.Rand()
+	seed := rng.Int63()
+	l := n.cfg.WalkLength
+	n.walkSeq++
+	req := WalkSeedReq{WalkID: n.walkSeq, Seed: seed, Hops: l}
+	timeout := 2*n.cfg.QueryTimeout + time.Duration(l)*n.cfg.Chord.RPCTimeout
+	// Local delivery to Ul through U1..U_{l-1}.
+	n.chainQuery(clonePeers(visited), chord.NoPeer, req, timeout, -1,
+		func(resp simnet.Message, err error) {
+			if err != nil {
+				cb(*res, err)
+				return
+			}
+			reply, ok := resp.(WalkSeedResp)
+			if !ok || !reply.OK {
+				cb(*res, errWalkBadResponse)
+				return
+			}
+			pair, err := n.verifyPhaseTwo(visited[l-1], seed, reply.Tables, res)
+			if err != nil {
+				cb(*res, err)
+				return
+			}
+			res.pair = pair
+			cb(*res, nil)
+		})
+}
+
+// verifyPhaseTwo re-derives the seed-forced walk from the signed tables and
+// returns the selected relay pair. Any mismatch means Ul (or a hop)
+// tampered with the walk.
+func (n *Node) verifyPhaseTwo(ul chord.Peer, seed int64, tables []chord.RoutingTable, res *walkResult) (RelayPair, error) {
+	l := n.cfg.WalkLength
+	if len(tables) != l {
+		return RelayPair{}, errWalkDishonest
+	}
+	if tables[0].Owner.ID != ul.ID {
+		return RelayPair{}, errWalkDishonest
+	}
+	var hops []chord.Peer // U_{l+1} .. U_{2l}
+	for i := 1; i <= l; i++ {
+		t := tables[i-1]
+		if n.dir != nil && !n.dir.VerifyTable(t) {
+			return RelayPair{}, errWalkBadSig
+		}
+		res.tables = append(res.tables, t)
+		accepted := n.acceptedFingers(t)
+		if len(accepted) == 0 {
+			return RelayPair{}, errWalkDeadEnd
+		}
+		next := accepted[seededIndex(seed, i, len(accepted))]
+		hops = append(hops, next)
+		// Each intermediate table must belong to the node the seed
+		// forced at the previous step.
+		if i < l && tables[i].Owner.ID != next.ID {
+			return RelayPair{}, errWalkDishonest
+		}
+	}
+	return RelayPair{First: hops[l-2], Second: hops[l-1]}, nil
+}
+
+// runPhaseTwo serves the delegated second phase at Ul: walk Hops hops with
+// seed-forced choices, collect signed tables, and answer through the
+// reverse path.
+func (n *Node) runPhaseTwo(qid uint64, m WalkSeedReq) {
+	tables := []chord.RoutingTable{n.Chord.Table(false, false)}
+	fail := func() {
+		n.routeReplyBack(qid, RelayReply{QID: qid, Resp: WalkSeedResp{WalkID: m.WalkID, OK: false}, Depth: 1})
+	}
+	var step func(i int)
+	step = func(i int) {
+		prev := tables[i-1]
+		accepted := n.acceptedFingers(prev)
+		if len(accepted) == 0 {
+			fail()
+			return
+		}
+		next := accepted[seededIndex(m.Seed, i, len(accepted))]
+		if i == m.Hops {
+			// U_{2l} itself is never queried; its identity follows
+			// from the last table plus the seed.
+			n.routeReplyBack(qid, RelayReply{
+				QID:   qid,
+				Resp:  WalkSeedResp{WalkID: m.WalkID, Tables: tables, OK: true},
+				Depth: 1,
+			})
+			return
+		}
+		n.net.Call(n.Chord.Self.Addr, next.Addr, chord.GetTableReq{}, n.cfg.Chord.RPCTimeout,
+			func(resp simnet.Message, err error) {
+				if err != nil {
+					fail()
+					return
+				}
+				r, ok := resp.(chord.GetTableResp)
+				if !ok {
+					fail()
+					return
+				}
+				tables = append(tables, r.Table)
+				step(i + 1)
+			})
+	}
+	step(1)
+}
+
+func clonePeers(ps []chord.Peer) []chord.Peer {
+	out := make([]chord.Peer, len(ps))
+	copy(out, ps)
+	return out
+}
+
+// seededIndex derives the phase-2 hop choice for step i from the walk seed,
+// reproducible by the initiator during verification.
+func seededIndex(seed int64, step, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	r := rand.New(rand.NewSource(seed + int64(step)*0x9e3779b9))
+	return r.Intn(n)
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/adversary"
+	"github.com/octopus-dht/octopus/internal/anonymity"
+)
+
+// AnonymityConfig parameterizes the §6 sweeps (Figures 5 and 6).
+type AnonymityConfig struct {
+	// N is the network size (paper: 100 000).
+	N int
+	// Fractions lists the malicious fractions swept on the x axis.
+	Fractions []float64
+	// Alpha is the concurrent lookup rate.
+	Alpha float64
+	// Dummies is the dummy-query count (Octopus only).
+	Dummies int
+	// Trials and PreSimRuns control the Monte Carlo precision.
+	Trials     int
+	PreSimRuns int
+	Seed       int64
+}
+
+// DefaultAnonymityConfig mirrors §6.
+func DefaultAnonymityConfig() AnonymityConfig {
+	return AnonymityConfig{
+		N:          100_000,
+		Fractions:  []float64{0, 0.04, 0.08, 0.12, 0.16, 0.20},
+		Alpha:      0.01,
+		Dummies:    6,
+		Trials:     300,
+		PreSimRuns: 3000,
+		Seed:       1,
+	}
+}
+
+// AnonymityPoint is one plotted point of Figures 5/6.
+type AnonymityPoint struct {
+	F      float64
+	Result anonymity.Result
+}
+
+// AnonymityCurve is one plotted line.
+type AnonymityCurve struct {
+	Label  string
+	Points []AnonymityPoint
+}
+
+// RunAnonymitySweep computes one scheme's H(I)/H(T) curve across f.
+func RunAnonymitySweep(cfg AnonymityConfig, scheme anonymity.Scheme, dummies int, alpha float64, label string) AnonymityCurve {
+	curve := AnonymityCurve{Label: label}
+	for _, f := range cfg.Fractions {
+		acfg := anonymity.Config{
+			N:          cfg.N,
+			F:          f,
+			Alpha:      alpha,
+			Dummies:    dummies,
+			WalkLength: 3,
+			SuccList:   6,
+			Scheme:     scheme,
+			Trials:     cfg.Trials,
+			PreSimRuns: cfg.PreSimRuns,
+			Seed:       cfg.Seed,
+		}
+		curve.Points = append(curve.Points, AnonymityPoint{F: f, Result: anonymity.New(acfg).Analyze()})
+	}
+	return curve
+}
+
+// RunFig5a sweeps Octopus H(I) across f for the paper's four
+// (dummies, alpha) combinations.
+func RunFig5a(cfg AnonymityConfig) []AnonymityCurve {
+	var out []AnonymityCurve
+	for _, combo := range []struct {
+		dummies int
+		alpha   float64
+		label   string
+	}{
+		{2, 0.01, "#dummies=2, alpha=1.0%"},
+		{2, 0.005, "#dummies=2, alpha=0.5%"},
+		{6, 0.01, "#dummies=6, alpha=1.0%"},
+		{6, 0.005, "#dummies=6, alpha=0.5%"},
+	} {
+		out = append(out, RunAnonymitySweep(cfg, anonymity.SchemeOctopus, combo.dummies, combo.alpha, combo.label))
+	}
+	return out
+}
+
+// RunFig5c is the same sweep for H(T); the same curves carry both metrics,
+// so it simply reuses RunFig5a's output shape.
+func RunFig5c(cfg AnonymityConfig) []AnonymityCurve { return RunFig5a(cfg) }
+
+// RunComparison sweeps all four schemes at α = 1 % (Figures 5(b) and 6).
+func RunComparison(cfg AnonymityConfig) []AnonymityCurve {
+	var out []AnonymityCurve
+	for _, s := range []anonymity.Scheme{
+		anonymity.SchemeOctopus, anonymity.SchemeNISAN,
+		anonymity.SchemeTorsk, anonymity.SchemeChord,
+	} {
+		dummies := 0
+		if s == anonymity.SchemeOctopus {
+			dummies = cfg.Dummies
+		}
+		out = append(out, RunAnonymitySweep(cfg, s, dummies, 0.01, s.String()))
+	}
+	return out
+}
+
+// Table1Row is one cell row of Table 1.
+type Table1Row struct {
+	MaxDelay   time.Duration
+	Alpha      float64
+	ErrorRate  float64
+	InfoLeak   float64
+	Candidates int
+}
+
+// RunTable1 reproduces the end-to-end timing analysis table.
+func RunTable1(n int, samplePairs int, seed int64) []Table1Row {
+	var rows []Table1Row
+	for _, maxDelay := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+		for _, alpha := range []float64{0.005, 0.01, 0.05} {
+			cfg := adversary.TimingConfig{
+				N:                 n,
+				MaliciousFraction: 0.20,
+				ConcurrentRate:    alpha,
+				MaxDelay:          maxDelay,
+				SamplePairs:       samplePairs,
+				Seed:              seed,
+			}
+			res := adversary.SimulateTimingAttack(cfg)
+			rows = append(rows, Table1Row{
+				MaxDelay:   maxDelay,
+				Alpha:      alpha,
+				ErrorRate:  res.ErrorRate,
+				InfoLeak:   res.InfoLeakBits,
+				Candidates: res.Candidates,
+			})
+		}
+	}
+	return rows
+}
+
+// Table2Row is one row of Table 2's accuracy matrix.
+type Table2Row struct {
+	Attack        string
+	ChurnMean     time.Duration
+	FalsePositive float64
+	FalseNegative float64
+	FalseAlarm    float64
+}
+
+// RunTable2 measures the identification accuracy of all three mechanisms
+// under the paper's two churn levels (attack rate 100 %, malicious checked
+// predecessors consistent with probability 50 %).
+func RunTable2(base SecurityConfig) []Table2Row {
+	attacks := []struct {
+		name     string
+		strategy adversary.Strategy
+	}{
+		{"Lookup Bias", adversary.Strategy{AttackRate: 1, BiasLookups: true}},
+		{"Fingertable Manipulation", adversary.Strategy{
+			AttackRate: 1, ManipulateFingers: true, ConsistentPredRate: 0.5}},
+		{"Fingertable Pollution", adversary.Strategy{
+			AttackRate: 1, BiasLookups: true, ManipulateFingers: true, ConsistentPredRate: 0.5}},
+	}
+	var rows []Table2Row
+	for _, atk := range attacks {
+		for _, churn := range []time.Duration{60 * time.Minute, 10 * time.Minute} {
+			cfg := base
+			cfg.Strategy = atk.strategy
+			cfg.ChurnMean = churn
+			res := RunSecurity(cfg)
+			rows = append(rows, Table2Row{
+				Attack:        atk.name,
+				ChurnMean:     churn,
+				FalsePositive: res.FalsePositiveRate,
+				FalseNegative: res.FalseNegativeRate,
+				FalseAlarm:    res.FalseAlarmRate,
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,160 @@
+package halo
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+)
+
+func newRing(seed int64, n int) (*simnet.Simulator, *chord.Ring) {
+	sim := simnet.New(seed)
+	net := simnet.NewNetwork(sim, simnet.ConstantLatency{D: 10 * time.Millisecond}, n)
+	return sim, chord.BuildRing(net, chord.DefaultConfig(), n, nil)
+}
+
+func TestHaloLookupCorrect(t *testing.T) {
+	sim, ring := newRing(1, 150)
+	rng := rand.New(rand.NewSource(2))
+	client := NewClient(ring.Node(0), DefaultConfig())
+	const lookups = 20
+	done := 0
+	for i := 0; i < lookups; i++ {
+		key := id.ID(rng.Uint64())
+		want := ring.Owner(key)
+		client.Lookup(key, func(owner chord.Peer, stats Stats, err error) {
+			done++
+			if err != nil {
+				t.Errorf("halo lookup failed: %v", err)
+				return
+			}
+			if owner != want {
+				t.Errorf("owner = %v, want %v", owner, want)
+			}
+			if stats.Branches < DefaultConfig().Knuckles {
+				t.Errorf("branches = %d, want >= %d", stats.Branches, DefaultConfig().Knuckles)
+			}
+		})
+	}
+	sim.Run(sim.Now() + 10*time.Minute)
+	if done != lookups {
+		t.Fatalf("%d/%d lookups completed", done, lookups)
+	}
+}
+
+func TestHaloRedundancyCost(t *testing.T) {
+	sim, ring := newRing(3, 150)
+	client := NewClient(ring.Node(0), DefaultConfig())
+	plainHops := 0
+	ring.Node(0).Lookup(id.ID(12345), func(_ chord.Peer, ls chord.LookupStats, _ error) {
+		plainHops = ls.Hops
+	})
+	var haloHops int
+	client.Lookup(id.ID(12345), func(_ chord.Peer, stats Stats, _ error) {
+		haloHops = stats.Hops
+	})
+	sim.Run(sim.Now() + 10*time.Minute)
+	// 8×4 redundancy must cost far more traffic than one plain lookup —
+	// this is the Table 3 bandwidth story.
+	if haloHops < 4*plainHops {
+		t.Errorf("halo hops = %d, plain hops = %d; redundancy too cheap", haloHops, plainHops)
+	}
+}
+
+func TestHaloDegreeZeroIsPlainChord(t *testing.T) {
+	sim, ring := newRing(5, 100)
+	client := NewClient(ring.Node(3), Config{Knuckles: 8, InnerKnuckles: 4, Degree: 0})
+	key := id.ID(999999)
+	want := ring.Owner(key)
+	done := false
+	client.Lookup(key, func(owner chord.Peer, stats Stats, err error) {
+		done = true
+		if err != nil || owner != want {
+			t.Errorf("owner = %v (err %v), want %v", owner, err, want)
+		}
+		if stats.Branches != 1 {
+			t.Errorf("branches = %d, want 1", stats.Branches)
+		}
+	})
+	sim.Run(sim.Now() + time.Minute)
+	if !done {
+		t.Fatal("lookup did not complete")
+	}
+}
+
+func TestHaloMajorityOutvotesBiasedBranch(t *testing.T) {
+	sim, ring := newRing(7, 150)
+	peers := make([]chord.Peer, 0)
+	for _, n := range ring.Nodes() {
+		peers = append(peers, n.Self)
+	}
+	// One malicious node biases every FindNext answer toward a colluder.
+	evil := ring.Node(40)
+	colluder := ring.Node(90).Self
+	evil.Intercept = func(_ simnet.Address, req, honest simnet.Message, ok bool) (simnet.Message, bool) {
+		if _, isFind := honest.(chord.FindNextResp); isFind {
+			return chord.FindNextResp{Done: true, Owner: colluder}, true
+		}
+		return honest, ok
+	}
+	client := NewClient(ring.Node(0), DefaultConfig())
+	rng := rand.New(rand.NewSource(11))
+	correct, total := 0, 0
+	for i := 0; i < 15; i++ {
+		key := id.ID(rng.Uint64())
+		want := ring.Owner(key)
+		client.Lookup(key, func(owner chord.Peer, stats Stats, err error) {
+			total++
+			if err == nil && owner == want {
+				correct++
+			}
+		})
+	}
+	sim.Run(sim.Now() + 10*time.Minute)
+	if total == 0 {
+		t.Fatal("no lookups completed")
+	}
+	// With a single evil node, the majority vote should almost always win.
+	if correct < total*4/5 {
+		t.Errorf("only %d/%d halo lookups survived a biased branch", correct, total)
+	}
+}
+
+func TestHaloAllBranchesFailed(t *testing.T) {
+	sim, ring := newRing(9, 50)
+	// Kill everything except the initiator: every branch must fail.
+	for i := 1; i < 50; i++ {
+		ring.Kill(simnet.Address(i))
+	}
+	client := NewClient(ring.Node(0), DefaultConfig())
+	done := false
+	client.Lookup(id.ID(424242), func(owner chord.Peer, _ Stats, err error) {
+		done = true
+		// Either every branch errored, or the initiator's own stale
+		// state answered without network help; both are acceptable
+		// terminal outcomes — what matters is exactly-once completion.
+		if err == nil && !owner.Valid() {
+			t.Error("nil error with invalid owner")
+		}
+	})
+	sim.Run(sim.Now() + 10*time.Minute)
+	if !done {
+		t.Fatal("halo lookup never completed after total node failure")
+	}
+}
+
+func TestHaloLatencyIsMaxOfBranches(t *testing.T) {
+	sim, ring := newRing(13, 150)
+	client := NewClient(ring.Node(0), DefaultConfig())
+	var haloStats Stats
+	client.Lookup(id.ID(777), func(_ chord.Peer, stats Stats, _ error) { haloStats = stats })
+	var plain chord.LookupStats
+	ring.Node(0).Lookup(id.ID(777), func(_ chord.Peer, ls chord.LookupStats, _ error) { plain = ls })
+	sim.Run(sim.Now() + 10*time.Minute)
+	if haloStats.Latency() < plain.Latency() {
+		t.Errorf("halo latency %v below a single chord lookup %v", haloStats.Latency(), plain.Latency())
+	}
+}

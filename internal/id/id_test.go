@@ -1,0 +1,245 @@
+package id
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y ID
+		want uint64
+	}{
+		{"zero", 5, 5, 0},
+		{"forward", 5, 9, 4},
+		{"wraparound", math.MaxUint64 - 1, 3, 5},
+		{"full minus one", 1, 0, math.MaxUint64},
+		{"from zero", 0, 100, 100},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.x.Distance(tt.y); got != tt.want {
+				t.Errorf("Distance(%v, %v) = %d, want %d", tt.x, tt.y, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCounterDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y ID
+		want uint64
+	}{
+		{"zero", 7, 7, 0},
+		{"backward", 9, 5, 4},
+		{"wraparound", 3, math.MaxUint64 - 1, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.x.CounterDistance(tt.y); got != tt.want {
+				t.Errorf("CounterDistance(%v, %v) = %d, want %d", tt.x, tt.y, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	if got := ID(10).Add(5); got != 15 {
+		t.Errorf("Add = %v, want 15", got)
+	}
+	if got := ID(math.MaxUint64).Add(1); got != 0 {
+		t.Errorf("Add wrap = %v, want 0", got)
+	}
+	if got := ID(0).Sub(1); got != ID(math.MaxUint64) {
+		t.Errorf("Sub wrap = %v, want MaxUint64", got)
+	}
+}
+
+func TestFingerTarget(t *testing.T) {
+	base := ID(100)
+	if got := base.FingerTarget(0); got != 101 {
+		t.Errorf("FingerTarget(0) = %v, want 101", got)
+	}
+	if got := base.FingerTarget(10); got != 100+1024 {
+		t.Errorf("FingerTarget(10) = %v, want %v", got, 100+1024)
+	}
+	if got := base.FingerTarget(63); got != base.Add(1<<63) {
+		t.Errorf("FingerTarget(63) = %v", got)
+	}
+	// Out-of-range indices degrade to the base itself.
+	if got := base.FingerTarget(-1); got != base {
+		t.Errorf("FingerTarget(-1) = %v, want base", got)
+	}
+	if got := base.FingerTarget(64); got != base {
+		t.Errorf("FingerTarget(64) = %v, want base", got)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	tests := []struct {
+		name    string
+		x, a, b ID
+		want    bool
+	}{
+		{"simple inside", 5, 1, 10, true},
+		{"equal upper included", 10, 1, 10, true},
+		{"equal lower excluded", 1, 1, 10, false},
+		{"outside", 11, 1, 10, false},
+		{"wrap inside high", math.MaxUint64, 100, 10, true},
+		{"wrap inside low", 5, 100, 10, true},
+		{"wrap outside", 50, 100, 10, false},
+		{"degenerate a==b excludes a", 7, 7, 7, false},
+		{"degenerate a==b includes other", 8, 7, 7, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Between(tt.x, tt.a, tt.b); got != tt.want {
+				t.Errorf("Between(%v, %v, %v) = %v, want %v", tt.x, tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStrictBetween(t *testing.T) {
+	if StrictBetween(10, 1, 10) {
+		t.Error("upper bound must be excluded")
+	}
+	if StrictBetween(1, 1, 10) {
+		t.Error("lower bound must be excluded")
+	}
+	if !StrictBetween(5, 1, 10) {
+		t.Error("interior point must be included")
+	}
+	if !StrictBetween(0, math.MaxUint64-2, 3) {
+		t.Error("wrapped interior point must be included")
+	}
+}
+
+func TestClosestPreceding(t *testing.T) {
+	base := ID(0)
+	key := ID(100)
+	got, ok := ClosestPreceding(base, key, []ID{10, 50, 99, 100, 150})
+	if !ok || got != 99 {
+		t.Errorf("ClosestPreceding = %v,%v, want 99,true", got, ok)
+	}
+	// Key itself and nodes at/after the key never qualify.
+	_, ok = ClosestPreceding(base, key, []ID{100, 150, 0})
+	if ok {
+		t.Error("no candidate should qualify")
+	}
+	// Wrapped interval.
+	got, ok = ClosestPreceding(ID(math.MaxUint64-10), ID(10), []ID{math.MaxUint64 - 5, 3, 12})
+	if !ok || got != 3 {
+		t.Errorf("wrapped ClosestPreceding = %v,%v, want 3,true", got, ok)
+	}
+}
+
+func TestFromBytesDeterministic(t *testing.T) {
+	a := FromString("hello")
+	b := FromString("hello")
+	c := FromString("world")
+	if a != b {
+		t.Error("FromString must be deterministic")
+	}
+	if a == c {
+		t.Error("distinct keys should hash to distinct IDs")
+	}
+}
+
+func TestStringFixedWidth(t *testing.T) {
+	if got := ID(0).String(); got != "0000000000000000" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := ID(math.MaxUint64).String(); got != "ffffffffffffffff" {
+		t.Errorf("String() = %q", got)
+	}
+	if len(ID(0xabc).String()) != 16 {
+		t.Error("String must be fixed width")
+	}
+}
+
+// Property: distance is anti-symmetric around the full ring.
+func TestPropDistanceRoundTrip(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := ID(x), ID(y)
+		if a == b {
+			return a.Distance(b) == 0 && a.CounterDistance(b) == 0
+		}
+		return a.Distance(b)+b.Distance(a) == 0 // wraps to 2^64 ≡ 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add and Sub invert one another.
+func TestPropAddSubInverse(t *testing.T) {
+	f := func(x, d uint64) bool {
+		return ID(x).Add(d).Sub(d) == ID(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Between(x,a,b) partitions the ring: for a != b, exactly one of
+// Between(x,a,b) or Between(x,b,a) holds for any x not equal to a or b.
+func TestPropBetweenPartition(t *testing.T) {
+	f := func(x, a, b uint64) bool {
+		xi, ai, bi := ID(x), ID(a), ID(b)
+		if ai == bi || xi == ai || xi == bi {
+			return true // boundary cases exercised in unit tests
+		}
+		return Between(xi, ai, bi) != Between(xi, bi, ai)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ClosestPreceding always returns a candidate strictly inside
+// (base, key) and at maximal clockwise distance from base.
+func TestPropClosestPrecedingMaximal(t *testing.T) {
+	f := func(base, key uint64, raw []uint64) bool {
+		b, k := ID(base), ID(key)
+		cands := make([]ID, len(raw))
+		for i, r := range raw {
+			cands[i] = ID(r)
+		}
+		got, ok := ClosestPreceding(b, k, cands)
+		if !ok {
+			for _, c := range cands {
+				if StrictBetween(c, b, k) {
+					return false // missed a valid candidate
+				}
+			}
+			return true
+		}
+		if !StrictBetween(got, b, k) {
+			return false
+		}
+		for _, c := range cands {
+			if StrictBetween(c, b, k) && b.Distance(c) > b.Distance(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkClosestPreceding(b *testing.B) {
+	cands := make([]ID, 20)
+	for i := range cands {
+		cands[i] = ID(0).FingerTarget(i + 40)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ClosestPreceding(0, ID(1)<<62, cands)
+	}
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.Median(); got != 3 {
+		t.Errorf("Median = %v", got)
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Median() != 0 || s.CDF(10) != nil {
+		t.Error("empty sample must be all zeros")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Millisecond)
+	if got := s.Mean(); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 1.5", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	if cdf[len(cdf)-1].Fraction != 1 {
+		t.Errorf("last fraction = %v, want 1", cdf[len(cdf)-1].Fraction)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestSeriesFormat(t *testing.T) {
+	var s Series
+	s.Add(10*time.Second, 0.5)
+	s.Add(20*time.Second, 0.25)
+	out := s.Format("metric")
+	if !strings.Contains(out, "metric") || !strings.Contains(out, "0.2500") {
+		t.Errorf("format output: %q", out)
+	}
+	if len(s.Points) != 2 {
+		t.Errorf("points = %d", len(s.Points))
+	}
+}

@@ -1,0 +1,226 @@
+// Package nisan implements NISAN (Panchenko, Richter & Rache, CCS 2009), the
+// first scheme to attempt both security and anonymity in a DHT lookup and
+// one of the paper's two anonymity baselines (§2, §6).
+//
+// NISAN's lookup is iterative over Chord, with two changes:
+//
+//   - every queried node returns its ENTIRE fingertable instead of a
+//     next hop, so the lookup key is never revealed to intermediates
+//     (the defense Octopus also adopts, §4.1);
+//   - the initiator applies bound checking to returned fingertables to
+//     limit manipulation, and greedily merges tables from multiple nodes.
+//
+// NISAN does not hide the initiator (intermediates are contacted directly),
+// and Wang et al.'s range-estimation attack recovers most of the target's
+// identity from query positions — both reproduced in internal/anonymity.
+package nisan
+
+import (
+	"errors"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+)
+
+// Config tunes the NISAN client.
+type Config struct {
+	// EstimatedNetworkSize feeds the bound checker: the expected gap
+	// between consecutive nodes is 2^64 / EstimatedNetworkSize.
+	EstimatedNetworkSize int
+	// BoundFactor scales the acceptance window: a returned finger may
+	// trail its ideal position by at most BoundFactor expected gaps.
+	BoundFactor float64
+	// MaxQueries aborts lookups that stop converging.
+	MaxQueries int
+}
+
+// DefaultConfig sizes the bound checker for a given network size.
+func DefaultConfig(n int) Config {
+	return Config{EstimatedNetworkSize: n, BoundFactor: 8, MaxQueries: 64}
+}
+
+// Stats describes one NISAN lookup.
+type Stats struct {
+	// Queries is the number of nodes whose fingertables were fetched.
+	Queries int
+	// Queried lists them in order.
+	Queried []chord.Peer
+	// BoundViolations counts finger entries rejected by bound checking.
+	BoundViolations int
+	// Started and Finished are virtual timestamps.
+	Started, Finished time.Duration
+}
+
+// Latency returns the virtual duration of the lookup.
+func (s Stats) Latency() time.Duration { return s.Finished - s.Started }
+
+// Errors reported by NISAN lookups.
+var (
+	ErrExhausted = errors.New("nisan: lookup exhausted its query budget")
+	ErrNoRoute   = errors.New("nisan: no candidate nodes to query")
+)
+
+// Client drives NISAN lookups from one node.
+type Client struct {
+	cfg  Config
+	node *chord.Node
+}
+
+// NewClient wraps a Chord node with the NISAN lookup.
+func NewClient(node *chord.Node, cfg Config) *Client {
+	return &Client{cfg: cfg, node: node}
+}
+
+// expectedGap returns the expected inter-node distance on the ring.
+func (c *Client) expectedGap() uint64 {
+	n := c.cfg.EstimatedNetworkSize
+	if n < 2 {
+		n = 2
+	}
+	return ^uint64(0) / uint64(n)
+}
+
+// checkTable bound-checks a fingertable against its owner's ideal finger
+// positions (§2: "the lookup initiator can apply bound checking on it to
+// limit manipulation of fingertables"). A finger entry is accepted when it
+// does not trail its closest ideal position by more than BoundFactor
+// expected gaps; violating entries are dropped and counted.
+func (c *Client) checkTable(owner chord.Peer, fingers []chord.Peer, stats *Stats) []chord.Peer {
+	bound := uint64(float64(c.expectedGap()) * c.cfg.BoundFactor)
+	accepted := make([]chord.Peer, 0, len(fingers))
+	for _, f := range fingers {
+		if !f.Valid() || f.ID == owner.ID {
+			continue
+		}
+		// Find the tightest ideal position at or before the finger:
+		// the largest owner+2^i that does not pass it.
+		ok := false
+		for i := 0; i < id.Bits; i++ {
+			ideal := owner.ID.FingerTarget(i)
+			d := ideal.Distance(f.ID)
+			if d <= bound {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			accepted = append(accepted, f)
+		} else {
+			stats.BoundViolations++
+		}
+	}
+	return accepted
+}
+
+// Lookup resolves the owner of key and invokes cb exactly once. The queried
+// nodes never see the key.
+func (c *Client) Lookup(key id.ID, cb func(chord.Peer, Stats, error)) {
+	stats := Stats{Started: c.node.Sim().Now()}
+	finish := func(owner chord.Peer, err error) {
+		stats.Finished = c.node.Sim().Now()
+		cb(owner, stats, err)
+	}
+
+	// known accumulates every accepted routing entry; queried prevents
+	// re-fetching.
+	known := make(map[id.ID]chord.Peer)
+	queried := make(map[id.ID]bool)
+	self := c.node.Self
+	for _, p := range c.node.Fingers() {
+		if p.Valid() {
+			known[p.ID] = p
+		}
+	}
+	for _, p := range c.node.Successors() {
+		known[p.ID] = p
+	}
+
+	// closestQueried tracks the queried node most tightly preceding the
+	// key; the lookup converges by only ever querying nodes strictly
+	// inside (closestQueried, key).
+	closestQueried := self
+	// bestUnqueried returns the known node most tightly preceding key
+	// that has not been queried yet AND improves on closestQueried.
+	bestUnqueried := func() (chord.Peer, bool) {
+		best, found := chord.NoPeer, false
+		var bestDist uint64
+		for _, p := range known {
+			if queried[p.ID] || !id.StrictBetween(p.ID, closestQueried.ID, key) {
+				continue
+			}
+			d := self.ID.Distance(p.ID)
+			if !found || d > bestDist {
+				best, bestDist, found = p, d, true
+			}
+		}
+		return best, found
+	}
+	// ownerCandidate returns the known node most tightly succeeding key.
+	ownerCandidate := func() (chord.Peer, bool) {
+		best, found := chord.NoPeer, false
+		var bestDist uint64
+		for _, p := range known {
+			d := key.Distance(p.ID) // 0 when p.ID == key
+			if !found || d < bestDist {
+				best, bestDist, found = p, d, true
+			}
+		}
+		return best, found
+	}
+
+	var step func()
+	step = func() {
+		if stats.Queries >= c.cfg.MaxQueries {
+			finish(chord.NoPeer, ErrExhausted)
+			return
+		}
+		next, ok := bestUnqueried()
+		if !ok {
+			// No unqueried node precedes the key: the closest known
+			// successor of the key is its owner. This is where
+			// NISAN's full-table fetches pay off — the final
+			// predecessor's table contains the owner.
+			if owner, ok := ownerCandidate(); ok {
+				finish(owner, nil)
+				return
+			}
+			finish(chord.NoPeer, ErrNoRoute)
+			return
+		}
+		queried[next.ID] = true
+		stats.Queries++
+		stats.Queried = append(stats.Queried, next)
+		// NISAN fetches the whole fingertable; the Chord successor is
+		// conceptually finger[0], so successors ride along.
+		c.node.Network().Call(self.Addr, next.Addr,
+			chord.GetTableReq{IncludeSuccessors: true},
+			c.node.Cfg.RPCTimeout, func(resp simnet.Message, err error) {
+				if err == nil {
+					if r, ok := resp.(chord.GetTableResp); ok && r.Table.Owner.ID == next.ID {
+						// Convergence: only answering nodes narrow
+						// the remaining search interval, so dead or
+						// silent nodes are simply routed around.
+						if id.StrictBetween(next.ID, closestQueried.ID, key) {
+							closestQueried = next
+						}
+						entries := append(clone(r.Table.Fingers), r.Table.Successors...)
+						for _, p := range c.checkTable(next, entries, &stats) {
+							if _, seen := known[p.ID]; !seen {
+								known[p.ID] = p
+							}
+						}
+					}
+				}
+				step()
+			})
+	}
+	step()
+}
+
+func clone(ps []chord.Peer) []chord.Peer {
+	out := make([]chord.Peer, len(ps))
+	copy(out, ps)
+	return out
+}

@@ -1,0 +1,177 @@
+package nisan
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+)
+
+func newRing(seed int64, n int) (*simnet.Simulator, *chord.Ring) {
+	sim := simnet.New(seed)
+	net := simnet.NewNetwork(sim, simnet.ConstantLatency{D: 10 * time.Millisecond}, n)
+	return sim, chord.BuildRing(net, chord.DefaultConfig(), n, nil)
+}
+
+func TestNisanLookupCorrect(t *testing.T) {
+	const n = 200
+	sim, ring := newRing(1, n)
+	rng := rand.New(rand.NewSource(2))
+	client := NewClient(ring.Node(0), DefaultConfig(n))
+	const lookups = 50
+	done := 0
+	for i := 0; i < lookups; i++ {
+		key := id.ID(rng.Uint64())
+		want := ring.Owner(key)
+		client.Lookup(key, func(owner chord.Peer, stats Stats, err error) {
+			done++
+			if err != nil {
+				t.Errorf("nisan lookup failed: %v", err)
+				return
+			}
+			if owner != want {
+				t.Errorf("owner = %v, want %v", owner, want)
+			}
+		})
+	}
+	sim.Run(sim.Now() + 10*time.Minute)
+	if done != lookups {
+		t.Fatalf("%d/%d lookups completed", done, lookups)
+	}
+}
+
+func TestNisanNeverRevealsKey(t *testing.T) {
+	// The key must never appear on the wire: queried nodes only ever see
+	// GetTableReq. We check by intercepting every request type reaching a
+	// node on the path.
+	const n = 100
+	sim, ring := newRing(3, n)
+	for _, node := range ring.Nodes() {
+		node := node
+		orig := node.Extra
+		node.Extra = orig
+		node.Intercept = func(_ simnet.Address, req, honest simnet.Message, ok bool) (simnet.Message, bool) {
+			if _, bad := req.(chord.FindNextReq); bad {
+				t.Error("NISAN lookup sent a FindNextReq exposing the key")
+			}
+			return honest, ok
+		}
+	}
+	client := NewClient(ring.Node(0), DefaultConfig(n))
+	done := false
+	client.Lookup(id.ID(987654321), func(_ chord.Peer, _ Stats, err error) {
+		done = true
+		if err != nil {
+			t.Errorf("lookup failed: %v", err)
+		}
+	})
+	sim.Run(sim.Now() + time.Minute)
+	if !done {
+		t.Fatal("lookup did not complete")
+	}
+	// Note: stabilization uses StabilizeReq, also key-free; only
+	// FindNextReq would leak.
+}
+
+func TestNisanBoundCheckingRejectsWildFingers(t *testing.T) {
+	const n = 150
+	sim, ring := newRing(5, n)
+	// A malicious node returns a fingertable whose entries sit far past
+	// any plausible ideal position (pointing at colluders).
+	evil := ring.Node(60)
+	colluder := ring.Node(10).Self
+	evil.Intercept = func(_ simnet.Address, req, honest simnet.Message, ok bool) (simnet.Message, bool) {
+		if r, isTable := honest.(chord.GetTableResp); isTable {
+			manipulated := r.Table.Clone()
+			for i := range manipulated.Fingers {
+				// Push each finger halfway around the ring from its
+				// honest position — maximally far from any ideal.
+				manipulated.Fingers[i] = chord.Peer{
+					ID:   manipulated.Fingers[i].ID.Add(1 << 63).Add(uint64(i)),
+					Addr: colluder.Addr,
+				}
+			}
+			return chord.GetTableResp{Table: manipulated}, true
+		}
+		return honest, ok
+	}
+	client := NewClient(ring.Node(0), DefaultConfig(n))
+	sawViolations := false
+	for i := 0; i < 20; i++ {
+		key := id.ID(rand.New(rand.NewSource(int64(i))).Uint64())
+		client.Lookup(key, func(_ chord.Peer, stats Stats, _ error) {
+			if stats.BoundViolations > 0 {
+				sawViolations = true
+			}
+		})
+	}
+	sim.Run(sim.Now() + 10*time.Minute)
+	if !sawViolations {
+		t.Error("bound checking never fired against wildly manipulated fingertables")
+	}
+}
+
+func TestNisanQueryBudget(t *testing.T) {
+	const n = 100
+	sim, ring := newRing(7, n)
+	cfg := DefaultConfig(n)
+	cfg.MaxQueries = 1
+	client := NewClient(ring.Node(0), cfg)
+	done := false
+	// With a one-query budget most keys cannot be resolved fully; the
+	// lookup must terminate regardless (either budget error or a lucky
+	// local answer).
+	client.Lookup(id.ID(1), func(_ chord.Peer, stats Stats, err error) {
+		done = true
+		if stats.Queries > 1 {
+			t.Errorf("queries = %d, budget was 1", stats.Queries)
+		}
+	})
+	sim.Run(sim.Now() + time.Minute)
+	if !done {
+		t.Fatal("lookup did not terminate under a tiny budget")
+	}
+}
+
+func TestNisanStatsQueriedOrder(t *testing.T) {
+	const n = 150
+	sim, ring := newRing(9, n)
+	client := NewClient(ring.Node(0), DefaultConfig(n))
+	done := false
+	client.Lookup(id.ID(1<<60), func(_ chord.Peer, stats Stats, err error) {
+		done = true
+		if err != nil {
+			t.Fatalf("lookup failed: %v", err)
+		}
+		if len(stats.Queried) != stats.Queries {
+			t.Errorf("queried list length %d != query count %d", len(stats.Queried), stats.Queries)
+		}
+		seen := map[id.ID]bool{}
+		for _, p := range stats.Queried {
+			if seen[p.ID] {
+				t.Errorf("node %v queried twice", p)
+			}
+			seen[p.ID] = true
+		}
+	})
+	sim.Run(sim.Now() + time.Minute)
+	if !done {
+		t.Fatal("lookup did not complete")
+	}
+}
+
+func TestExpectedGap(t *testing.T) {
+	c := NewClient(nil, Config{EstimatedNetworkSize: 4})
+	want := ^uint64(0) / 4
+	if got := c.expectedGap(); got != want {
+		t.Errorf("expectedGap = %d, want %d", got, want)
+	}
+	// Degenerate sizes clamp to 2.
+	c = NewClient(nil, Config{EstimatedNetworkSize: 0})
+	if got := c.expectedGap(); got != ^uint64(0)/2 {
+		t.Errorf("expectedGap(0) = %d", got)
+	}
+}

@@ -1,0 +1,66 @@
+package simnet
+
+import (
+	"time"
+)
+
+// Churner implements the paper's churn model (§5.1): each node's lifetime is
+// exponentially distributed with mean Mean, and a dead node is immediately
+// replaced by a fresh join on the same address slot so the population size
+// stays constant.
+type Churner struct {
+	sim  *Simulator
+	mean time.Duration
+
+	// OnDeath is invoked when a tracked node's lifetime expires, before the
+	// replacement joins. It must tear the node down (unbind, clear state).
+	OnDeath func(addr Address)
+	// OnRejoin is invoked RejoinDelay after a death to bring a replacement
+	// node up on the same address slot.
+	OnRejoin func(addr Address)
+	// RejoinDelay separates a death from its replacement join.
+	RejoinDelay time.Duration
+
+	deaths   uint64
+	disabled bool
+}
+
+// NewChurner creates a churner with the given mean lifetime. A zero or
+// negative mean disables churn entirely (the paper's static-network
+// anonymity analysis uses this mode).
+func NewChurner(sim *Simulator, mean time.Duration) *Churner {
+	return &Churner{sim: sim, mean: mean, disabled: mean <= 0}
+}
+
+// Deaths reports how many node deaths have occurred.
+func (c *Churner) Deaths() uint64 { return c.deaths }
+
+// Lifetime draws one exponential lifetime from the simulator's RNG.
+func (c *Churner) Lifetime() time.Duration {
+	if c.disabled {
+		return 0
+	}
+	return time.Duration(c.sim.Rand().ExpFloat64() * float64(c.mean))
+}
+
+// Track schedules the churn cycle for addr: after an exponential lifetime the
+// node dies, a replacement joins, and the cycle repeats for the replacement.
+func (c *Churner) Track(addr Address) {
+	if c.disabled {
+		return
+	}
+	c.sim.After(c.Lifetime(), func() { c.kill(addr) })
+}
+
+func (c *Churner) kill(addr Address) {
+	c.deaths++
+	if c.OnDeath != nil {
+		c.OnDeath(addr)
+	}
+	c.sim.After(c.RejoinDelay, func() {
+		if c.OnRejoin != nil {
+			c.OnRejoin(addr)
+		}
+		c.Track(addr)
+	})
+}

@@ -1,0 +1,202 @@
+package simnet
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Address identifies a simulated host. Addresses are stable for the lifetime
+// of a simulation even across node churn (a replacement node reuses the
+// address slot of the node it replaces, mirroring an IP being reassigned).
+type Address int
+
+// NoAddress is the zero-value sentinel for "no host".
+const NoAddress Address = -1
+
+// Message is any payload carried by the network. Size is used for bandwidth
+// accounting and must return the serialized wire size in bytes.
+type Message interface {
+	Size() int
+}
+
+// LatencyModel supplies one-way transmission delays between hosts.
+type LatencyModel interface {
+	// Base returns the deterministic one-way latency between two hosts.
+	Base(a, b Address) time.Duration
+	// Sample returns the latency for a single transmission: the base
+	// latency plus random jitter.
+	Sample(a, b Address, rng *rand.Rand) time.Duration
+}
+
+// ConstantLatency is a trivial LatencyModel for tests: every transmission
+// takes exactly D.
+type ConstantLatency struct{ D time.Duration }
+
+var _ LatencyModel = ConstantLatency{}
+
+// Base implements LatencyModel.
+func (c ConstantLatency) Base(_, _ Address) time.Duration { return c.D }
+
+// Sample implements LatencyModel.
+func (c ConstantLatency) Sample(_, _ Address, _ *rand.Rand) time.Duration { return c.D }
+
+// Handler processes an incoming request and returns a response. Returning
+// ok == false means the request is silently dropped (used by selective-DoS
+// adversaries and by dead nodes).
+type Handler func(from Address, req Message) (resp Message, ok bool)
+
+// ErrTimeout is reported to RPC callbacks when no response arrives in time.
+var ErrTimeout = errors.New("simnet: rpc timeout")
+
+// ErrUnreachable is reported when the destination address has never been
+// bound to a host.
+var ErrUnreachable = errors.New("simnet: unreachable address")
+
+// TrafficStats accumulates per-host bandwidth counters.
+type TrafficStats struct {
+	BytesSent     uint64
+	BytesReceived uint64
+	MsgsSent      uint64
+	MsgsReceived  uint64
+}
+
+type host struct {
+	handler Handler
+	alive   bool
+	stats   TrafficStats
+}
+
+// Network delivers messages between hosts with model-driven latencies and
+// accounts traffic per host.
+type Network struct {
+	sim     *Simulator
+	lat     LatencyModel
+	hosts   []host
+	dropped uint64
+}
+
+// NewNetwork creates a network of n address slots over the simulator.
+func NewNetwork(sim *Simulator, lat LatencyModel, n int) *Network {
+	return &Network{sim: sim, lat: lat, hosts: make([]host, n)}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *Simulator { return n.sim }
+
+// Latency returns the network's latency model.
+func (n *Network) Latency() LatencyModel { return n.lat }
+
+// Size returns the number of address slots.
+func (n *Network) Size() int { return len(n.hosts) }
+
+// Bind installs the handler for addr and marks it alive.
+func (n *Network) Bind(addr Address, h Handler) {
+	if !n.valid(addr) {
+		return
+	}
+	n.hosts[addr].handler = h
+	n.hosts[addr].alive = true
+}
+
+// SetAlive toggles whether addr accepts traffic. Dead hosts drop every
+// request, which surfaces to callers as RPC timeouts.
+func (n *Network) SetAlive(addr Address, alive bool) {
+	if !n.valid(addr) {
+		return
+	}
+	n.hosts[addr].alive = alive
+}
+
+// Alive reports whether addr currently accepts traffic.
+func (n *Network) Alive(addr Address) bool {
+	return n.valid(addr) && n.hosts[addr].alive && n.hosts[addr].handler != nil
+}
+
+// Stats returns a copy of the traffic counters for addr.
+func (n *Network) Stats(addr Address) TrafficStats {
+	if !n.valid(addr) {
+		return TrafficStats{}
+	}
+	return n.hosts[addr].stats
+}
+
+// Dropped reports how many requests were dropped by dead hosts or handlers.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+func (n *Network) valid(addr Address) bool {
+	return addr >= 0 && int(addr) < len(n.hosts)
+}
+
+func (n *Network) account(from, to Address, m Message) {
+	sz := uint64(m.Size())
+	if n.valid(from) {
+		n.hosts[from].stats.BytesSent += sz
+		n.hosts[from].stats.MsgsSent++
+	}
+	if n.valid(to) {
+		n.hosts[to].stats.BytesReceived += sz
+		n.hosts[to].stats.MsgsReceived++
+	}
+}
+
+// Send delivers a one-way message. The destination's handler runs after the
+// sampled latency; its response, if any, is discarded.
+func (n *Network) Send(from, to Address, msg Message) {
+	if !n.valid(to) {
+		return
+	}
+	delay := n.lat.Sample(from, to, n.sim.Rand())
+	n.sim.After(delay, func() {
+		h := n.hosts[to]
+		if !h.alive || h.handler == nil {
+			n.dropped++
+			return
+		}
+		n.account(from, to, msg)
+		h.handler(from, msg)
+	})
+}
+
+// Call performs a request/response RPC. Exactly one of the callback's
+// invocations happens: with the response, or with ErrTimeout /
+// ErrUnreachable. The callback runs at the virtual time the response (or
+// timeout) occurs.
+func (n *Network) Call(from, to Address, req Message, timeout time.Duration, cb func(Message, error)) {
+	if !n.valid(to) {
+		n.sim.After(0, func() { cb(nil, ErrUnreachable) })
+		return
+	}
+	done := false
+	timer := n.sim.After(timeout, func() {
+		if done {
+			return
+		}
+		done = true
+		cb(nil, ErrTimeout)
+	})
+	delay := n.lat.Sample(from, to, n.sim.Rand())
+	n.sim.After(delay, func() {
+		h := n.hosts[to]
+		if !h.alive || h.handler == nil {
+			n.dropped++
+			return // caller will observe the timeout
+		}
+		n.account(from, to, req)
+		resp, ok := h.handler(from, req)
+		if !ok {
+			n.dropped++
+			return
+		}
+		back := n.lat.Sample(to, from, n.sim.Rand())
+		n.sim.After(back, func() {
+			if done {
+				return // timeout already fired
+			}
+			done = true
+			timer.Cancel()
+			n.account(to, from, resp)
+			cb(resp, nil)
+		})
+	})
+}

@@ -1,0 +1,185 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// It reproduces the role of the paper's 3.0 KLOC C++ event-based simulator
+// (§5.1): a virtual clock, an event heap, seeded randomness, message delivery
+// with per-pair WAN latencies, RPC timeouts, and node churn. Every run with
+// the same seed and parameters is bit-for-bit reproducible.
+//
+// The simulator itself is single-goroutine by design: protocol handlers run
+// inline when their events fire, so no synchronization is needed inside the
+// protocols under test.
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	t.cancelled = true
+}
+
+// eventHeap orders timers by (time, sequence) so simultaneous events fire in
+// scheduling order, which keeps runs deterministic.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t, ok := x.(*Timer)
+	if !ok {
+		return
+	}
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Simulator owns the virtual clock and the event queue.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	rng    *rand.Rand
+	seq    uint64
+	fired  uint64
+}
+
+// New returns a simulator whose randomness derives entirely from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's random source. All protocol randomness must
+// come from here to keep runs reproducible.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Fired reports how many events have executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet reaped).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// After schedules fn to run delay after the current virtual time and returns
+// a cancellable handle. Negative delays are clamped to zero.
+func (s *Simulator) After(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	t := &Timer{at: s.now + delay, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, t)
+	return t
+}
+
+// Every schedules fn to run repeatedly with the given period, starting one
+// period from now. The returned stop function cancels future firings.
+func (s *Simulator) Every(period time.Duration, fn func()) (stop func()) {
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		s.After(period, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}
+
+// Step executes the next pending event, advancing the clock to its firing
+// time. It returns false when the queue is empty.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		t, ok := heap.Pop(&s.events).(*Timer)
+		if !ok {
+			return false
+		}
+		if t.cancelled {
+			continue
+		}
+		s.now = t.at
+		s.fired++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the clock would pass
+// `until`, and returns the number of events executed. Events scheduled at
+// exactly `until` still fire.
+func (s *Simulator) Run(until time.Duration) uint64 {
+	start := s.fired
+	for len(s.events) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > until {
+			break
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.fired - start
+}
+
+// RunAll drains the entire event queue.
+func (s *Simulator) RunAll() uint64 {
+	start := s.fired
+	for s.Step() {
+	}
+	return s.fired - start
+}
+
+func (s *Simulator) peek() *Timer {
+	for len(s.events) > 0 {
+		t := s.events[0]
+		if !t.cancelled {
+			return t
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}

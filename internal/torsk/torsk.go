@@ -1,0 +1,217 @@
+// Package torsk implements the proxy-based anonymous DHT lookup at the core
+// of Torsk (McLachlan, Tran, Hopper & Kim, CCS 2009), the paper's second
+// anonymity baseline (§2, §6).
+//
+// A Torsk initiator performs a random walk over nodes' fingertables to find
+// a random "buddy" node, then asks the buddy to run the (plain Chord)
+// lookup on its behalf. The buddy — not the initiator — contacts the
+// intermediate nodes, so the initiator's identity is hidden from them.
+// Torsk secures the lookup itself with Myrmic certificates (an always-online
+// CA signing routing state); this implementation models the lookup path and
+// its costs, and internal/anonymity reproduces Torsk's leak profile: good
+// initiator unlinkability, but no protection of the target itself, which is
+// what enables the relay-exhaustion attack of Wang et al.
+package torsk
+
+import (
+	"errors"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/xcrypto"
+)
+
+// Config tunes the Torsk client.
+type Config struct {
+	// WalkLength is the number of random-walk hops used to find a buddy.
+	WalkLength int
+}
+
+// DefaultConfig uses a 6-hop buddy walk, matching the walk lengths used in
+// the Torsk evaluation.
+func DefaultConfig() Config { return Config{WalkLength: 6} }
+
+// Stats describes one Torsk lookup.
+type Stats struct {
+	// WalkHops is the number of random-walk steps taken.
+	WalkHops int
+	// Buddy is the node that proxied the lookup.
+	Buddy chord.Peer
+	// ProxyHops is the number of hops the buddy's Chord lookup took.
+	ProxyHops int
+	// Started and Finished are virtual timestamps.
+	Started, Finished time.Duration
+}
+
+// Latency returns the virtual duration of the whole lookup.
+func (s Stats) Latency() time.Duration { return s.Finished - s.Started }
+
+// Errors reported by Torsk lookups.
+var (
+	ErrWalkFailed  = errors.New("torsk: buddy random walk failed")
+	ErrProxyFailed = errors.New("torsk: buddy failed to resolve the key")
+)
+
+// ProxyLookupReq asks a buddy to resolve Key on the sender's behalf.
+type ProxyLookupReq struct {
+	Key id.ID
+}
+
+// Size implements simnet.Message.
+func (ProxyLookupReq) Size() int { return xcrypto.HeaderWireSize + xcrypto.KeyIDWireSize }
+
+// ProxyLookupResp returns the buddy's result, echoing the key so the
+// initiator can match it to the outstanding request.
+type ProxyLookupResp struct {
+	Key   id.ID
+	Owner chord.Peer
+	Hops  int
+	OK    bool
+}
+
+// Size implements simnet.Message.
+func (ProxyLookupResp) Size() int {
+	return xcrypto.HeaderWireSize + xcrypto.KeyIDWireSize + xcrypto.RoutingItemWireSize + 3
+}
+
+// Server answers ProxyLookupReq on behalf of remote initiators. Install it
+// on every node of a Torsk network.
+type Server struct {
+	node *chord.Node
+}
+
+// NewServer installs the buddy handler on the node and returns it.
+func NewServer(node *chord.Node) *Server {
+	s := &Server{node: node}
+	node.Extra = s.handle
+	return s
+}
+
+func (s *Server) handle(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+	m, ok := req.(ProxyLookupReq)
+	if !ok {
+		return nil, false
+	}
+	// The buddy runs a plain Chord lookup and reports back. The reply is
+	// issued asynchronously via a one-way message because the lookup
+	// spans many RPC round trips.
+	s.node.Lookup(m.Key, func(owner chord.Peer, ls chord.LookupStats, err error) {
+		resp := ProxyLookupResp{Key: m.Key, Owner: owner, Hops: ls.Hops, OK: err == nil}
+		s.node.Network().Send(s.node.Self.Addr, from, resp)
+	})
+	return nil, false // no synchronous response; see Send above
+}
+
+// Client drives Torsk lookups from one node. The client's node must itself
+// run a Server if it should answer other initiators' proxy requests.
+type Client struct {
+	cfg  Config
+	node *chord.Node
+
+	// pending maps outstanding proxied keys to their completion
+	// callbacks (the buddy's answer arrives as a one-way message).
+	pending map[id.ID]func(ProxyLookupResp)
+}
+
+// NewClient wraps a Chord node with the Torsk buddy lookup.
+func NewClient(node *chord.Node, cfg Config) *Client {
+	c := &Client{cfg: cfg, node: node, pending: make(map[id.ID]func(ProxyLookupResp))}
+	server := NewServer(node)
+	// Chain: proxy answers come back as ProxyLookupResp one-way messages;
+	// everything else goes to the server handler.
+	node.Extra = func(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+		if resp, ok := req.(ProxyLookupResp); ok {
+			if cb, ok := c.pending[resp.Key]; ok {
+				delete(c.pending, resp.Key)
+				cb(resp)
+			}
+			return nil, false
+		}
+		return server.handle(from, req)
+	}
+	return c
+}
+
+// Lookup resolves the owner of key through a random buddy and invokes cb
+// exactly once.
+func (c *Client) Lookup(key id.ID, cb func(chord.Peer, Stats, error)) {
+	stats := Stats{Started: c.node.Sim().Now()}
+	finish := func(owner chord.Peer, err error) {
+		stats.Finished = c.node.Sim().Now()
+		cb(owner, stats, err)
+	}
+	c.walk(c.cfg.WalkLength, &stats, func(buddy chord.Peer, err error) {
+		if err != nil {
+			finish(chord.NoPeer, err)
+			return
+		}
+		stats.Buddy = buddy
+		c.proxyThrough(buddy, key, &stats, finish)
+	})
+}
+
+// walk performs the buddy random walk: at each hop it fetches the current
+// node's fingertable and steps to a uniformly random finger.
+func (c *Client) walk(hops int, stats *Stats, cb func(chord.Peer, error)) {
+	rng := c.node.Sim().Rand()
+	fingers := c.node.Fingers()
+	if len(fingers) == 0 {
+		cb(chord.NoPeer, ErrWalkFailed)
+		return
+	}
+	cur := fingers[rng.Intn(len(fingers))]
+	var step func(remaining int)
+	step = func(remaining int) {
+		if remaining <= 0 {
+			cb(cur, nil)
+			return
+		}
+		stats.WalkHops++
+		c.node.Network().Call(c.node.Self.Addr, cur.Addr, chord.GetTableReq{},
+			c.node.Cfg.RPCTimeout, func(resp simnet.Message, err error) {
+				if err != nil {
+					cb(chord.NoPeer, ErrWalkFailed)
+					return
+				}
+				r, ok := resp.(chord.GetTableResp)
+				if !ok || len(r.Table.Fingers) == 0 {
+					cb(chord.NoPeer, ErrWalkFailed)
+					return
+				}
+				cur = r.Table.Fingers[rng.Intn(len(r.Table.Fingers))]
+				step(remaining - 1)
+			})
+	}
+	step(hops)
+}
+
+// proxyThrough sends the lookup to the buddy and waits for its one-way
+// answer, bounded by a generous proxy timeout.
+func (c *Client) proxyThrough(buddy chord.Peer, key id.ID, stats *Stats, cb func(chord.Peer, error)) {
+	done := false
+	c.pending[key] = func(resp ProxyLookupResp) {
+		if done {
+			return
+		}
+		done = true
+		stats.ProxyHops = resp.Hops
+		if !resp.OK || !resp.Owner.Valid() {
+			cb(chord.NoPeer, ErrProxyFailed)
+			return
+		}
+		cb(resp.Owner, nil)
+	}
+	c.node.Network().Send(c.node.Self.Addr, buddy.Addr, ProxyLookupReq{Key: key})
+	// Proxy timeout: the buddy may be malicious or dead.
+	proxyTimeout := 10 * c.node.Cfg.RPCTimeout
+	c.node.Sim().After(proxyTimeout, func() {
+		if done {
+			return
+		}
+		done = true
+		delete(c.pending, key)
+		cb(chord.NoPeer, ErrProxyFailed)
+	})
+}

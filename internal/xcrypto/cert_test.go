@@ -1,0 +1,146 @@
+package xcrypto
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/id"
+)
+
+func newTestCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA(SimScheme{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	return ca
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	ca := newTestCA(t)
+	cert, err := ca.Issue(id.ID(42), 7, PublicKey("nodekey-aaaa-bbbb-cc"), time.Hour)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	if err := ca.Verify(cert, 0); err != nil {
+		t.Errorf("fresh cert rejected: %v", err)
+	}
+	if ca.Issued() != 1 {
+		t.Errorf("issued = %d, want 1", ca.Issued())
+	}
+}
+
+func TestVerifyRejectsForgedCert(t *testing.T) {
+	ca := newTestCA(t)
+	cert, _ := ca.Issue(id.ID(42), 7, PublicKey("nodekey-aaaa-bbbb-cc"), time.Hour)
+
+	forged := cert
+	forged.Node = id.ID(43)
+	if err := ca.Verify(forged, 0); !errors.Is(err, ErrBadCert) {
+		t.Errorf("forged node id: err = %v, want ErrBadCert", err)
+	}
+
+	forged = cert
+	forged.Addr = 99
+	if err := ca.Verify(forged, 0); !errors.Is(err, ErrBadCert) {
+		t.Errorf("forged addr: err = %v, want ErrBadCert", err)
+	}
+
+	forged = cert
+	forged.Key = PublicKey("other-key-aaaa-bbbb-")
+	if err := ca.Verify(forged, 0); !errors.Is(err, ErrBadCert) {
+		t.Errorf("forged key: err = %v, want ErrBadCert", err)
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	ca := newTestCA(t)
+	cert, _ := ca.Issue(id.ID(1), 1, PublicKey("k"), time.Hour)
+	if ca.Revoked(1) {
+		t.Error("fresh identity already revoked")
+	}
+	ca.Revoke(1)
+	if !ca.Revoked(1) {
+		t.Error("Revoke did not take effect")
+	}
+	if err := ca.Verify(cert, 0); !errors.Is(err, ErrRevoked) {
+		t.Errorf("err = %v, want ErrRevoked", err)
+	}
+	if ca.RevokedCount() != 1 {
+		t.Errorf("RevokedCount = %d, want 1", ca.RevokedCount())
+	}
+	// Revoking again is idempotent.
+	ca.Revoke(1)
+	if ca.RevokedCount() != 1 {
+		t.Errorf("RevokedCount after double revoke = %d, want 1", ca.RevokedCount())
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	ca := newTestCA(t)
+	cert, _ := ca.Issue(id.ID(1), 1, PublicKey("k"), time.Minute)
+	if err := ca.Verify(cert, 30*time.Second); err != nil {
+		t.Errorf("unexpired cert rejected: %v", err)
+	}
+	if err := ca.Verify(cert, 2*time.Minute); !errors.Is(err, ErrExpiredCert) {
+		t.Errorf("err = %v, want ErrExpiredCert", err)
+	}
+	// Zero expiry means "never expires".
+	forever, _ := ca.Issue(id.ID(2), 2, PublicKey("k"), 0)
+	if err := ca.Verify(forever, 1000*time.Hour); err != nil {
+		t.Errorf("non-expiring cert rejected: %v", err)
+	}
+}
+
+func TestVerifyCertificateStandalone(t *testing.T) {
+	ca := newTestCA(t)
+	cert, _ := ca.Issue(id.ID(5), 5, PublicKey("k"), time.Hour)
+	if !VerifyCertificate(SimScheme{}, ca.PublicKey(), cert) {
+		t.Error("standalone verification rejected a valid cert")
+	}
+	cert.Node = 6
+	if VerifyCertificate(SimScheme{}, ca.PublicKey(), cert) {
+		t.Error("standalone verification accepted a forged cert")
+	}
+}
+
+func TestCertWireSize(t *testing.T) {
+	var c Certificate
+	if c.WireSize() != 50 {
+		t.Errorf("WireSize = %d, want 50 (paper footnote 4)", c.WireSize())
+	}
+}
+
+func TestWireSizeHelpers(t *testing.T) {
+	// A signed routing table of 12 fingers + 6 successors = 18 items:
+	// header 8 + 180 + timestamp 4 + sig 40 + cert 50 = 282 bytes.
+	if got := SignedTableWireSize(18); got != 282 {
+		t.Errorf("SignedTableWireSize(18) = %d, want 282", got)
+	}
+	if got := OnionWireOverhead(2); got != 2*(AddrWireSize+AESBlockSize) {
+		t.Errorf("OnionWireOverhead(2) = %d", got)
+	}
+}
+
+func TestECDSACertificates(t *testing.T) {
+	ca, err := NewCA(ECDSAScheme{}, nil)
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	nodeKP, err := ECDSAScheme{}.GenerateKey(nil)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	cert, err := ca.Issue(id.FromString("node-1"), 1, nodeKP.Public, time.Hour)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	if err := ca.Verify(cert, 0); err != nil {
+		t.Errorf("ECDSA cert rejected: %v", err)
+	}
+	if !VerifyCertificate(ECDSAScheme{}, ca.PublicKey(), cert) {
+		t.Error("standalone ECDSA verification failed")
+	}
+}

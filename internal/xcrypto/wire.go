@@ -1,0 +1,41 @@
+package xcrypto
+
+// Wire-size constants from the paper's bandwidth accounting (§7, footnote 4).
+// Every simulated message computes its Size() from these so the Table 3
+// bandwidth numbers follow the same arithmetic as the paper's.
+const (
+	// RoutingItemWireSize is the accounted size of one routing-state item
+	// (a finger, successor, or predecessor entry): ID plus IP endpoint.
+	RoutingItemWireSize = 10
+	// SigWireSize is the accounted size of an ECDSA signature.
+	SigWireSize = 40
+	// TimestampWireSize is the accounted size of the timestamp attached to
+	// every signed routing table.
+	TimestampWireSize = 4
+	// CertWireSize is the accounted size of a node certificate: IP (6) +
+	// public key (20) + expiry (4) + CA signature (20).
+	CertWireSize = 50
+	// AESBlockSize is the AES-128 block size used by onion layers.
+	AESBlockSize = 16
+	// KeyWireSize is the accounted size of one AES-128 onion key.
+	KeyWireSize = 16
+	// HeaderWireSize is the accounted size of a message type tag plus a
+	// lookup/query identifier.
+	HeaderWireSize = 8
+	// AddrWireSize is the accounted size of a node address (IPv4 + port).
+	AddrWireSize = 6
+	// KeyIDWireSize is the accounted size of a ring identifier.
+	KeyIDWireSize = 8
+)
+
+// SignedTableWireSize returns the accounted size of a signed routing table
+// carrying the given number of routing items plus the owner's certificate.
+func SignedTableWireSize(items int) int {
+	return HeaderWireSize + items*RoutingItemWireSize + TimestampWireSize + SigWireSize + CertWireSize
+}
+
+// OnionWireOverhead returns the accounted per-layer overhead of onion
+// encryption: the next-hop address and CTR padding to a block boundary.
+func OnionWireOverhead(layers int) int {
+	return layers * (AddrWireSize + AESBlockSize)
+}

@@ -1,0 +1,120 @@
+package octopus
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFacadeLookup(t *testing.T) {
+	net, err := New(Defaults(48))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	net.Warm(2 * time.Minute)
+	// Pick a key whose owner is far from the initiator's own successor
+	// window so the lookup must actually query.
+	var key []byte
+	for i := 0; ; i++ {
+		candidate := []byte{byte(i), 'k'}
+		gap := (net.OwnerOf(candidate) - 0 + net.Size()) % net.Size()
+		if gap > net.Size()/4 {
+			key = candidate
+			break
+		}
+	}
+	res, err := net.Lookup(0, key)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if res.OwnerIndex != net.OwnerOf(key) {
+		t.Errorf("owner index %d, ground truth %d", res.OwnerIndex, net.OwnerOf(key))
+	}
+	if res.Owner != net.NodeID(res.OwnerIndex) {
+		t.Errorf("owner id mismatch: %s vs %s", res.Owner, net.NodeID(res.OwnerIndex))
+	}
+	if res.Latency <= 0 {
+		t.Error("latency not recorded")
+	}
+	if res.Queries == 0 {
+		t.Error("no queries recorded")
+	}
+}
+
+func TestFacadeDeterministic(t *testing.T) {
+	run := func() Result {
+		net, err := New(Defaults(32))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		net.Warm(90 * time.Second)
+		res, err := net.Lookup(3, []byte("k"))
+		if err != nil {
+			t.Fatalf("Lookup: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := New(Defaults(2)); err == nil {
+		t.Error("tiny network accepted")
+	}
+	net, err := New(Defaults(16))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := net.Lookup(99, []byte("k")); err == nil {
+		t.Error("out-of-range initiator accepted")
+	}
+	if _, err := net.LookupID(0, "not-hex"); err == nil {
+		t.Error("malformed ring id accepted")
+	}
+	if net.NodeID(-1) != "" {
+		t.Error("NodeID(-1) should be empty")
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	net, err := New(Defaults(32))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	net.Warm(3 * time.Minute)
+	if _, err := net.Lookup(1, []byte("stats-key")); err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	s := net.NodeStats(1)
+	if s.LookupsCompleted == 0 {
+		t.Errorf("stats did not record the lookup: %+v", s)
+	}
+	if s.WalksCompleted == 0 {
+		t.Errorf("no walks completed after warmup: %+v", s)
+	}
+	ca := net.CA()
+	if ca.Revocations != 0 {
+		t.Errorf("honest network produced revocations: %+v", ca)
+	}
+}
+
+func TestFacadeLookupIDRoundTrip(t *testing.T) {
+	net, err := New(Defaults(32))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	net.Warm(2 * time.Minute)
+	target := net.NodeID(7)
+	res, err := net.LookupID(0, target)
+	if err != nil {
+		t.Fatalf("LookupID: %v", err)
+	}
+	if res.Owner != target {
+		t.Errorf("owner = %s, want %s", res.Owner, target)
+	}
+	var errSentinel = errors.New("x")
+	_ = errSentinel
+}
