@@ -1,17 +1,22 @@
 // Benchmark harness: one testing.B target per table and figure of the
-// paper's evaluation (DESIGN.md §3 maps each to its experiment runner), at
+// paper's evaluation (README.md maps each to its experiment runner), at
 // bench-friendly scale. The full-scale numbers come from cmd/octopus-bench;
 // these targets exercise the identical code paths and report the headline
 // metric of each experiment as a custom unit.
 package octopus
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/adversary"
 	"github.com/octopus-dht/octopus/internal/anonymity"
+	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/experiments"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
+	"github.com/octopus-dht/octopus/internal/transport/chantransport"
 )
 
 func benchSecurityConfig(strategy adversary.Strategy) experiments.SecurityConfig {
@@ -171,7 +176,7 @@ func BenchmarkFig7bCAWorkload(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §6) ---
+// --- Ablations ---
 
 // BenchmarkAblationDummyPlacement compares target-anonymity leak with and
 // without dummy queries.
@@ -196,5 +201,103 @@ func BenchmarkAblationPathSplitting(b *testing.B) {
 		linked := anonymity.New(benchAnonConfig(anonymity.SchemeNISAN, 6)).Analyze()
 		b.ReportMetric(split.LeakTarget, "split-leakT")
 		b.ReportMetric(linked.LeakTarget, "linked-leakT")
+	}
+}
+
+// --- Transport & codec hot path ---
+//
+// The wire codec and the transport RPC loop are the hot path of any real
+// deployment: every message of every lookup crosses them. These benchmarks
+// track encode/decode/size cost for the dominant message (a signed routing
+// table) and the full serialized RPC round-trip over the concurrent
+// channel transport.
+
+// benchTable builds a representative signed table: 12 fingers with
+// exponents, 6 successors, a 40-byte signature.
+func benchTable() chord.GetTableResp {
+	rng := rand.New(rand.NewSource(1))
+	rt := chord.RoutingTable{
+		Owner:     chord.Peer{ID: id.ID(rng.Uint64()), Addr: 1},
+		Timestamp: 90 * time.Second,
+		Sig:       make([]byte, 40),
+	}
+	rng.Read(rt.Sig)
+	for i := 0; i < 12; i++ {
+		rt.Fingers = append(rt.Fingers, chord.Peer{ID: id.ID(rng.Uint64()), Addr: transport.Addr(2 + i)})
+		rt.FingerExps = append(rt.FingerExps, uint8(52+i))
+	}
+	for i := 0; i < 6; i++ {
+		rt.Successors = append(rt.Successors, chord.Peer{ID: id.ID(rng.Uint64()), Addr: transport.Addr(20 + i)})
+	}
+	return chord.GetTableResp{Table: rt}
+}
+
+func BenchmarkCodecEncodeTable(b *testing.B) {
+	msg := benchTable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := transport.Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(enc)))
+	}
+}
+
+func BenchmarkCodecDecodeTable(b *testing.B) {
+	enc, err := transport.Encode(benchTable())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transport.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecSizeTable measures the counting-mode encoder behind every
+// Size() call — it runs once per sent message for bandwidth accounting.
+func BenchmarkCodecSizeTable(b *testing.B) {
+	msg := benchTable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if msg.Size() == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}
+
+// BenchmarkChanTransportRPC measures the full serialized round-trip:
+// encode → deliver to the callee goroutine → decode → handle → encode →
+// deliver back → decode.
+func BenchmarkChanTransportRPC(b *testing.B) {
+	net := chantransport.New(2, 1)
+	defer net.Close()
+	resp := benchTable()
+	net.Bind(0, func(transport.Addr, transport.Message) (transport.Message, bool) {
+		return resp, true
+	})
+	net.Bind(1, func(transport.Addr, transport.Message) (transport.Message, bool) {
+		return nil, false
+	})
+	req := chord.GetTableReq{IncludeSuccessors: true}
+	done := make(chan error, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.After(1, 0, func() {
+			net.Call(1, 0, req, 5*time.Second, func(_ transport.Message, err error) {
+				done <- err
+			})
+		})
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/octopus-dht/octopus
+
+go 1.24

@@ -11,22 +11,30 @@ import (
 	"github.com/octopus-dht/octopus/internal/simnet"
 )
 
-func buildNet(t *testing.T, seed int64, n int) *core.Network {
+// testNet bundles a deployment with the simulator that drives it (the
+// simulator is no longer part of core's API: core speaks transport only).
+type testNet struct {
+	*core.Network
+	Sim *simnet.Simulator
+}
+
+func buildNet(t *testing.T, seed int64, n int) *testNet {
 	t.Helper()
 	sim := simnet.New(seed)
 	cfg := core.DefaultConfig()
 	cfg.EstimatedSize = n
 	cfg.WalkEvery = 5 * time.Second
-	nw, err := core.BuildNetwork(sim, simnet.ConstantLatency{D: 10 * time.Millisecond}, n, cfg)
+	net := simnet.NewNetwork(sim, simnet.ConstantLatency{D: 10 * time.Millisecond}, n+1)
+	nw, err := core.BuildNetwork(net, n, cfg)
 	if err != nil {
 		t.Fatalf("BuildNetwork: %v", err)
 	}
-	return nw
+	return &testNet{Network: nw, Sim: sim}
 }
 
 func TestInstallSelectsFraction(t *testing.T) {
 	nw := buildNet(t, 1, 100)
-	adv := Install(nw, 0.2, Strategy{AttackRate: 1, BiasLookups: true}, rand.New(rand.NewSource(2)))
+	adv := Install(nw.Network, 0.2, Strategy{AttackRate: 1, BiasLookups: true}, rand.New(rand.NewSource(2)))
 	if len(adv.Members) != 20 {
 		t.Errorf("members = %d, want 20", len(adv.Members))
 	}
@@ -45,7 +53,7 @@ func TestInstallSelectsFraction(t *testing.T) {
 
 func TestBiasedTableServed(t *testing.T) {
 	nw := buildNet(t, 3, 100)
-	adv := Install(nw, 0.2, Strategy{AttackRate: 1, BiasLookups: true}, rand.New(rand.NewSource(4)))
+	adv := Install(nw.Network, 0.2, Strategy{AttackRate: 1, BiasLookups: true}, rand.New(rand.NewSource(4)))
 
 	// Query a malicious node directly and check its successor list is
 	// forged toward colluders (or pruned to the farthest honest entry).
@@ -101,7 +109,7 @@ func TestBiasedTableServed(t *testing.T) {
 
 func TestBiasAttackBiasesLookupsAndGetsCaught(t *testing.T) {
 	nw := buildNet(t, 5, 100)
-	adv := Install(nw, 0.2, Strategy{AttackRate: 1, BiasLookups: true}, rand.New(rand.NewSource(6)))
+	adv := Install(nw.Network, 0.2, Strategy{AttackRate: 1, BiasLookups: true}, rand.New(rand.NewSource(6)))
 
 	before := adv.AliveMembers()
 	nw.Sim.Run(12 * time.Minute)
@@ -117,7 +125,7 @@ func TestBiasAttackBiasesLookupsAndGetsCaught(t *testing.T) {
 
 func TestFingerManipulationGetsCaught(t *testing.T) {
 	nw := buildNet(t, 7, 100)
-	adv := Install(nw, 0.2, Strategy{
+	adv := Install(nw.Network, 0.2, Strategy{
 		AttackRate:         1,
 		ManipulateFingers:  true,
 		ConsistentPredRate: 0.5,
@@ -189,7 +197,7 @@ func TestForgeFingersRespectsPlausibility(t *testing.T) {
 
 func TestSelectiveDropInstalls(t *testing.T) {
 	nw := buildNet(t, 9, 60)
-	adv := Install(nw, 0.2, Strategy{AttackRate: 1, SelectiveDrop: true}, rand.New(rand.NewSource(10)))
+	adv := Install(nw.Network, 0.2, Strategy{AttackRate: 1, SelectiveDrop: true}, rand.New(rand.NewSource(10)))
 	var evil simnet.Address
 	for addr := range adv.Members {
 		evil = addr

@@ -7,6 +7,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/id"
 	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
@@ -451,17 +452,29 @@ func TestSingletonRing(t *testing.T) {
 func TestTableWireSizeAccounting(t *testing.T) {
 	env := newEnv(t, 30, DefaultConfig())
 	rt := env.ring.Node(0).Table(true, false)
-	// Unsigned tables (baselines) omit the signature, timestamp, and
-	// certificate.
-	items := len(rt.Fingers) + len(rt.Successors)
-	want := xcrypto.HeaderWireSize + items*xcrypto.RoutingItemWireSize
-	if rt.WireSize() != want {
-		t.Errorf("unsigned WireSize = %d, want %d", rt.WireSize(), want)
+	// WireSize is derived from the real encoding: it must match the bytes
+	// the codec actually produces for the table.
+	measure := func(rt RoutingTable) int {
+		w := &transport.Writer{}
+		EncodeTable(w, rt)
+		return w.Len()
 	}
-	// Signed tables carry the paper's full accounting.
+	if got, want := rt.WireSize(), measure(rt); got != want {
+		t.Errorf("unsigned WireSize = %d, encoded length = %d", got, want)
+	}
+	// Signing grows the table by exactly the signature bytes.
+	unsigned := rt.WireSize()
 	rt.Sig = make([]byte, xcrypto.SigWireSize)
-	if got := rt.WireSize(); got != xcrypto.SignedTableWireSize(items) {
-		t.Errorf("signed WireSize = %d, want %d", got, xcrypto.SignedTableWireSize(items))
+	if got, want := rt.WireSize(), measure(rt); got != want {
+		t.Errorf("signed WireSize = %d, encoded length = %d", got, want)
+	}
+	if got, want := rt.WireSize(), unsigned+xcrypto.SigWireSize; got != want {
+		t.Errorf("signed WireSize = %d, want unsigned+sig = %d", got, want)
+	}
+	// And the GetTableResp frame carrying it sizes as frame header + table.
+	resp := GetTableResp{Table: rt}
+	if enc, err := transport.Encode(resp); err != nil || len(enc) != resp.Size() {
+		t.Errorf("GetTableResp Size() = %d, len(Encode) = %d (err %v)", resp.Size(), len(enc), err)
 	}
 }
 

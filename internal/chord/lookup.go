@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // Errors reported by lookups.
@@ -49,9 +49,9 @@ func (n *Node) LookupVia(first Peer, key id.ID, cb func(Peer, LookupStats, error
 }
 
 func (n *Node) lookupFrom(first Peer, key id.ID, cb func(Peer, LookupStats, error)) {
-	stats := LookupStats{Started: n.sim.Now()}
+	stats := LookupStats{Started: n.tr.Now()}
 	finish := func(owner Peer, err error) {
-		stats.Finished = n.sim.Now()
+		stats.Finished = n.tr.Now()
 		if n.OnLookupDone != nil {
 			n.OnLookupDone(key, owner, err)
 		}
@@ -66,8 +66,8 @@ func (n *Node) lookupFrom(first Peer, key id.ID, cb func(Peer, LookupStats, erro
 		}
 		stats.Hops++
 		stats.Queried = append(stats.Queried, cur)
-		n.net.Call(n.Self.Addr, cur.Addr, FindNextReq{Key: key}, n.Cfg.RPCTimeout,
-			func(resp simnet.Message, err error) {
+		n.tr.Call(n.Self.Addr, cur.Addr, FindNextReq{Key: key}, n.Cfg.RPCTimeout,
+			func(resp transport.Message, err error) {
 				if err != nil {
 					stats.Timeouts++
 					finish(NoPeer, ErrLookupTimeout)
@@ -144,9 +144,9 @@ func (n *Node) Join(bootstrap Peer, done func(error)) {
 		// Prime the predecessor list from the successor's: the new node
 		// sits immediately before its successor, so it inherits the
 		// successor's former predecessors.
-		n.net.Call(n.Self.Addr, owner.Addr,
+		n.tr.Call(n.Self.Addr, owner.Addr,
 			GetTableReq{IncludePredecessors: true}, n.Cfg.RPCTimeout,
-			func(resp simnet.Message, err error) {
+			func(resp transport.Message, err error) {
 				if err == nil {
 					if r, ok := resp.(GetTableResp); ok {
 						n.preds = mergeNeighborList(n.Self, NoPeer,

@@ -2,25 +2,29 @@ package chord
 
 import (
 	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
-// RPC message types exchanged by the routing layer. Size() implements
-// simnet.Message using the paper's wire accounting (xcrypto/wire.go).
+// RPC message types exchanged by the routing layer. Every type implements
+// transport.Wire (codec.go): it has a real binary encoding, and Size()
+// reports the exact frame length of that encoding via transport.EncodedSize.
 
+// peerWireSize is the encoded size of one routing item: ring identifier
+// plus endpoint address (see EncodePeer).
 const peerWireSize = xcrypto.RoutingItemWireSize
 
 // PingReq checks liveness.
 type PingReq struct{}
 
-// Size implements simnet.Message.
-func (PingReq) Size() int { return xcrypto.HeaderWireSize }
+// Size implements transport.Message.
+func (m PingReq) Size() int { return transport.EncodedSize(m) }
 
 // PingResp acknowledges a ping.
 type PingResp struct{}
 
-// Size implements simnet.Message.
-func (PingResp) Size() int { return xcrypto.HeaderWireSize }
+// Size implements transport.Message.
+func (m PingResp) Size() int { return transport.EncodedSize(m) }
 
 // FindNextReq is the classic Chord iterative-lookup step: the key is exposed
 // to the queried node, which replies with its best next hop. Used by the
@@ -30,8 +34,8 @@ type FindNextReq struct {
 	Key id.ID
 }
 
-// Size implements simnet.Message.
-func (FindNextReq) Size() int { return xcrypto.HeaderWireSize + xcrypto.KeyIDWireSize }
+// Size implements transport.Message.
+func (m FindNextReq) Size() int { return transport.EncodedSize(m) }
 
 // FindNextResp answers a FindNextReq.
 type FindNextResp struct {
@@ -45,8 +49,8 @@ type FindNextResp struct {
 	Next Peer
 }
 
-// Size implements simnet.Message.
-func (FindNextResp) Size() int { return xcrypto.HeaderWireSize + 1 + 2*peerWireSize }
+// Size implements transport.Message.
+func (m FindNextResp) Size() int { return transport.EncodedSize(m) }
 
 // GetTableReq asks a node for its routing table. NISAN requests fingers
 // only; Octopus requests fingers plus the successor list (§4.3); the
@@ -56,16 +60,16 @@ type GetTableReq struct {
 	IncludePredecessors bool
 }
 
-// Size implements simnet.Message.
-func (GetTableReq) Size() int { return xcrypto.HeaderWireSize + 2 }
+// Size implements transport.Message.
+func (m GetTableReq) Size() int { return transport.EncodedSize(m) }
 
 // GetTableResp carries the (optionally signed) routing table.
 type GetTableResp struct {
 	Table RoutingTable
 }
 
-// Size implements simnet.Message.
-func (r GetTableResp) Size() int { return r.Table.WireSize() }
+// Size implements transport.Message.
+func (m GetTableResp) Size() int { return transport.EncodedSize(m) }
 
 // StabilizeReq implements one step of Chord stabilization in either
 // direction: the caller asks a neighbor for its neighbor list and its
@@ -76,8 +80,8 @@ type StabilizeReq struct {
 	Clockwise bool
 }
 
-// Size implements simnet.Message.
-func (StabilizeReq) Size() int { return xcrypto.HeaderWireSize + 1 }
+// Size implements transport.Message.
+func (m StabilizeReq) Size() int { return transport.EncodedSize(m) }
 
 // StabilizeResp carries the neighbor list in the requested direction plus
 // the responder's closest link in the opposite direction, which the caller
@@ -93,8 +97,8 @@ type StabilizeResp struct {
 	Back Peer
 }
 
-// Size implements simnet.Message.
-func (r StabilizeResp) Size() int { return r.Table.WireSize() + peerWireSize }
+// Size implements transport.Message.
+func (m StabilizeResp) Size() int { return transport.EncodedSize(m) }
 
 // NotifyReq tells a neighbor the caller believes it is adjacent to it.
 type NotifyReq struct {
@@ -104,11 +108,11 @@ type NotifyReq struct {
 	Who       Peer
 }
 
-// Size implements simnet.Message.
-func (NotifyReq) Size() int { return xcrypto.HeaderWireSize + 1 + peerWireSize }
+// Size implements transport.Message.
+func (m NotifyReq) Size() int { return transport.EncodedSize(m) }
 
 // NotifyResp acknowledges a notify.
 type NotifyResp struct{}
 
-// Size implements simnet.Message.
-func (NotifyResp) Size() int { return xcrypto.HeaderWireSize }
+// Size implements transport.Message.
+func (m NotifyResp) Size() int { return transport.EncodedSize(m) }

@@ -4,7 +4,7 @@ import (
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
@@ -60,15 +60,14 @@ type Identity struct {
 // Interceptor lets an adversary replace a node's honest response to an RPC.
 // It receives the honest reply and returns the (possibly manipulated) reply
 // actually sent; ok=false drops the request.
-type Interceptor func(from simnet.Address, req, honest simnet.Message, honestOK bool) (simnet.Message, bool)
+type Interceptor func(from transport.Addr, req, honest transport.Message, honestOK bool) (transport.Message, bool)
 
 // Node is one Chord participant.
 type Node struct {
 	Cfg  Config
 	Self Peer
 
-	net   *simnet.Network
-	sim   *simnet.Simulator
+	tr    transport.Transport
 	ident *Identity
 
 	fingers []Peer
@@ -83,7 +82,7 @@ type Node struct {
 	Intercept Interceptor
 	// Extra handles message types unknown to the routing layer (Octopus
 	// relay and surveillance traffic).
-	Extra simnet.Handler
+	Extra transport.Handler
 	// FingerCandidate, when set, vets the result of a finger-update
 	// lookup before installation (Octopus secure finger update, §4.5).
 	// The implementation must call accept exactly once.
@@ -95,14 +94,13 @@ type Node struct {
 	OnLookupDone func(key id.ID, owner Peer, err error)
 }
 
-// NewNode creates a node bound to addr on the network. It does not start
+// NewNode creates a node bound to addr on the transport. It does not start
 // timers or bind the handler; call Start (or Ring helpers) for that.
-func NewNode(net *simnet.Network, cfg Config, self Peer, ident *Identity) *Node {
+func NewNode(tr transport.Transport, cfg Config, self Peer, ident *Identity) *Node {
 	return &Node{
 		Cfg:     cfg,
 		Self:    self,
-		net:     net,
-		sim:     net.Sim(),
+		tr:      tr,
 		ident:   ident,
 		fingers: make([]Peer, cfg.Fingers),
 		succs:   nil,
@@ -110,11 +108,8 @@ func NewNode(net *simnet.Network, cfg Config, self Peer, ident *Identity) *Node 
 	}
 }
 
-// Network returns the node's network.
-func (n *Node) Network() *simnet.Network { return n.net }
-
-// Sim returns the simulator driving the node.
-func (n *Node) Sim() *simnet.Simulator { return n.sim }
+// Transport returns the transport the node speaks over.
+func (n *Node) Transport() transport.Transport { return n.tr }
 
 // Identity returns the node's identity (nil when unsigned).
 func (n *Node) Identity() *Identity { return n.ident }
@@ -156,15 +151,15 @@ func (n *Node) Start() {
 	if n.running {
 		return
 	}
-	n.net.Bind(n.Self.Addr, n.handle)
+	n.tr.Bind(n.Self.Addr, n.handle)
 	n.running = true
 	n.stops = append(n.stops,
-		n.sim.Every(n.Cfg.StabilizeEvery, func() { n.stabilize(true) }),
-		n.sim.Every(n.Cfg.StabilizeEvery, func() { n.stabilize(false) }),
+		n.tr.Every(n.Self.Addr, n.Cfg.StabilizeEvery, func() { n.stabilize(true) }),
+		n.tr.Every(n.Self.Addr, n.Cfg.StabilizeEvery, func() { n.stabilize(false) }),
 	)
 	if !n.Cfg.DisableFingerUpdates {
 		n.stops = append(n.stops,
-			n.sim.Every(n.Cfg.FixFingersEvery, func() { n.fixNextFinger() }))
+			n.tr.Every(n.Self.Addr, n.Cfg.FixFingersEvery, func() { n.fixNextFinger() }))
 	}
 }
 
@@ -176,7 +171,7 @@ func (n *Node) Stop() {
 	}
 	n.stops = nil
 	n.running = false
-	n.net.SetAlive(n.Self.Addr, false)
+	n.tr.SetAlive(n.Self.Addr, false)
 }
 
 // Table assembles the node's routing table for a querier, signing it when
@@ -187,7 +182,7 @@ func (n *Node) Table(includeSucc, includePred bool) RoutingTable {
 		Owner:      n.Self,
 		Fingers:    fingers,
 		FingerExps: exps,
-		Timestamp:  n.sim.Now(),
+		Timestamp:  n.tr.Now(),
 	}
 	if includeSucc {
 		rt.Successors = clonePeers(n.succs)
@@ -289,7 +284,7 @@ func (n *Node) closestPreceding(key id.ID) (Peer, bool) {
 }
 
 // handle is the node's RPC dispatcher.
-func (n *Node) handle(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+func (n *Node) handle(from transport.Addr, req transport.Message) (transport.Message, bool) {
 	resp, ok := n.honestHandle(from, req)
 	if n.Intercept != nil {
 		return n.Intercept(from, req, resp, ok)
@@ -297,7 +292,7 @@ func (n *Node) handle(from simnet.Address, req simnet.Message) (simnet.Message, 
 	return resp, ok
 }
 
-func (n *Node) honestHandle(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+func (n *Node) honestHandle(from transport.Addr, req transport.Message) (transport.Message, bool) {
 	switch m := req.(type) {
 	case PingReq:
 		return PingResp{}, true
@@ -349,7 +344,7 @@ func (n *Node) handleStabilize(m StabilizeReq) StabilizeResp {
 		rt := RoutingTable{
 			Owner:      n.Self,
 			Successors: clonePeers(n.succs),
-			Timestamp:  n.sim.Now(),
+			Timestamp:  n.tr.Now(),
 		}
 		n.signTable(&rt)
 		back := NoPeer
@@ -361,7 +356,7 @@ func (n *Node) handleStabilize(m StabilizeReq) StabilizeResp {
 	rt := RoutingTable{
 		Owner:        n.Self,
 		Predecessors: clonePeers(n.preds),
-		Timestamp:    n.sim.Now(),
+		Timestamp:    n.tr.Now(),
 	}
 	n.signTable(&rt)
 	back := NoPeer
@@ -426,8 +421,8 @@ func (n *Node) stabilize(clockwise bool) {
 		}
 		target = n.preds[0]
 	}
-	n.net.Call(n.Self.Addr, target.Addr, StabilizeReq{Clockwise: clockwise}, n.Cfg.RPCTimeout,
-		func(resp simnet.Message, err error) {
+	n.tr.Call(n.Self.Addr, target.Addr, StabilizeReq{Clockwise: clockwise}, n.Cfg.RPCTimeout,
+		func(resp transport.Message, err error) {
 			if !n.running {
 				return
 			}
@@ -463,9 +458,9 @@ func (n *Node) absorbStabilize(target Peer, r StabilizeResp, clockwise bool) {
 			n.OnNeighborTable(target, r.Table)
 		}
 		if len(n.succs) > 0 {
-			n.net.Call(n.Self.Addr, n.succs[0].Addr,
+			n.tr.Call(n.Self.Addr, n.succs[0].Addr,
 				NotifyReq{Clockwise: true, Who: n.Self}, n.Cfg.RPCTimeout,
-				func(simnet.Message, error) {})
+				func(transport.Message, error) {})
 		}
 		return
 	}
@@ -478,9 +473,9 @@ func (n *Node) absorbStabilize(target Peer, r StabilizeResp, clockwise bool) {
 		n.OnNeighborTable(target, r.Table)
 	}
 	if len(n.preds) > 0 {
-		n.net.Call(n.Self.Addr, n.preds[0].Addr,
+		n.tr.Call(n.Self.Addr, n.preds[0].Addr,
 			NotifyReq{Clockwise: false, Who: n.Self}, n.Cfg.RPCTimeout,
-			func(simnet.Message, error) {})
+			func(transport.Message, error) {})
 	}
 }
 

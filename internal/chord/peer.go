@@ -6,9 +6,10 @@
 // routing tables (§4.3, used as non-repudiable proofs by the attacker
 // identification mechanisms).
 //
-// The package is transport-agnostic within the repository's simulator: every
-// node is driven entirely by simnet events, so the code contains no
-// goroutines or locks.
+// The package is transport-agnostic: every node speaks exclusively through
+// the transport.Transport interface, whose serialization contract (one
+// callback at a time per host) keeps the code free of locks both on the
+// deterministic simulator and on concurrent transports.
 package chord
 
 import (
@@ -16,21 +17,21 @@ import (
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
 // Peer is a node reference: a ring identifier plus a network address.
 type Peer struct {
 	ID   id.ID
-	Addr simnet.Address
+	Addr transport.Addr
 }
 
 // NoPeer is the sentinel "no such node" value.
-var NoPeer = Peer{Addr: simnet.NoAddress}
+var NoPeer = Peer{Addr: transport.NoAddr}
 
 // Valid reports whether the peer refers to an actual node.
-func (p Peer) Valid() bool { return p.Addr != simnet.NoAddress }
+func (p Peer) Valid() bool { return p.Addr != transport.NoAddr }
 
 // RoutingTable is the state a node exposes to queriers. In Octopus every
 // intermediate node returns its fingertable AND successor list (§4.3); the
@@ -65,14 +66,13 @@ func (rt RoutingTable) Items() int {
 	return len(rt.Fingers) + len(rt.Successors) + len(rt.Predecessors)
 }
 
-// WireSize returns the accounted serialized size of the table. Unsigned
-// tables (the Chord/Halo baselines) carry no signature, timestamp, or
-// certificate.
+// WireSize returns the exact serialized size of the table, derived from the
+// real wire encoding (codec.go). Unsigned tables (the Chord/Halo baselines)
+// simply carry an empty signature field.
 func (rt RoutingTable) WireSize() int {
-	if rt.Sig == nil {
-		return xcrypto.HeaderWireSize + rt.Items()*xcrypto.RoutingItemWireSize
-	}
-	return xcrypto.SignedTableWireSize(rt.Items())
+	w := transport.NewCountingWriter()
+	EncodeTable(w, rt)
+	return w.Len()
 }
 
 // All returns every peer in the table (fingers, successors, predecessors) in
@@ -126,8 +126,9 @@ func (rt RoutingTable) VerifySig(scheme xcrypto.Scheme, ownerKey xcrypto.PublicK
 	return scheme.Verify(ownerKey, rt.signedBytes(), rt.Sig)
 }
 
-// clonePeers copies a peer slice (tables cross node boundaries in the
-// simulator, so state must never be aliased).
+// clonePeers copies a peer slice (tables cross node boundaries, and on the
+// in-process simulator messages are passed by reference, so state must never
+// be aliased).
 func clonePeers(ps []Peer) []Peer {
 	if ps == nil {
 		return nil

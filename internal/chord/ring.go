@@ -4,7 +4,7 @@ import (
 	"sort"
 
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // Ring builds and tracks a whole simulated Chord network. Experiments use it
@@ -13,7 +13,7 @@ import (
 // truth for correctness checks, and to drive churn.
 type Ring struct {
 	cfg Config
-	net *simnet.Network
+	tr  transport.Transport
 	// byAddr maps address slots to their current node (replaced on
 	// churn).
 	byAddr []*Node
@@ -26,8 +26,8 @@ type IdentityFactory func(self Peer) *Identity
 // BuildRing creates n nodes with random distinct identifiers, installs
 // consistent routing state everywhere (correct fingers, successor and
 // predecessor lists), binds every node, and starts its maintenance timers.
-func BuildRing(net *simnet.Network, cfg Config, n int, identFor IdentityFactory) *Ring {
-	rng := net.Sim().Rand()
+func BuildRing(tr transport.Transport, cfg Config, n int, identFor IdentityFactory) *Ring {
+	rng := tr.Rand()
 	ids := make([]id.ID, 0, n)
 	seen := make(map[id.ID]bool, n)
 	for len(ids) < n {
@@ -39,17 +39,17 @@ func BuildRing(net *simnet.Network, cfg Config, n int, identFor IdentityFactory)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
-	r := &Ring{cfg: cfg, net: net, byAddr: make([]*Node, n)}
+	r := &Ring{cfg: cfg, tr: tr, byAddr: make([]*Node, n)}
 	peers := make([]Peer, n)
 	for i := range ids {
-		peers[i] = Peer{ID: ids[i], Addr: simnet.Address(i)}
+		peers[i] = Peer{ID: ids[i], Addr: transport.Addr(i)}
 	}
 	for i, p := range peers {
 		var ident *Identity
 		if identFor != nil {
 			ident = identFor(p)
 		}
-		node := NewNode(net, cfg, p, ident)
+		node := NewNode(tr, cfg, p, ident)
 		r.byAddr[p.Addr] = node
 		_ = i
 	}
@@ -98,7 +98,7 @@ func successorOf(sorted []Peer, key id.ID) Peer {
 func (r *Ring) Size() int { return len(r.byAddr) }
 
 // Node returns the current node at an address slot.
-func (r *Ring) Node(addr simnet.Address) *Node {
+func (r *Ring) Node(addr transport.Addr) *Node {
 	if addr < 0 || int(addr) >= len(r.byAddr) {
 		return nil
 	}
@@ -130,7 +130,7 @@ func (r *Ring) Owner(key id.ID) Peer {
 }
 
 // Kill stops the node at addr (churn death).
-func (r *Ring) Kill(addr simnet.Address) {
+func (r *Ring) Kill(addr transport.Addr) {
 	if node := r.Node(addr); node != nil {
 		node.Stop()
 	}
@@ -139,8 +139,8 @@ func (r *Ring) Kill(addr simnet.Address) {
 // Rejoin replaces the node at addr with a fresh identity that joins through
 // a random live node, mirroring the paper's churn model where every death is
 // matched by a join. Returns the new node, or nil if no bootstrap exists.
-func (r *Ring) Rejoin(addr simnet.Address, identFor IdentityFactory) *Node {
-	rng := r.net.Sim().Rand()
+func (r *Ring) Rejoin(addr transport.Addr, identFor IdentityFactory) *Node {
+	rng := r.tr.Rand()
 	alive := r.AlivePeers()
 	if len(alive) == 0 {
 		return nil
@@ -151,7 +151,7 @@ func (r *Ring) Rejoin(addr simnet.Address, identFor IdentityFactory) *Node {
 	if identFor != nil {
 		ident = identFor(self)
 	}
-	node := NewNode(r.net, r.cfg, self, ident)
+	node := NewNode(r.tr, r.cfg, self, ident)
 	r.byAddr[addr] = node
 	node.Start()
 	node.Join(bootstrap, func(error) {})

@@ -5,7 +5,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
@@ -15,9 +15,8 @@ import (
 // routing state — its only write operation is revocation — so its workload
 // shrinks to zero once the attacker population is cleaned out (Fig. 7(b)).
 type CA struct {
-	net  *simnet.Network
-	sim  *simnet.Simulator
-	addr simnet.Address
+	tr   transport.Transport
+	addr transport.Addr
 	dir  *Directory
 	auth *xcrypto.CA
 
@@ -70,10 +69,9 @@ type CAStats struct {
 
 // NewCA binds a CA at addr. auth is the PKI primitive whose Revoke is the
 // CA's final action.
-func NewCA(net *simnet.Network, addr simnet.Address, dir *Directory, auth *xcrypto.CA) *CA {
+func NewCA(tr transport.Transport, addr transport.Addr, dir *Directory, auth *xcrypto.CA) *CA {
 	ca := &CA{
-		net:                net,
-		sim:                net.Sim(),
+		tr:                 tr,
 		addr:               addr,
 		dir:                dir,
 		auth:               auth,
@@ -87,13 +85,13 @@ func NewCA(net *simnet.Network, addr simnet.Address, dir *Directory, auth *xcryp
 		investigating:      make(map[id.ID]bool),
 	}
 	ca.stats.ByKind = make(map[ReportKind]uint64)
-	auth.SetClock(ca.sim.Now)
-	net.Bind(addr, ca.handle)
+	auth.SetClock(ca.tr.Now)
+	tr.Bind(addr, ca.handle)
 	return ca
 }
 
 // Addr returns the CA's network address.
-func (ca *CA) Addr() simnet.Address { return ca.addr }
+func (ca *CA) Addr() transport.Addr { return ca.addr }
 
 // Stats returns a copy of the CA's casework counters.
 func (ca *CA) Stats() CAStats {
@@ -108,13 +106,13 @@ func (ca *CA) Stats() CAStats {
 // MessagesReceived reports the CA's total inbound message count (the
 // Fig. 7(b) workload metric).
 func (ca *CA) MessagesReceived() uint64 {
-	return ca.net.Stats(ca.addr).MsgsReceived
+	return ca.tr.Stats(ca.addr).MsgsReceived
 }
 
 // Revoked reports whether a node has been revoked.
 func (ca *CA) Revoked(node id.ID) bool { return ca.auth.Revoked(node) }
 
-func (ca *CA) handle(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+func (ca *CA) handle(from transport.Addr, req transport.Message) (transport.Message, bool) {
 	m, ok := req.(ReportMsg)
 	if !ok {
 		return nil, false
@@ -141,7 +139,7 @@ func (ca *CA) handle(from simnet.Address, req simnet.Message) (simnet.Message, b
 	case ReportFingerManipulation, ReportFingerPollution:
 		ca.investigateFinger(m, done)
 	case ReportSelectiveDrop:
-		ca.sim.After(ca.DropGrace, func() { ca.investigateDrop(m, done) })
+		ca.tr.After(ca.addr, ca.DropGrace, func() { ca.investigateDrop(m, done) })
 	default:
 		done(chord.NoPeer, m.Kind)
 	}
@@ -161,7 +159,7 @@ func (ca *CA) revoke(p chord.Peer, kind ReportKind) {
 
 // fresh reports whether an evidence table is recent enough to adjudicate.
 func (ca *CA) fresh(t chord.RoutingTable) bool {
-	age := ca.sim.Now() - t.Timestamp
+	age := ca.tr.Now() - t.Timestamp
 	return age >= 0 && age <= ca.Freshness
 }
 
@@ -182,8 +180,8 @@ func (ca *CA) verified(t chord.RoutingTable) bool {
 // count (the paper's "churn during investigation" pitfall, §5.2). The CA
 // fetches the responder's signed table and verifies the owner identity.
 func (ca *CA) ping(p chord.Peer, cb func(alive bool)) {
-	ca.net.Call(ca.addr, p.Addr, chord.GetTableReq{}, ca.RPCTimeout,
-		func(resp simnet.Message, err error) {
+	ca.tr.Call(ca.addr, p.Addr, chord.GetTableReq{}, ca.RPCTimeout,
+		func(resp transport.Message, err error) {
 			if err != nil {
 				cb(false)
 				return
@@ -279,8 +277,8 @@ func (ca *CA) chainStep(m ReportMsg, cur chord.Peer, committed chord.RoutingTabl
 		done(cur, m.Kind) // head-skip
 		return
 	}
-	ca.net.Call(ca.addr, cur.Addr, ProofReq{Missing: m.Missing}, ca.RPCTimeout,
-		func(resp simnet.Message, err error) {
+	ca.tr.Call(ca.addr, cur.Addr, ProofReq{Missing: m.Missing}, ca.RPCTimeout,
+		func(resp transport.Message, err error) {
 			if err != nil {
 				ca.ping(cur, func(alive bool) {
 					if alive {
@@ -430,8 +428,8 @@ func (ca *CA) provenanceWalk(m ReportMsg, cur chord.Peer, claimTime time.Duratio
 		convictCur()
 		return
 	}
-	ca.net.Call(ca.addr, cur.Addr, ProofReq{FingerClaim: m.ClaimedFinger}, ca.RPCTimeout,
-		func(resp simnet.Message, err error) {
+	ca.tr.Call(ca.addr, cur.Addr, ProofReq{FingerClaim: m.ClaimedFinger}, ca.RPCTimeout,
+		func(resp transport.Message, err error) {
 			if err != nil {
 				convictCur()
 				return

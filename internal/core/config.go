@@ -15,8 +15,10 @@
 //     proof-chain investigations (§4.6, Fig. 2), plus the selective-DoS
 //     witness/receipt defense (Appendix II).
 //
-// Everything runs inside the deterministic event simulator; see DESIGN.md
-// for the substitution notes (signature scheme, latency model).
+// The package speaks exclusively through transport.Transport: the same
+// state machines run deterministically on internal/simnet and concurrently
+// on internal/transport/chantransport (see README.md for the substitution
+// notes on the signature scheme and latency model).
 package core
 
 import (

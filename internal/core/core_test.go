@@ -9,8 +9,15 @@ import (
 	"github.com/octopus-dht/octopus/internal/simnet"
 )
 
+// testNet bundles a deployment with the simulator that drives it (the
+// simulator is no longer part of core's API: core speaks transport only).
+type testNet struct {
+	*Network
+	Sim *simnet.Simulator
+}
+
 // buildTestNet creates a small Octopus deployment with fast timers.
-func buildTestNet(t *testing.T, seed int64, n int, mutate func(*Config)) *Network {
+func buildTestNet(t *testing.T, seed int64, n int, mutate func(*Config)) *testNet {
 	t.Helper()
 	sim := simnet.New(seed)
 	cfg := DefaultConfig()
@@ -19,11 +26,12 @@ func buildTestNet(t *testing.T, seed int64, n int, mutate func(*Config)) *Networ
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	nw, err := BuildNetwork(sim, simnet.ConstantLatency{D: 10 * time.Millisecond}, n, cfg)
+	net := simnet.NewNetwork(sim, simnet.ConstantLatency{D: 10 * time.Millisecond}, n+1)
+	nw, err := BuildNetwork(net, n, cfg)
 	if err != nil {
 		t.Fatalf("BuildNetwork: %v", err)
 	}
-	return nw
+	return &testNet{Network: nw, Sim: sim}
 }
 
 func TestAnonQueryRoundTrip(t *testing.T) {
@@ -370,7 +378,7 @@ func installSuccListManipulator(nw *Network, addr simnet.Address) {
 func TestNeighborSurveillanceCatchesBiasAttacker(t *testing.T) {
 	nw := buildTestNet(t, 9, 60, nil)
 	evil := simnet.Address(20)
-	installSuccListManipulator(nw, evil)
+	installSuccListManipulator(nw.Network, evil)
 	evilID := nw.Node(evil).Self().ID
 
 	nw.Sim.Run(10 * time.Minute)

@@ -2,20 +2,18 @@ package core
 
 import (
 	"math/rand"
-	"time"
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
 	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
-// Directory models certificate distribution. On the real wire every signed
-// routing table carries its owner's 50-byte certificate (accounted in
-// SignedTableWireSize), so any receiver can verify the owner's signature
-// after checking the certificate against the CA key. The simulator keeps
-// the equivalent key material in one shared map instead of copying
-// certificates into every message value.
+// Directory models certificate distribution: the in-process equivalent of
+// every node caching its peers' CA-issued certificates (whose real wire
+// format lives in xcrypto.Certificate.MarshalWire). Any receiver can verify
+// a table owner's signature after checking the owner's certificate against
+// the CA key; the in-process deployments keep the equivalent key material in
+// one shared map instead of copying certificates into every message value.
 type Directory struct {
 	scheme xcrypto.Scheme
 	keys   map[id.ID]xcrypto.PublicKey
@@ -92,10 +90,3 @@ func boundCheck(owner chord.Peer, fingers []chord.Peer, estSize int, factor floa
 	}
 	return out
 }
-
-// Clock abstraction for freshness checks.
-type simClock interface {
-	Now() time.Duration
-}
-
-var _ simClock = (*simnet.Simulator)(nil)

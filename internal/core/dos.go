@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 
 	"github.com/octopus-dht/octopus/internal/chord"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // Selective-DoS defense (Appendix II), adapted from the mix-network
@@ -25,14 +25,14 @@ func receiptBytes(qid uint64, issuer chord.Peer) []byte {
 }
 
 // sendReceipt issues a signed delivery receipt to the previous hop.
-func (n *Node) sendReceipt(to simnet.Address, qid uint64) {
+func (n *Node) sendReceipt(to transport.Addr, qid uint64) {
 	r := Receipt{QID: qid, Issuer: n.Chord.Self}
 	if ident := n.Chord.Identity(); ident != nil {
 		if sig, err := ident.Scheme.Sign(ident.Key, receiptBytes(qid, n.Chord.Self)); err == nil {
 			r.Sig = sig
 		}
 	}
-	n.net.Send(n.Chord.Self.Addr, to, r)
+	n.tr.Send(n.Chord.Self.Addr, to, r)
 }
 
 // verifyReceipt checks a receipt signature against the directory.
@@ -50,24 +50,24 @@ func (n *Node) verifyReceipt(r Receipt) bool {
 // watchReceipt arms the witness protocol: if no receipt for qid arrives
 // from the next hop within the RPC timeout, up to two witnesses retry the
 // delivery independently.
-func (n *Node) watchReceipt(qid uint64, next simnet.Address, payload *RelayForward) {
+func (n *Node) watchReceipt(qid uint64, next transport.Addr, payload *RelayForward) {
 	if n.DisableReceipts {
 		return
 	}
 	// Evidence retention must outlive the CA's delayed investigation.
 	retention := 20 * n.cfg.QueryTimeout
-	n.sim.After(n.cfg.Chord.RPCTimeout, func() {
+	n.tr.After(n.Chord.Self.Addr, n.cfg.Chord.RPCTimeout, func() {
 		if _, ok := n.receipts[qid]; ok {
 			// Delivered; free the bookkeeping after the case ages out.
-			n.sim.After(retention, func() { delete(n.receipts, qid) })
+			n.tr.After(n.Chord.Self.Addr, retention, func() { delete(n.receipts, qid) })
 			return
 		}
 		witnesses := n.pickWitnesses(2)
 		for _, w := range witnesses {
-			n.net.Send(n.Chord.Self.Addr, w.Addr,
+			n.tr.Send(n.Chord.Self.Addr, w.Addr,
 				WitnessReq{QID: qid, Deliver: next, Payload: payload})
 		}
-		n.sim.After(retention, func() {
+		n.tr.After(n.Chord.Self.Addr, retention, func() {
 			delete(n.receipts, qid)
 			delete(n.statements, qid)
 		})
@@ -95,12 +95,12 @@ func (n *Node) pickWitnesses(k int) []chord.Peer {
 
 // serveWitness retries a delivery on a neighbor's behalf and returns a
 // signed statement about the outcome.
-func (n *Node) serveWitness(from simnet.Address, m WitnessReq) {
+func (n *Node) serveWitness(from transport.Addr, m WitnessReq) {
 	if m.Payload == nil {
 		return
 	}
-	n.net.Send(n.Chord.Self.Addr, m.Deliver, *m.Payload)
-	n.sim.After(n.cfg.Chord.RPCTimeout, func() {
+	n.tr.Send(n.Chord.Self.Addr, m.Deliver, *m.Payload)
+	n.tr.After(n.Chord.Self.Addr, n.cfg.Chord.RPCTimeout, func() {
 		_, delivered := n.receipts[m.QID]
 		resp := WitnessResp{QID: m.QID, Delivered: delivered, Witness: n.Chord.Self}
 		if ident := n.Chord.Identity(); ident != nil {
@@ -109,8 +109,8 @@ func (n *Node) serveWitness(from simnet.Address, m WitnessReq) {
 				resp.Statement = sig
 			}
 		}
-		n.net.Send(n.Chord.Self.Addr, from, resp)
-		n.sim.After(20*n.cfg.QueryTimeout, func() { delete(n.receipts, m.QID) })
+		n.tr.Send(n.Chord.Self.Addr, from, resp)
+		n.tr.After(n.Chord.Self.Addr, 20*n.cfg.QueryTimeout, func() { delete(n.receipts, m.QID) })
 	})
 }
 
@@ -131,8 +131,8 @@ func (n *Node) reportDroppedQuery(qid uint64, head, pair RelayPair) {
 	total := len(relays)
 	for _, r := range relays {
 		r := r
-		n.net.Call(n.Chord.Self.Addr, r.Addr, chord.PingReq{}, n.cfg.Chord.RPCTimeout,
-			func(_ simnet.Message, err error) {
+		n.tr.Call(n.Chord.Self.Addr, r.Addr, chord.PingReq{}, n.cfg.Chord.RPCTimeout,
+			func(_ transport.Message, err error) {
 				total--
 				if err == nil {
 					alive++
@@ -210,8 +210,8 @@ func (ca *CA) investigateDrop(m ReportMsg, done func(chord.Peer, ReportKind)) {
 				done(relay, m.Kind)
 				return
 			}
-			ca.net.Call(ca.addr, relay.Addr, ProofReq{QID: m.QID}, ca.RPCTimeout,
-				func(resp simnet.Message, err error) {
+			ca.tr.Call(ca.addr, relay.Addr, ProofReq{QID: m.QID}, ca.RPCTimeout,
+				func(resp transport.Message, err error) {
 					if err != nil {
 						dbg("qid=%d: relay %v unresponsive", m.QID, relay)
 						done(relay, m.Kind) // refused the investigation

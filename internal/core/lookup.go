@@ -7,7 +7,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // Lookup errors.
@@ -63,7 +63,7 @@ type tableLookup struct {
 	queried        map[id.ID]bool
 	closestQueried chord.Peer
 	stats          LookupStats
-	send           func(target chord.Peer, done func(simnet.Message, error)) bool
+	send           func(target chord.Peer, done func(transport.Message, error)) bool
 	finish         func(chord.Peer, DirectLookupResult, error)
 
 	// Owner candidacy follows Chord semantics: the owner is the first
@@ -80,7 +80,7 @@ type tableLookup struct {
 }
 
 func (n *Node) newTableLookup(key id.ID,
-	send func(chord.Peer, func(simnet.Message, error)) bool,
+	send func(chord.Peer, func(transport.Message, error)) bool,
 	finish func(chord.Peer, DirectLookupResult, error)) *tableLookup {
 	tl := &tableLookup{
 		n:              n,
@@ -92,7 +92,7 @@ func (n *Node) newTableLookup(key id.ID,
 		send:           send,
 		finish:         finish,
 	}
-	tl.stats.Started = n.sim.Now()
+	tl.stats.Started = n.tr.Now()
 	for _, p := range n.Chord.Fingers() {
 		if p.Valid() {
 			tl.known[p.ID] = p
@@ -196,7 +196,7 @@ func (tl *tableLookup) step() {
 	tl.queried[next.ID] = true
 	tl.stats.Queries++
 	tl.stats.Queried = append(tl.stats.Queried, next)
-	sent := tl.send(next, func(resp simnet.Message, err error) {
+	sent := tl.send(next, func(resp transport.Message, err error) {
 		if err == nil {
 			if r, ok := resp.(chord.GetTableResp); ok {
 				table := r.Table
@@ -223,7 +223,7 @@ func (tl *tableLookup) step() {
 }
 
 func (tl *tableLookup) done(owner chord.Peer, err error) {
-	tl.stats.Finished = tl.n.sim.Now()
+	tl.stats.Finished = tl.n.tr.Now()
 	res := DirectLookupResult{Owner: owner}
 	if owner.Valid() {
 		switch {
@@ -256,12 +256,12 @@ func (n *Node) AnonLookup(key id.ID, cb func(chord.Peer, LookupStats, error)) {
 	}
 	if err != nil {
 		n.stats.LookupsFailed++
-		cb(chord.NoPeer, LookupStats{Started: n.sim.Now(), Finished: n.sim.Now()}, err)
+		cb(chord.NoPeer, LookupStats{Started: n.tr.Now(), Finished: n.tr.Now()}, err)
 		return
 	}
 	dummiesLeft := n.cfg.Dummies
 	var tl *tableLookup
-	send := func(target chord.Peer, done func(simnet.Message, error)) bool {
+	send := func(target chord.Peer, done func(transport.Message, error)) bool {
 		pair, err := n.takePairDisjoint(head)
 		if err != nil {
 			return false
@@ -271,7 +271,7 @@ func (n *Node) AnonLookup(key id.ID, cb func(chord.Peer, LookupStats, error)) {
 		// Interleave dummy queries so an observer cannot tell real
 		// query positions from padding (§4.2). Half-probability per
 		// real step spreads them across the lookup.
-		for dummiesLeft > 0 && n.sim.Rand().Intn(2) == 0 {
+		for dummiesLeft > 0 && n.tr.Rand().Intn(2) == 0 {
 			dummiesLeft--
 			n.sendDummy(head, tl)
 		}
@@ -311,12 +311,12 @@ func (n *Node) sendDummy(head RelayPair, tl *tableLookup) {
 		return
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ID < candidates[j].ID })
-	target := candidates[n.sim.Rand().Intn(len(candidates))]
+	target := candidates[n.tr.Rand().Intn(len(candidates))]
 	tl.stats.Dummies++
 	tl.stats.PairsUsed++
 	n.stats.DummiesSent++
 	n.anonQuery(head, pair, target, chord.GetTableReq{IncludeSuccessors: true},
-		func(simnet.Message, error) {}) // dummy answers are discarded
+		func(transport.Message, error) {}) // dummy answers are discarded
 }
 
 // DirectTableLookup resolves the owner of key non-anonymously but over
@@ -325,8 +325,8 @@ func (n *Node) sendDummy(head RelayPair, tl *tableLookup) {
 // security check.
 func (n *Node) DirectTableLookup(key id.ID, cb func(DirectLookupResult, LookupStats, error)) {
 	var tl *tableLookup
-	send := func(target chord.Peer, done func(simnet.Message, error)) bool {
-		n.net.Call(n.Chord.Self.Addr, target.Addr,
+	send := func(target chord.Peer, done func(transport.Message, error)) bool {
+		n.tr.Call(n.Chord.Self.Addr, target.Addr,
 			chord.GetTableReq{IncludeSuccessors: true}, n.cfg.Chord.RPCTimeout, done)
 		return true
 	}

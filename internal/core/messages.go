@@ -5,17 +5,20 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
-	"github.com/octopus-dht/octopus/internal/xcrypto"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
-// Anonymous-path messages. The simulator models onion layers structurally:
-// a RelayForward is the already-peeled view of the current hop — it exposes
+// Anonymous-path messages. The onion layers are modelled structurally: a
+// RelayForward is the already-peeled view of the current hop — it exposes
 // exactly the fields the corresponding onion layer would decrypt to (next
 // hop, or the exit action), and nothing about earlier hops. Adversarial
-// code receives the same views an on-the-wire attacker would; the real
-// AES-CTR onion construction lives in internal/xcrypto and is exercised by
-// the public facade and its tests (DESIGN.md §2).
+// code receives the same views an on-the-wire attacker would; the wire
+// codec (codec.go) additionally reserves the per-layer AES-CTR IV bytes the
+// real onion construction (internal/xcrypto) carries, so the serialized
+// size matches a genuinely onion-encrypted message.
+//
+// Every message implements transport.Wire; Size() is derived from the real
+// encoding via transport.EncodedSize.
 
 // RelayForward carries a query one hop along an anonymous path.
 type RelayForward struct {
@@ -23,7 +26,7 @@ type RelayForward struct {
 	QID uint64
 	// Next is the address this relay must forward Inner to. Unset when
 	// Exit is set.
-	Next simnet.Address
+	Next transport.Addr
 	// Inner is the peeled onion for the next relay.
 	Inner *RelayForward
 	// Exit, when non-nil, marks this relay as the exit: it performs the
@@ -32,37 +35,23 @@ type RelayForward struct {
 	// Local, when non-nil, makes this relay the final recipient: it
 	// processes the request itself (e.g. a phase-2 walk seed) and
 	// eventually answers through the reverse path.
-	Local simnet.Message
+	Local transport.Message
 	// Delay is an artificial pause this relay must add before
 	// forwarding; the initiator sets it on relay B's layer to defeat
 	// end-to-end timing analysis (§4.7).
 	Delay time.Duration
-	// Depth is the remaining onion depth, for wire-size accounting.
+	// Depth is the remaining onion depth.
 	Depth int
 }
 
 // ExitAction is the innermost onion layer: the actual query.
 type ExitAction struct {
-	Target simnet.Address
-	Req    simnet.Message
+	Target transport.Addr
+	Req    transport.Message
 }
 
-// Size implements simnet.Message: the query payload plus one onion layer of
-// overhead per remaining hop.
-func (m RelayForward) Size() int {
-	payload := 0
-	cur := &m
-	for cur != nil {
-		if cur.Exit != nil && cur.Exit.Req != nil {
-			payload = cur.Exit.Req.Size()
-		}
-		if cur.Local != nil {
-			payload = cur.Local.Size()
-		}
-		cur = cur.Inner
-	}
-	return xcrypto.HeaderWireSize + payload + xcrypto.OnionWireOverhead(m.Depth)
-}
+// Size implements transport.Message.
+func (m RelayForward) Size() int { return transport.EncodedSize(m) }
 
 // RelayReply carries a query answer one hop back toward the initiator. Each
 // relay forwards it to the predecessor it recorded for QID.
@@ -70,21 +59,15 @@ type RelayReply struct {
 	QID uint64
 	// Resp is the queried node's answer (typically a signed routing
 	// table).
-	Resp simnet.Message
+	Resp transport.Message
 	// Failed marks a query the exit could not complete.
 	Failed bool
-	// Depth is the number of reply onion layers, for size accounting.
+	// Depth is the number of reply onion layers.
 	Depth int
 }
 
-// Size implements simnet.Message.
-func (m RelayReply) Size() int {
-	inner := 0
-	if m.Resp != nil {
-		inner = m.Resp.Size()
-	}
-	return xcrypto.HeaderWireSize + inner + xcrypto.OnionWireOverhead(m.Depth)
-}
+// Size implements transport.Message.
+func (m RelayReply) Size() int { return transport.EncodedSize(m) }
 
 // WalkSeedReq delivers the phase-2 random seed to U_l, the last node of
 // phase 1 (Appendix I). U_l performs the second phase, collecting signed
@@ -95,8 +78,8 @@ type WalkSeedReq struct {
 	Hops   int
 }
 
-// Size implements simnet.Message.
-func (WalkSeedReq) Size() int { return xcrypto.HeaderWireSize + 8 + 2 }
+// Size implements transport.Message.
+func (m WalkSeedReq) Size() int { return transport.EncodedSize(m) }
 
 // WalkSeedResp returns every fingertable U_l collected in phase 2, each
 // signed by its owner, so the initiator can re-derive the seed-driven
@@ -107,14 +90,8 @@ type WalkSeedResp struct {
 	OK     bool
 }
 
-// Size implements simnet.Message.
-func (m WalkSeedResp) Size() int {
-	total := xcrypto.HeaderWireSize + 1
-	for _, t := range m.Tables {
-		total += t.WireSize()
-	}
-	return total
-}
+// Size implements transport.Message.
+func (m WalkSeedResp) Size() int { return transport.EncodedSize(m) }
 
 // Receipt acknowledges delivery of a relayed message (Appendix II). It is
 // signed by the issuer so it can serve as evidence before the CA.
@@ -124,28 +101,20 @@ type Receipt struct {
 	Sig    []byte
 }
 
-// Size implements simnet.Message.
-func (Receipt) Size() int {
-	return xcrypto.HeaderWireSize + xcrypto.RoutingItemWireSize + xcrypto.SigWireSize
-}
+// Size implements transport.Message.
+func (m Receipt) Size() int { return transport.EncodedSize(m) }
 
 // WitnessReq asks a witness (a successor/predecessor of the requester) to
 // independently deliver a message to a suspected dropper's next hop and
 // collect a receipt or a failure statement (Appendix II).
 type WitnessReq struct {
 	QID     uint64
-	Deliver simnet.Address
+	Deliver transport.Addr
 	Payload *RelayForward
 }
 
-// Size implements simnet.Message.
-func (m WitnessReq) Size() int {
-	inner := 0
-	if m.Payload != nil {
-		inner = m.Payload.Size()
-	}
-	return xcrypto.HeaderWireSize + xcrypto.AddrWireSize + inner
-}
+// Size implements transport.Message.
+func (m WitnessReq) Size() int { return transport.EncodedSize(m) }
 
 // WitnessResp returns the witness's receipt or signed failure statement.
 type WitnessResp struct {
@@ -155,10 +124,8 @@ type WitnessResp struct {
 	Witness   chord.Peer
 }
 
-// Size implements simnet.Message.
-func (WitnessResp) Size() int {
-	return xcrypto.HeaderWireSize + 1 + xcrypto.SigWireSize + xcrypto.RoutingItemWireSize
-}
+// Size implements transport.Message.
+func (m WitnessResp) Size() int { return transport.EncodedSize(m) }
 
 // --- CA protocol messages (§4.6, Fig. 2) ---
 
@@ -207,15 +174,8 @@ type ReportMsg struct {
 	HasHeadReceipt bool
 }
 
-// Size implements simnet.Message.
-func (m ReportMsg) Size() int {
-	total := xcrypto.HeaderWireSize + 3*xcrypto.RoutingItemWireSize + xcrypto.KeyIDWireSize
-	for _, t := range m.Evidence {
-		total += t.WireSize()
-	}
-	total += len(m.Relays) * xcrypto.RoutingItemWireSize
-	return total
-}
+// Size implements transport.Message.
+func (m ReportMsg) Size() int { return transport.EncodedSize(m) }
 
 // ProofReq is the CA asking a node for its pollution proofs: the most
 // recent signed successor lists it received during stabilization, or — in
@@ -232,10 +192,8 @@ type ProofReq struct {
 	FingerClaim chord.Peer
 }
 
-// Size implements simnet.Message.
-func (ProofReq) Size() int {
-	return xcrypto.HeaderWireSize + xcrypto.RoutingItemWireSize + 8
-}
+// Size implements transport.Message.
+func (m ProofReq) Size() int { return transport.EncodedSize(m) }
 
 // ProofResp carries the node's current signed successor list plus its proof
 // queue.
@@ -252,26 +210,11 @@ type ProofResp struct {
 	Statements []WitnessResp
 }
 
-// Size implements simnet.Message.
-func (m ProofResp) Size() int {
-	total := xcrypto.HeaderWireSize + m.Own.WireSize()
-	if m.HasProvenance {
-		total += m.Provenance.WireSize()
-	}
-	for _, t := range m.Proofs {
-		total += t.WireSize()
-	}
-	for range m.Receipts {
-		total += Receipt{}.Size()
-	}
-	for range m.Statements {
-		total += WitnessResp{}.Size()
-	}
-	return total
-}
+// Size implements transport.Message.
+func (m ProofResp) Size() int { return transport.EncodedSize(m) }
 
 // ReportAck acknowledges a report.
 type ReportAck struct{}
 
-// Size implements simnet.Message.
-func (ReportAck) Size() int { return xcrypto.HeaderWireSize }
+// Size implements transport.Message.
+func (m ReportAck) Size() int { return transport.EncodedSize(m) }

@@ -1,16 +1,18 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/octopus-dht/octopus/internal/chord"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
-// Network is a complete simulated Octopus deployment: the node population,
-// the certificate directory, and the CA bound one address past the ring.
+// Network is a complete Octopus deployment over one transport: the node
+// population, the certificate directory, and the CA bound one address past
+// the ring.
 type Network struct {
-	Sim   *simnet.Simulator
-	Net   *simnet.Network
+	Net   transport.Transport
 	Ring  *chord.Ring
 	Nodes []*Node
 	Dir   *Directory
@@ -19,14 +21,21 @@ type Network struct {
 }
 
 // BuildNetwork creates n Octopus nodes with consistent initial routing
-// state, CA-issued identities, and all protocol timers running. The CA
-// occupies address n. By default a revocation ejects the node from the
-// network (its certificate is void, so peers stop talking to it), which is
-// modelled by stopping it.
-func BuildNetwork(sim *simnet.Simulator, lat simnet.LatencyModel, n int, cfg Config) (*Network, error) {
-	net := simnet.NewNetwork(sim, lat, n+1)
+// state, CA-issued identities, and all protocol timers running, over any
+// transport with at least n+1 address slots. The CA occupies address n. By
+// default a revocation ejects the node from the network (its certificate is
+// void, so peers stop talking to it), which is modelled by stopping it.
+func BuildNetwork(tr transport.Transport, n int, cfg Config) (*Network, error) {
+	// Both in-tree transports expose their slot count; a transport too
+	// small for the CA slot would otherwise degrade silently (Bind on an
+	// out-of-range address is a no-op, so every report would just time
+	// out and the security machinery would be disabled without an error).
+	if sized, ok := tr.(interface{ Size() int }); ok && sized.Size() < n+1 {
+		return nil, fmt.Errorf("core: transport has %d address slots, need %d (n nodes + the CA)",
+			sized.Size(), n+1)
+	}
 	dir := NewDirectory(xcrypto.SimScheme{})
-	auth, err := xcrypto.NewCA(dir.Scheme(), sim.Rand())
+	auth, err := xcrypto.NewCA(dir.Scheme(), tr.Rand())
 	if err != nil {
 		return nil, err
 	}
@@ -34,15 +43,14 @@ func BuildNetwork(sim *simnet.Simulator, lat simnet.LatencyModel, n int, cfg Con
 	chordCfg := cfg.Chord
 	chordCfg.SignTables = true
 	chordCfg.DisableFingerUpdates = true
-	identFor := NewIdentityFactory(dir, auth, sim.Rand())
-	ring := chord.BuildRing(net, chordCfg, n, identFor)
+	identFor := NewIdentityFactory(dir, auth, tr.Rand())
+	ring := chord.BuildRing(tr, chordCfg, n, identFor)
 
-	caAddr := simnet.Address(n)
-	ca := NewCA(net, caAddr, dir, auth)
+	caAddr := transport.Addr(n)
+	ca := NewCA(tr, caAddr, dir, auth)
 
 	nw := &Network{
-		Sim:   sim,
-		Net:   net,
+		Net:   tr,
 		Ring:  ring,
 		Nodes: make([]*Node, n),
 		Dir:   dir,
@@ -59,7 +67,7 @@ func BuildNetwork(sim *simnet.Simulator, lat simnet.LatencyModel, n int, cfg Con
 }
 
 // Node returns the Octopus node at an address slot.
-func (nw *Network) Node(addr simnet.Address) *Node {
+func (nw *Network) Node(addr transport.Addr) *Node {
 	if addr < 0 || int(addr) >= len(nw.Nodes) {
 		return nil
 	}
@@ -76,7 +84,7 @@ func (nw *Network) Eject(p chord.Peer) {
 
 // AliveMaliciousFraction is a convenience for security experiments: the
 // fraction of the population in `malicious` that is still running.
-func (nw *Network) AliveMaliciousFraction(malicious map[simnet.Address]bool) float64 {
+func (nw *Network) AliveMaliciousFraction(malicious map[transport.Addr]bool) float64 {
 	if len(nw.Nodes) == 0 {
 		return 0
 	}

@@ -6,7 +6,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // RelayPair is a pair of anonymization relays — the last two hops of one
@@ -37,14 +37,14 @@ type NodeStats struct {
 
 // backRoute is per-relay reverse-path state for one query.
 type backRoute struct {
-	prev  simnet.Address
+	prev  transport.Addr
 	delay time.Duration
 }
 
 // pendingQuery is initiator-side state for one outstanding anonymous query.
 type pendingQuery struct {
-	cb    func(simnet.Message, error)
-	timer *simnet.Timer
+	cb    func(transport.Message, error)
+	timer transport.Timer
 }
 
 // ErrQueryTimeout is reported when an anonymous query's reply never returns.
@@ -61,9 +61,8 @@ var ErrNoRelays = errors.New("core: relay pool empty and no fallback available")
 type Node struct {
 	cfg    Config
 	Chord  *chord.Node
-	sim    *simnet.Simulator
-	net    *simnet.Network
-	caAddr simnet.Address
+	tr     transport.Transport
+	caAddr transport.Addr
 	dir    *Directory
 
 	qidSeq  uint64
@@ -91,11 +90,11 @@ type Node struct {
 	// DropFilter, when set, makes this node a selective-DoS relay: any
 	// RelayForward for which it returns true is silently discarded
 	// (adversary hook, Appendix II).
-	DropFilter func(m RelayForward, from simnet.Address) bool
+	DropFilter func(m RelayForward, from transport.Addr) bool
 	// OnForward observes relay traffic (adversary instrumentation).
-	OnForward func(qid uint64, from, next simnet.Address)
+	OnForward func(qid uint64, from, next transport.Addr)
 	// OnExit observes exit queries (adversary instrumentation).
-	OnExit func(qid uint64, from, target simnet.Address)
+	OnExit func(qid uint64, from, target transport.Addr)
 	// DisableReceipts turns off the Appendix II receipt protocol (used
 	// by experiments that do not study selective DoS, to isolate costs).
 	DisableReceipts bool
@@ -112,15 +111,14 @@ type Node struct {
 // New builds an Octopus node over an existing Chord node (whose tables must
 // be signed — SignTables is forced on). caAddr is the CA's network address;
 // dir supplies certificate material for verifying table signatures.
-func New(cn *chord.Node, cfg Config, caAddr simnet.Address, dir *Directory) *Node {
+func New(cn *chord.Node, cfg Config, caAddr transport.Addr, dir *Directory) *Node {
 	cfg.Chord = cn.Cfg
 	cfg.Chord.SignTables = true
 	cn.Cfg.SignTables = true
 	n := &Node{
 		cfg:        cfg,
 		Chord:      cn,
-		sim:        cn.Sim(),
-		net:        cn.Network(),
+		tr:         cn.Transport(),
 		caAddr:     caAddr,
 		dir:        dir,
 		backRoutes: make(map[uint64]backRoute),
@@ -159,10 +157,10 @@ func (n *Node) Start() {
 // this entry point.
 func (n *Node) StartProtocols() {
 	n.stops = append(n.stops,
-		n.sim.Every(n.cfg.WalkEvery, n.startWalk),
-		n.sim.Every(n.cfg.SurveilEvery, n.neighborSurveillance),
-		n.sim.Every(n.cfg.SurveilEvery, n.fingerSurveillance),
-		n.sim.Every(n.cfg.Chord.FixFingersEvery, n.secureFingerUpdate),
+		n.tr.Every(n.Chord.Self.Addr, n.cfg.WalkEvery, n.startWalk),
+		n.tr.Every(n.Chord.Self.Addr, n.cfg.SurveilEvery, n.neighborSurveillance),
+		n.tr.Every(n.Chord.Self.Addr, n.cfg.SurveilEvery, n.fingerSurveillance),
+		n.tr.Every(n.Chord.Self.Addr, n.cfg.Chord.FixFingersEvery, n.secureFingerUpdate),
 	)
 }
 
@@ -193,7 +191,7 @@ func (n *Node) recordProof(src chord.Peer, table chord.RoutingTable) {
 func (n *Node) recordFingerProvenance(finger id.ID, evidence chord.RoutingTable) {
 	const maxAge = 10 * time.Minute
 	if len(n.fingerProv) > 512 {
-		cutoff := n.sim.Now() - maxAge
+		cutoff := n.tr.Now() - maxAge
 		for k, v := range n.fingerProv {
 			if v.Timestamp < cutoff {
 				delete(n.fingerProv, k)
@@ -279,7 +277,7 @@ func (n *Node) synthPair(exclude RelayPair) (RelayPair, error) {
 	if len(candidates) < 2 {
 		return RelayPair{}, ErrNoRelays
 	}
-	rng := n.sim.Rand()
+	rng := n.tr.Rand()
 	i := rng.Intn(len(candidates))
 	j := rng.Intn(len(candidates) - 1)
 	if j >= i {
@@ -309,7 +307,7 @@ func (n *Node) peekPairDisjoint(head RelayPair) (RelayPair, error) {
 // from starving (real lookups still consume single-use pairs via takePair).
 func (n *Node) peekPair() (RelayPair, error) {
 	if len(n.pool) > 0 {
-		return n.pool[n.sim.Rand().Intn(len(n.pool))], nil
+		return n.pool[n.tr.Rand().Intn(len(n.pool))], nil
 	}
 	return n.takePair() // fallback synthesizes from fingers
 }
@@ -327,7 +325,7 @@ func (n *Node) takePair() (RelayPair, error) {
 
 // handleExtra dispatches Octopus-specific messages arriving at the Chord
 // layer.
-func (n *Node) handleExtra(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+func (n *Node) handleExtra(from transport.Addr, req transport.Message) (transport.Message, bool) {
 	switch m := req.(type) {
 	case RelayForward:
 		n.handleForward(from, m)
@@ -354,7 +352,7 @@ func (n *Node) handleExtra(from simnet.Address, req simnet.Message) (simnet.Mess
 // handleForward implements the relay role: issue a receipt, record the
 // reverse path, honor the layer's artificial delay, then forward inward or
 // perform the exit query.
-func (n *Node) handleForward(from simnet.Address, m RelayForward) {
+func (n *Node) handleForward(from transport.Addr, m RelayForward) {
 	if n.DropFilter != nil && n.DropFilter(m, from) {
 		return // selective-DoS adversary
 	}
@@ -366,7 +364,7 @@ func (n *Node) handleForward(from simnet.Address, m RelayForward) {
 	// Reverse-path state for queries whose replies never come back must
 	// not accumulate forever.
 	qid := m.QID
-	n.sim.After(4*n.cfg.QueryTimeout, func() { delete(n.backRoutes, qid) })
+	n.tr.After(n.Chord.Self.Addr, 4*n.cfg.QueryTimeout, func() { delete(n.backRoutes, qid) })
 
 	deliver := func() {
 		if m.Exit != nil {
@@ -380,17 +378,17 @@ func (n *Node) handleForward(from simnet.Address, m RelayForward) {
 			n.handleLocalDelivery(m.QID, m.Local)
 			return
 		}
-		if m.Inner == nil || m.Next == simnet.NoAddress {
+		if m.Inner == nil || m.Next == transport.NoAddr {
 			return
 		}
 		if n.OnForward != nil {
 			n.OnForward(m.QID, from, m.Next)
 		}
-		n.net.Send(n.Chord.Self.Addr, m.Next, *m.Inner)
+		n.tr.Send(n.Chord.Self.Addr, m.Next, *m.Inner)
 		n.watchReceipt(m.QID, m.Next, m.Inner)
 	}
 	if m.Delay > 0 {
-		n.sim.After(time.Duration(n.sim.Rand().Int63n(int64(m.Delay))), deliver)
+		n.tr.After(n.Chord.Self.Addr, time.Duration(n.tr.Rand().Int63n(int64(m.Delay))), deliver)
 		return
 	}
 	deliver()
@@ -399,8 +397,8 @@ func (n *Node) handleForward(from simnet.Address, m RelayForward) {
 // performExit executes the innermost layer: query the target node and route
 // the answer backwards.
 func (n *Node) performExit(qid uint64, exit ExitAction) {
-	n.net.Call(n.Chord.Self.Addr, exit.Target, exit.Req, n.cfg.Chord.RPCTimeout,
-		func(resp simnet.Message, err error) {
+	n.tr.Call(n.Chord.Self.Addr, exit.Target, exit.Req, n.cfg.Chord.RPCTimeout,
+		func(resp transport.Message, err error) {
 			reply := RelayReply{QID: qid, Depth: 1}
 			if err != nil {
 				reply.Failed = true
@@ -413,7 +411,7 @@ func (n *Node) performExit(qid uint64, exit ExitAction) {
 
 // handleReply routes an answer one hop back toward the initiator, applying
 // the same artificial delay the forward leg used at this relay.
-func (n *Node) handleReply(from simnet.Address, m RelayReply) {
+func (n *Node) handleReply(from transport.Addr, m RelayReply) {
 	if p, ok := n.pending[m.QID]; ok {
 		delete(n.pending, m.QID)
 		p.timer.Cancel()
@@ -435,9 +433,9 @@ func (n *Node) routeReplyBack(qid uint64, m RelayReply) {
 		return
 	}
 	delete(n.backRoutes, qid)
-	send := func() { n.net.Send(n.Chord.Self.Addr, route.prev, m) }
+	send := func() { n.tr.Send(n.Chord.Self.Addr, route.prev, m) }
 	if route.delay > 0 {
-		n.sim.After(time.Duration(n.sim.Rand().Int63n(int64(route.delay))), send)
+		n.tr.After(n.Chord.Self.Addr, time.Duration(n.tr.Rand().Int63n(int64(route.delay))), send)
 		return
 	}
 	send()
@@ -446,7 +444,7 @@ func (n *Node) routeReplyBack(qid uint64, m RelayReply) {
 // handleLocalDelivery processes the innermost layer of a relayed message
 // addressed to this node itself (currently only phase-2 walk seeds). The
 // handler must eventually answer via routeReplyBack with the same QID.
-func (n *Node) handleLocalDelivery(qid uint64, req simnet.Message) {
+func (n *Node) handleLocalDelivery(qid uint64, req transport.Message) {
 	if m, ok := req.(WalkSeedReq); ok {
 		n.runPhaseTwo(qid, m)
 	}
@@ -458,11 +456,11 @@ func (n *Node) handleLocalDelivery(qid uint64, req simnet.Message) {
 // itself (Local delivery). delayAt, when >= 0, selects the route index that
 // must add the random anti-timing delay. cb is invoked exactly once, always
 // asynchronously.
-func (n *Node) chainQuery(route []chord.Peer, target chord.Peer, req simnet.Message,
-	timeout time.Duration, delayAt int, cb func(simnet.Message, error)) uint64 {
+func (n *Node) chainQuery(route []chord.Peer, target chord.Peer, req transport.Message,
+	timeout time.Duration, delayAt int, cb func(transport.Message, error)) uint64 {
 	if len(route) == 0 {
 		// Degenerate direct query (bootstrap only).
-		n.net.Call(n.Chord.Self.Addr, target.Addr, req, timeout, cb)
+		n.tr.Call(n.Chord.Self.Addr, target.Addr, req, timeout, cb)
 		return 0
 	}
 	n.qidSeq++
@@ -483,14 +481,14 @@ func (n *Node) chainQuery(route []chord.Peer, target chord.Peer, req simnet.Mess
 		}
 		inner = layer
 	}
-	timer := n.sim.After(timeout, func() {
+	timer := n.tr.After(n.Chord.Self.Addr, timeout, func() {
 		if p, ok := n.pending[qid]; ok {
 			delete(n.pending, qid)
 			p.cb(nil, ErrQueryTimeout)
 		}
 	})
 	n.pending[qid] = &pendingQuery{cb: cb, timer: timer}
-	n.net.Send(n.Chord.Self.Addr, route[0].Addr, *inner)
+	n.tr.Send(n.Chord.Self.Addr, route[0].Addr, *inner)
 	return qid
 }
 
@@ -499,12 +497,12 @@ func (n *Node) chainQuery(route []chord.Peer, target chord.Peer, req simnet.Mess
 // head is the lookup's shared (A, B) pair; pair is this query's (Ci, Di).
 // Relay B (route index 1) adds the anti-timing-analysis delay (§4.7). With
 // DoSDefense on, a silent loss triggers the Appendix II reporting path.
-func (n *Node) anonQuery(head, pair RelayPair, target chord.Peer, req simnet.Message, cb func(simnet.Message, error)) {
+func (n *Node) anonQuery(head, pair RelayPair, target chord.Peer, req transport.Message, cb func(transport.Message, error)) {
 	n.stats.QueriesSent++
 	route := []chord.Peer{head.First, head.Second, pair.First, pair.Second}
 	var qid uint64
 	qid = n.chainQuery(route, target, req, n.cfg.QueryTimeout, 1,
-		func(resp simnet.Message, err error) {
+		func(resp transport.Message, err error) {
 			// chainQuery completes strictly asynchronously, so qid is
 			// assigned by the time this runs. Only a silent loss
 			// implicates the path; an explicit exit failure means the

@@ -5,7 +5,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // The three secret security checks of §4.3–§4.5. All of them ride on
@@ -44,7 +44,7 @@ func (n *Node) neighborSurveillance() {
 	if len(preds) == 0 {
 		return
 	}
-	target := preds[n.sim.Rand().Intn(len(preds))]
+	target := preds[n.tr.Rand().Intn(len(preds))]
 	head, err := n.peekPair()
 	if err != nil {
 		return // relay pool still warming up
@@ -55,7 +55,7 @@ func (n *Node) neighborSurveillance() {
 	}
 	n.stats.ChecksRun++
 	n.anonQuery(head, pair, target, chord.GetTableReq{IncludeSuccessors: true},
-		func(resp simnet.Message, err error) {
+		func(resp transport.Message, err error) {
 			if err != nil {
 				return // dead neighbor: stabilization handles it
 			}
@@ -114,7 +114,7 @@ func (n *Node) fingerSurveillance() {
 	if len(n.tableBuffer) == 0 {
 		return
 	}
-	rng := n.sim.Rand()
+	rng := n.tr.Rand()
 	table := n.tableBuffer[rng.Intn(len(n.tableBuffer))]
 	if len(table.Fingers) == 0 {
 		return
@@ -153,9 +153,9 @@ func (n *Node) fingerSurveillance() {
 // cb receives the closer node (or NoPeer) and the signed evidence tables.
 func (n *Node) consistencyCheck(ideal id.ID, claimed chord.Peer,
 	cb func(closer chord.Peer, evidence []chord.RoutingTable, err error)) {
-	n.net.Call(n.Chord.Self.Addr, claimed.Addr,
+	n.tr.Call(n.Chord.Self.Addr, claimed.Addr,
 		chord.GetTableReq{IncludePredecessors: true}, n.cfg.Chord.RPCTimeout,
-		func(resp simnet.Message, err error) {
+		func(resp transport.Message, err error) {
 			if err != nil {
 				cb(chord.NoPeer, nil, err)
 				return
@@ -193,11 +193,11 @@ func (n *Node) consistencyCheck(ideal id.ID, claimed chord.Peer,
 				cb(chord.NoPeer, []chord.RoutingTable{predTable}, nil)
 				return
 			}
-			p1 := eligible[n.sim.Rand().Intn(len(eligible))]
+			p1 := eligible[n.tr.Rand().Intn(len(eligible))]
 			// "After a short random period of time" (§4.4) the
 			// anonymous probe follows, so F' cannot correlate the two.
-			delay := time.Duration(n.sim.Rand().Int63n(int64(5 * time.Second)))
-			n.sim.After(delay, func() {
+			delay := time.Duration(n.tr.Rand().Int63n(int64(5 * time.Second)))
+			n.tr.After(n.Chord.Self.Addr, delay, func() {
 				n.probePredecessor(ideal, claimed, predTable, p1, cb)
 			})
 		})
@@ -217,7 +217,7 @@ func (n *Node) probePredecessor(ideal id.ID, claimed chord.Peer,
 		return
 	}
 	n.anonQuery(head, pair, p1, chord.GetTableReq{IncludeSuccessors: true},
-		func(resp simnet.Message, err error) {
+		func(resp transport.Message, err error) {
 			if err != nil {
 				cb(chord.NoPeer, nil, err)
 				return
@@ -306,6 +306,6 @@ func (n *Node) updateFingerSlot(slot int) {
 // report submits a surveillance report to the CA.
 func (n *Node) report(msg ReportMsg) {
 	n.stats.ReportsSent++
-	n.net.Call(n.Chord.Self.Addr, n.caAddr, msg, n.cfg.Chord.RPCTimeout,
-		func(simnet.Message, error) {})
+	n.tr.Call(n.Chord.Self.Addr, n.caAddr, msg, n.cfg.Chord.RPCTimeout,
+		func(transport.Message, error) {})
 }

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/chord"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // Two-phase random walk for anonymization-relay selection (Appendix I).
@@ -59,7 +59,7 @@ func (n *Node) acceptedFingers(t chord.RoutingTable) []chord.Peer {
 }
 
 func (n *Node) runWalk(cb func(walkResult, error)) {
-	rng := n.sim.Rand()
+	rng := n.tr.Rand()
 	fingers := n.Chord.Fingers()
 	if len(fingers) == 0 {
 		cb(walkResult{}, ErrNoRelays)
@@ -74,7 +74,7 @@ func (n *Node) runWalk(cb func(walkResult, error)) {
 		cur := visited[hop-1]
 		route := clonePeers(visited[:hop-1])
 		n.chainQuery(route, cur, chord.GetTableReq{}, n.cfg.QueryTimeout, -1,
-			func(resp simnet.Message, err error) {
+			func(resp transport.Message, err error) {
 				if err != nil {
 					cb(res, err)
 					return
@@ -109,7 +109,7 @@ func (n *Node) runWalk(cb func(walkResult, error)) {
 // phaseTwo sends the seed to Ul through the phase-1 path and verifies the
 // returned evidence.
 func (n *Node) phaseTwo(visited []chord.Peer, cb func(walkResult, error), res *walkResult) {
-	rng := n.sim.Rand()
+	rng := n.tr.Rand()
 	seed := rng.Int63()
 	l := n.cfg.WalkLength
 	n.walkSeq++
@@ -117,7 +117,7 @@ func (n *Node) phaseTwo(visited []chord.Peer, cb func(walkResult, error), res *w
 	timeout := 2*n.cfg.QueryTimeout + time.Duration(l)*n.cfg.Chord.RPCTimeout
 	// Local delivery to Ul through U1..U_{l-1}.
 	n.chainQuery(clonePeers(visited), chord.NoPeer, req, timeout, -1,
-		func(resp simnet.Message, err error) {
+		func(resp transport.Message, err error) {
 			if err != nil {
 				cb(*res, err)
 				return
@@ -197,8 +197,8 @@ func (n *Node) runPhaseTwo(qid uint64, m WalkSeedReq) {
 			})
 			return
 		}
-		n.net.Call(n.Chord.Self.Addr, next.Addr, chord.GetTableReq{}, n.cfg.Chord.RPCTimeout,
-			func(resp simnet.Message, err error) {
+		n.tr.Call(n.Chord.Self.Addr, next.Addr, chord.GetTableReq{}, n.cfg.Chord.RPCTimeout,
+			func(resp transport.Message, err error) {
 				if err != nil {
 					fail()
 					return

@@ -17,7 +17,7 @@ import (
 // Fig. 7(a)). The paper ran 207 PlanetLab nodes; we run the identical
 // protocol state machines over the simulator with a PlanetLab-like latency
 // distribution (mean RTT ≈ 90 ms — PlanetLab pairs are faster than the
-// King DNS pairs; see DESIGN.md §2).
+// King DNS pairs; see README.md).
 type EfficiencyConfig struct {
 	// Nodes is the testbed size (paper: 207).
 	Nodes int
@@ -240,7 +240,8 @@ func RunOctopusEfficiency(cfg EfficiencyConfig) SchemeEfficiency {
 	// reaction to stragglers is exactly why Octopus beats Halo on
 	// PlanetLab despite doing more work (§7).
 	coreCfg.QueryTimeout = 3 * time.Second
-	nw, err := core.BuildNetwork(sim, cfg.latencyModel(), cfg.Nodes, coreCfg)
+	net := simnet.NewNetwork(sim, cfg.latencyModel(), cfg.Nodes+1)
+	nw, err := core.BuildNetwork(net, cfg.Nodes, coreCfg)
 	if err != nil {
 		return out
 	}
@@ -275,7 +276,8 @@ func octopusBandwidth(cfg EfficiencyConfig, lookupEvery time.Duration) float64 {
 	coreCfg := core.DefaultConfig()
 	coreCfg.EstimatedSize = 1_000_000 // bound checker sized for the big net
 	coreCfg.Chord.Fingers = cfg.BigNetFingers
-	nw, err := core.BuildNetwork(sim, cfg.latencyModel(), cfg.Nodes, coreCfg)
+	net := simnet.NewNetwork(sim, cfg.latencyModel(), cfg.Nodes+1)
+	nw, err := core.BuildNetwork(net, cfg.Nodes, coreCfg)
 	if err != nil {
 		return 0
 	}

@@ -8,7 +8,7 @@ import (
 )
 
 func quickSecurity(strategy adversary.Strategy) SecurityConfig {
-	return SecurityConfig{
+	cfg := SecurityConfig{
 		N:           200,
 		F:           0.20,
 		Strategy:    strategy,
@@ -16,6 +16,22 @@ func quickSecurity(strategy adversary.Strategy) SecurityConfig {
 		SampleEvery: 100 * time.Second,
 		Seed:        1,
 	}
+	if testing.Short() {
+		// CI runs with -short: a smaller population reaches the same
+		// qualitative outcomes (identification, zero false positives)
+		// in roughly half the wall time; full-size runs remain the
+		// default for local verification.
+		cfg.N = 120
+	}
+	return cfg
+}
+
+// shortDuration picks the simulated time span by test mode.
+func shortDuration(full, short time.Duration) time.Duration {
+	if testing.Short() {
+		return short
+	}
+	return full
 }
 
 func TestLookupBiasAttackersIdentified(t *testing.T) {
@@ -58,7 +74,7 @@ func TestAttackRateOrdering(t *testing.T) {
 
 func TestBiasedLookupsPlateau(t *testing.T) {
 	cfg := quickSecurity(adversary.Strategy{AttackRate: 1, BiasLookups: true})
-	cfg.Duration = 900 * time.Second
+	cfg.Duration = shortDuration(900*time.Second, 600*time.Second)
 	cfg.LookupEvery = time.Minute
 	res := RunSecurity(cfg)
 	if res.TotalLookups == 0 {
@@ -111,7 +127,7 @@ func TestCAWorkloadFrontLoaded(t *testing.T) {
 	// Fig 7(b): the CA's workload peaks at deployment and decays to
 	// nearly nothing once the attacker population is cleaned out.
 	cfg := quickSecurity(adversary.Strategy{AttackRate: 1, BiasLookups: true})
-	cfg.Duration = 900 * time.Second
+	cfg.Duration = shortDuration(900*time.Second, 600*time.Second)
 	res := RunSecurity(cfg)
 	series := res.CAWorkloadSeries().Points
 	if len(series) < 4 {
@@ -145,6 +161,10 @@ func TestEfficiencyOrdering(t *testing.T) {
 	cfg.Lookups = 150
 	cfg.WarmUp = 2 * time.Minute
 	cfg.BandwidthWindow = 4 * time.Minute
+	if testing.Short() {
+		cfg.Lookups = 80
+		cfg.BandwidthWindow = 3 * time.Minute
+	}
 	chordRes := RunChordEfficiency(cfg)
 	octoRes := RunOctopusEfficiency(cfg)
 	haloRes := RunHaloEfficiency(cfg)
@@ -183,6 +203,10 @@ func TestAnonymitySweepShape(t *testing.T) {
 	cfg.N = 5000
 	cfg.Trials = 100
 	cfg.PreSimRuns = 800
+	if testing.Short() {
+		cfg.Trials = 60
+		cfg.PreSimRuns = 500
+	}
 	cfg.Fractions = []float64{0, 0.2}
 	curves := RunComparison(cfg)
 	if len(curves) != 4 {
@@ -222,7 +246,7 @@ func TestTable2AccuracyBounds(t *testing.T) {
 		// The paper reports zero false positives everywhere. This
 		// implementation reproduces that at moderate churn; under the
 		// aggressive λ = 10 min lifetime a small residue remains from
-		// join-transient edge cases (recorded in EXPERIMENTS.md), so
+		// join-transient edge cases, so
 		// the bound is exact at λ = 60 min and tolerant at λ = 10 min.
 		limit := 0.0
 		if r.ChurnMean <= 10*time.Minute || r.Attack != "Lookup Bias" {

@@ -1,7 +1,7 @@
 // Package experiments contains one runner per table and figure of the
 // paper's evaluation (§5–§7). Each runner builds the required simulated
 // system, executes the paper's workload, and returns the same rows or
-// series the paper reports. DESIGN.md §3 maps every experiment to its
+// series the paper reports. README.md maps every experiment to its
 // runner and to the bench target that regenerates it.
 package experiments
 
@@ -97,10 +97,11 @@ type SecurityResult struct {
 func RunSecurity(cfg SecurityConfig) SecurityResult {
 	sim := simnet.New(cfg.Seed)
 	lat := king.New(cfg.Seed)
+	net := simnet.NewNetwork(sim, lat, cfg.N+1) // +1: the CA's address slot
 	coreCfg := core.DefaultConfig()
 	coreCfg.EstimatedSize = cfg.N
 	coreCfg.DoSDefense = cfg.DoSDefense
-	nw, err := core.BuildNetwork(sim, lat, cfg.N, coreCfg)
+	nw, err := core.BuildNetwork(net, cfg.N, coreCfg)
 	if err != nil {
 		return SecurityResult{}
 	}

@@ -20,7 +20,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // Config selects Halo's redundancy parameters. The defaults are the paper's
@@ -74,9 +74,9 @@ func NewClient(node *chord.Node, cfg Config) *Client {
 // Lookup resolves the owner of key with full redundancy and invokes cb
 // exactly once with the majority candidate.
 func (c *Client) Lookup(key id.ID, cb func(chord.Peer, Stats, error)) {
-	stats := &Stats{Started: c.node.Sim().Now()}
+	stats := &Stats{Started: c.node.Transport().Now()}
 	c.search(key, c.cfg.Degree, c.cfg.Knuckles, stats, func(owner chord.Peer, err error) {
-		stats.Finished = c.node.Sim().Now()
+		stats.Finished = c.node.Transport().Now()
 		cb(owner, *stats, err)
 	})
 }
@@ -163,8 +163,8 @@ func (c *Client) askKnuckle(knuckle chord.Peer, key id.ID, stats *Stats, cb func
 	var step func(cur chord.Peer, left int)
 	step = func(cur chord.Peer, left int) {
 		stats.Hops++
-		c.node.Network().Call(c.node.Self.Addr, cur.Addr, chord.FindNextReq{Key: key},
-			c.node.Cfg.RPCTimeout, func(resp simnet.Message, err error) {
+		c.node.Transport().Call(c.node.Self.Addr, cur.Addr, chord.FindNextReq{Key: key},
+			c.node.Cfg.RPCTimeout, func(resp transport.Message, err error) {
 				if err != nil {
 					cb(chord.NoPeer, err)
 					return

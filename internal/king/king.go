@@ -2,7 +2,7 @@
 // paper (§5.1, footnote 2): measured latencies between Internet DNS servers
 // with an average round-trip time of about 182 ms and high heterogeneity.
 //
-// Substitution rationale (see DESIGN.md §2): the paper's results depend on
+// Substitution rationale (see README.md): the paper's results depend on
 // the latency *distribution* — its mean, its heavy tail, and the jitter
 // window min(10 ms, 10 % of latency) taken from Acharya & Saltz — not on the
 // concrete Internet paths in the 2004 measurement. This package reproduces

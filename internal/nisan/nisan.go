@@ -21,7 +21,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // Config tunes the NISAN client.
@@ -117,9 +117,9 @@ func (c *Client) checkTable(owner chord.Peer, fingers []chord.Peer, stats *Stats
 // Lookup resolves the owner of key and invokes cb exactly once. The queried
 // nodes never see the key.
 func (c *Client) Lookup(key id.ID, cb func(chord.Peer, Stats, error)) {
-	stats := Stats{Started: c.node.Sim().Now()}
+	stats := Stats{Started: c.node.Transport().Now()}
 	finish := func(owner chord.Peer, err error) {
-		stats.Finished = c.node.Sim().Now()
+		stats.Finished = c.node.Transport().Now()
 		cb(owner, stats, err)
 	}
 
@@ -194,9 +194,9 @@ func (c *Client) Lookup(key id.ID, cb func(chord.Peer, Stats, error)) {
 		stats.Queried = append(stats.Queried, next)
 		// NISAN fetches the whole fingertable; the Chord successor is
 		// conceptually finger[0], so successors ride along.
-		c.node.Network().Call(self.Addr, next.Addr,
+		c.node.Transport().Call(self.Addr, next.Addr,
 			chord.GetTableReq{IncludeSuccessors: true},
-			c.node.Cfg.RPCTimeout, func(resp simnet.Message, err error) {
+			c.node.Cfg.RPCTimeout, func(resp transport.Message, err error) {
 				if err == nil {
 					if r, ok := resp.(chord.GetTableResp); ok && r.Table.Owner.ID == next.ID {
 						// Convergence: only answering nodes narrow

@@ -1,0 +1,22 @@
+package simnet_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport/transporttest"
+)
+
+// TestSimnetConformance runs the shared transport conformance suite against
+// the deterministic simulator backend.
+func TestSimnetConformance(t *testing.T) {
+	transporttest.RunConformance(t, func(t *testing.T, hosts int) transporttest.Harness {
+		sim := simnet.New(1)
+		net := simnet.NewNetwork(sim, simnet.ConstantLatency{D: time.Millisecond}, hosts)
+		return transporttest.Harness{
+			Tr:      net,
+			Advance: func(d time.Duration) { sim.Run(sim.Now() + d) },
+		}
+	})
+}

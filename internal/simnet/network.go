@@ -1,24 +1,25 @@
 package simnet
 
 import (
-	"errors"
 	"math/rand"
 	"time"
+
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // Address identifies a simulated host. Addresses are stable for the lifetime
 // of a simulation even across node churn (a replacement node reuses the
 // address slot of the node it replaces, mirroring an IP being reassigned).
-type Address int
+// It aliases the transport-layer address type: the simulator is one
+// transport.Transport implementation among others.
+type Address = transport.Addr
 
 // NoAddress is the zero-value sentinel for "no host".
-const NoAddress Address = -1
+const NoAddress = transport.NoAddr
 
 // Message is any payload carried by the network. Size is used for bandwidth
 // accounting and must return the serialized wire size in bytes.
-type Message interface {
-	Size() int
-}
+type Message = transport.Message
 
 // LatencyModel supplies one-way transmission delays between hosts.
 type LatencyModel interface {
@@ -44,22 +45,17 @@ func (c ConstantLatency) Sample(_, _ Address, _ *rand.Rand) time.Duration { retu
 // Handler processes an incoming request and returns a response. Returning
 // ok == false means the request is silently dropped (used by selective-DoS
 // adversaries and by dead nodes).
-type Handler func(from Address, req Message) (resp Message, ok bool)
+type Handler = transport.Handler
 
 // ErrTimeout is reported to RPC callbacks when no response arrives in time.
-var ErrTimeout = errors.New("simnet: rpc timeout")
+var ErrTimeout = transport.ErrTimeout
 
 // ErrUnreachable is reported when the destination address has never been
 // bound to a host.
-var ErrUnreachable = errors.New("simnet: unreachable address")
+var ErrUnreachable = transport.ErrUnreachable
 
 // TrafficStats accumulates per-host bandwidth counters.
-type TrafficStats struct {
-	BytesSent     uint64
-	BytesReceived uint64
-	MsgsSent      uint64
-	MsgsReceived  uint64
-}
+type TrafficStats = transport.TrafficStats
 
 type host struct {
 	handler Handler
@@ -76,6 +72,10 @@ type Network struct {
 	dropped uint64
 }
 
+// Network implements transport.Transport: the simulator is the
+// deterministic backend of the transport abstraction.
+var _ transport.Transport = (*Network)(nil)
+
 // NewNetwork creates a network of n address slots over the simulator.
 func NewNetwork(sim *Simulator, lat LatencyModel, n int) *Network {
 	return &Network{sim: sim, lat: lat, hosts: make([]host, n)}
@@ -83,6 +83,24 @@ func NewNetwork(sim *Simulator, lat LatencyModel, n int) *Network {
 
 // Sim returns the underlying simulator.
 func (n *Network) Sim() *Simulator { return n.sim }
+
+// Now implements transport.Transport with the virtual clock.
+func (n *Network) Now() time.Duration { return n.sim.Now() }
+
+// Rand implements transport.Transport with the simulation's seeded source.
+func (n *Network) Rand() *rand.Rand { return n.sim.Rand() }
+
+// After implements transport.Transport. The owner address is irrelevant
+// here: the whole simulation runs on one goroutine, so every callback is
+// trivially serialized.
+func (n *Network) After(_ Address, delay time.Duration, fn func()) transport.Timer {
+	return n.sim.After(delay, fn)
+}
+
+// Every implements transport.Transport (same single-goroutine argument).
+func (n *Network) Every(_ Address, period time.Duration, fn func()) (stop func()) {
+	return n.sim.Every(period, fn)
+}
 
 // Latency returns the network's latency model.
 func (n *Network) Latency() LatencyModel { return n.lat }

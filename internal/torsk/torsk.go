@@ -19,8 +19,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
-	"github.com/octopus-dht/octopus/internal/simnet"
-	"github.com/octopus-dht/octopus/internal/xcrypto"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 // Config tunes the Torsk client.
@@ -59,8 +58,14 @@ type ProxyLookupReq struct {
 	Key id.ID
 }
 
-// Size implements simnet.Message.
-func (ProxyLookupReq) Size() int { return xcrypto.HeaderWireSize + xcrypto.KeyIDWireSize }
+// Size implements transport.Message.
+func (m ProxyLookupReq) Size() int { return transport.EncodedSize(m) }
+
+// WireType implements transport.Wire (0x03xx: baseline protocols).
+func (ProxyLookupReq) WireType() uint16 { return 0x0301 }
+
+// EncodePayload implements transport.Wire.
+func (m ProxyLookupReq) EncodePayload(w *transport.Writer) { w.U64(uint64(m.Key)) }
 
 // ProxyLookupResp returns the buddy's result, echoing the key so the
 // initiator can match it to the outstanding request.
@@ -71,9 +76,27 @@ type ProxyLookupResp struct {
 	OK    bool
 }
 
-// Size implements simnet.Message.
-func (ProxyLookupResp) Size() int {
-	return xcrypto.HeaderWireSize + xcrypto.KeyIDWireSize + xcrypto.RoutingItemWireSize + 3
+// Size implements transport.Message.
+func (m ProxyLookupResp) Size() int { return transport.EncodedSize(m) }
+
+// WireType implements transport.Wire.
+func (ProxyLookupResp) WireType() uint16 { return 0x0302 }
+
+// EncodePayload implements transport.Wire.
+func (m ProxyLookupResp) EncodePayload(w *transport.Writer) {
+	w.U64(uint64(m.Key))
+	chord.EncodePeer(w, m.Owner)
+	w.U16(uint16(m.Hops))
+	w.Bool(m.OK)
+}
+
+func init() {
+	transport.RegisterType(0x0301, func(r *transport.Reader) transport.Wire {
+		return ProxyLookupReq{Key: id.ID(r.U64())}
+	})
+	transport.RegisterType(0x0302, func(r *transport.Reader) transport.Wire {
+		return ProxyLookupResp{Key: id.ID(r.U64()), Owner: chord.DecodePeer(r), Hops: int(r.U16()), OK: r.Bool()}
+	})
 }
 
 // Server answers ProxyLookupReq on behalf of remote initiators. Install it
@@ -89,7 +112,7 @@ func NewServer(node *chord.Node) *Server {
 	return s
 }
 
-func (s *Server) handle(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+func (s *Server) handle(from transport.Addr, req transport.Message) (transport.Message, bool) {
 	m, ok := req.(ProxyLookupReq)
 	if !ok {
 		return nil, false
@@ -99,7 +122,7 @@ func (s *Server) handle(from simnet.Address, req simnet.Message) (simnet.Message
 	// spans many RPC round trips.
 	s.node.Lookup(m.Key, func(owner chord.Peer, ls chord.LookupStats, err error) {
 		resp := ProxyLookupResp{Key: m.Key, Owner: owner, Hops: ls.Hops, OK: err == nil}
-		s.node.Network().Send(s.node.Self.Addr, from, resp)
+		s.node.Transport().Send(s.node.Self.Addr, from, resp)
 	})
 	return nil, false // no synchronous response; see Send above
 }
@@ -121,7 +144,7 @@ func NewClient(node *chord.Node, cfg Config) *Client {
 	server := NewServer(node)
 	// Chain: proxy answers come back as ProxyLookupResp one-way messages;
 	// everything else goes to the server handler.
-	node.Extra = func(from simnet.Address, req simnet.Message) (simnet.Message, bool) {
+	node.Extra = func(from transport.Addr, req transport.Message) (transport.Message, bool) {
 		if resp, ok := req.(ProxyLookupResp); ok {
 			if cb, ok := c.pending[resp.Key]; ok {
 				delete(c.pending, resp.Key)
@@ -137,9 +160,9 @@ func NewClient(node *chord.Node, cfg Config) *Client {
 // Lookup resolves the owner of key through a random buddy and invokes cb
 // exactly once.
 func (c *Client) Lookup(key id.ID, cb func(chord.Peer, Stats, error)) {
-	stats := Stats{Started: c.node.Sim().Now()}
+	stats := Stats{Started: c.node.Transport().Now()}
 	finish := func(owner chord.Peer, err error) {
-		stats.Finished = c.node.Sim().Now()
+		stats.Finished = c.node.Transport().Now()
 		cb(owner, stats, err)
 	}
 	c.walk(c.cfg.WalkLength, &stats, func(buddy chord.Peer, err error) {
@@ -155,7 +178,7 @@ func (c *Client) Lookup(key id.ID, cb func(chord.Peer, Stats, error)) {
 // walk performs the buddy random walk: at each hop it fetches the current
 // node's fingertable and steps to a uniformly random finger.
 func (c *Client) walk(hops int, stats *Stats, cb func(chord.Peer, error)) {
-	rng := c.node.Sim().Rand()
+	rng := c.node.Transport().Rand()
 	fingers := c.node.Fingers()
 	if len(fingers) == 0 {
 		cb(chord.NoPeer, ErrWalkFailed)
@@ -169,8 +192,8 @@ func (c *Client) walk(hops int, stats *Stats, cb func(chord.Peer, error)) {
 			return
 		}
 		stats.WalkHops++
-		c.node.Network().Call(c.node.Self.Addr, cur.Addr, chord.GetTableReq{},
-			c.node.Cfg.RPCTimeout, func(resp simnet.Message, err error) {
+		c.node.Transport().Call(c.node.Self.Addr, cur.Addr, chord.GetTableReq{},
+			c.node.Cfg.RPCTimeout, func(resp transport.Message, err error) {
 				if err != nil {
 					cb(chord.NoPeer, ErrWalkFailed)
 					return
@@ -203,10 +226,10 @@ func (c *Client) proxyThrough(buddy chord.Peer, key id.ID, stats *Stats, cb func
 		}
 		cb(resp.Owner, nil)
 	}
-	c.node.Network().Send(c.node.Self.Addr, buddy.Addr, ProxyLookupReq{Key: key})
+	c.node.Transport().Send(c.node.Self.Addr, buddy.Addr, ProxyLookupReq{Key: key})
 	// Proxy timeout: the buddy may be malicious or dead.
 	proxyTimeout := 10 * c.node.Cfg.RPCTimeout
-	c.node.Sim().After(proxyTimeout, func() {
+	c.node.Transport().After(c.node.Self.Addr, proxyTimeout, func() {
 		if done {
 			return
 		}

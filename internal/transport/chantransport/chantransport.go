@@ -1,0 +1,460 @@
+// Package chantransport is a concurrent in-process transport: one goroutine
+// per host, unbounded channel-backed mailboxes, and a real wire round-trip —
+// every Send and every RPC leg is serialized through the transport codec
+// ([]byte on the "wire") and decoded on the receiving side.
+//
+// It is the concurrency counterpart to internal/simnet: where the simulator
+// proves protocol logic under deterministic virtual time, chantransport
+// proves the same logic (and the codecs) under true parallelism and real
+// time. It honors the transport.Transport serialization contract with a
+// per-host actor loop: a host's handler, RPC callbacks, and timer callbacks
+// all run on that host's goroutine, so protocol state stays lock-free.
+//
+// Unlike the simulator, messages cross host boundaries only as bytes; a
+// message type without a registered codec cannot travel at all, which makes
+// this transport the enforcement point for "everything that goes on the
+// wire has a wire format".
+package chantransport
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/transport"
+)
+
+// mailbox is an unbounded FIFO of closures with blocking take.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []func()
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues fn; it reports false after close.
+func (m *mailbox) put(fn func()) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.q = append(m.q, fn)
+	m.cond.Signal()
+	return true
+}
+
+// take blocks for the next closure; ok=false means the mailbox is closed
+// and drained.
+func (m *mailbox) take() (func(), bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	fn := m.q[0]
+	m.q[0] = nil
+	m.q = m.q[1:]
+	return fn, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// host is one actor: its mailbox loop runs every callback addressed to it.
+type host struct {
+	box *mailbox
+
+	mu      sync.Mutex
+	handler transport.Handler
+	alive   bool
+	stats   transport.TrafficStats
+}
+
+func (h *host) getHandler() (transport.Handler, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.handler, h.alive && h.handler != nil
+}
+
+func (h *host) addSent(bytes int) {
+	h.mu.Lock()
+	h.stats.BytesSent += uint64(bytes)
+	h.stats.MsgsSent++
+	h.mu.Unlock()
+}
+
+func (h *host) addReceived(bytes int) {
+	h.mu.Lock()
+	h.stats.BytesReceived += uint64(bytes)
+	h.stats.MsgsReceived++
+	h.mu.Unlock()
+}
+
+// lockedSource is a rand.Source64 safe for use from every host goroutine.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}
+
+// Network is a set of concurrently running hosts wired by serialized
+// in-process links.
+type Network struct {
+	hosts   []*host
+	rng     *rand.Rand
+	start   time.Time
+	latency time.Duration
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	// done is closed by Close so periodic-timer goroutines terminate even
+	// when their owners never called stop (nodes left running at Close).
+	done chan struct{}
+
+	dropped     atomic.Uint64
+	codecErrors atomic.Uint64
+}
+
+var _ transport.Transport = (*Network)(nil)
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency adds a fixed one-way delivery delay to every message.
+func WithLatency(d time.Duration) Option {
+	return func(n *Network) { n.latency = d }
+}
+
+// New starts a network of n host slots. seed drives Rand(); concurrent
+// schedules are inherently nondeterministic, but seeding keeps protocol
+// randomness reproducible in aggregate. Call Close when done.
+func New(n int, seed int64, opts ...Option) *Network {
+	nw := &Network{
+		hosts: make([]*host, n),
+		rng:   rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)}),
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(nw)
+	}
+	for i := range nw.hosts {
+		h := &host{box: newMailbox()}
+		nw.hosts[i] = h
+		nw.wg.Add(1)
+		go func() {
+			defer nw.wg.Done()
+			for {
+				fn, ok := h.box.take()
+				if !ok {
+					return
+				}
+				fn()
+			}
+		}()
+	}
+	return nw
+}
+
+// Close shuts every host loop and periodic timer down and waits for them
+// to drain.
+func (n *Network) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(n.done)
+	for _, h := range n.hosts {
+		h.box.close()
+	}
+	n.wg.Wait()
+}
+
+// Size returns the number of host slots.
+func (n *Network) Size() int { return len(n.hosts) }
+
+// Dropped reports messages dropped by dead hosts or handlers.
+func (n *Network) Dropped() uint64 { return n.dropped.Load() }
+
+// CodecErrors reports messages that could not be encoded or decoded. A
+// nonzero value means some message type lacks a registered wire codec.
+func (n *Network) CodecErrors() uint64 { return n.codecErrors.Load() }
+
+func (n *Network) hostAt(addr transport.Addr) *host {
+	if addr < 0 || int(addr) >= len(n.hosts) {
+		return nil
+	}
+	return n.hosts[addr]
+}
+
+// post runs fn in the serialization context of addr; if addr is invalid the
+// closure is dropped.
+func (n *Network) post(addr transport.Addr, fn func()) {
+	if h := n.hostAt(addr); h != nil {
+		h.box.put(fn)
+	}
+}
+
+// Bind implements transport.Transport.
+func (n *Network) Bind(addr transport.Addr, hd transport.Handler) {
+	h := n.hostAt(addr)
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.handler = hd
+	h.alive = true
+	h.mu.Unlock()
+}
+
+// SetAlive implements transport.Transport.
+func (n *Network) SetAlive(addr transport.Addr, alive bool) {
+	h := n.hostAt(addr)
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.alive = alive
+	h.mu.Unlock()
+}
+
+// Alive implements transport.Transport.
+func (n *Network) Alive(addr transport.Addr) bool {
+	h := n.hostAt(addr)
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.alive && h.handler != nil
+}
+
+// Stats implements transport.Transport.
+func (n *Network) Stats(addr transport.Addr) transport.TrafficStats {
+	h := n.hostAt(addr)
+	if h == nil {
+		return transport.TrafficStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Now implements transport.Transport: wall time since the network started.
+func (n *Network) Now() time.Duration { return time.Since(n.start) }
+
+// Rand implements transport.Transport with a lock-guarded seeded source.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// deliver moves an encoded frame to `to`, decodes it there, and invokes the
+// handler on the receiver's loop. respond, when non-nil, receives the
+// handler's answer (still on the receiver's loop).
+func (n *Network) deliver(from, to transport.Addr, frame []byte,
+	respond func(resp transport.Message, ok bool)) {
+	send := func() {
+		n.post(to, func() {
+			h := n.hostAt(to)
+			hd, ok := h.getHandler()
+			if !ok {
+				n.dropped.Add(1)
+				return
+			}
+			msg, err := transport.Decode(frame)
+			if err != nil {
+				n.codecErrors.Add(1)
+				return
+			}
+			if src := n.hostAt(from); src != nil {
+				src.addSent(len(frame))
+			}
+			h.addReceived(len(frame))
+			resp, handled := hd(from, msg)
+			if respond != nil {
+				respond(resp, handled)
+			}
+		})
+	}
+	if n.latency > 0 {
+		time.AfterFunc(n.latency, send)
+		return
+	}
+	send()
+}
+
+// Send implements transport.Transport: one serialized, one-way delivery.
+func (n *Network) Send(from, to transport.Addr, msg transport.Message) {
+	if n.hostAt(to) == nil {
+		return
+	}
+	frame, err := transport.Encode(msg)
+	if err != nil {
+		n.codecErrors.Add(1)
+		return
+	}
+	n.deliver(from, to, frame, nil)
+}
+
+// Call implements transport.Transport. The request and the response each
+// cross the "wire" as encoded frames; cb runs on the caller's loop.
+func (n *Network) Call(from, to transport.Addr, req transport.Message,
+	timeout time.Duration, cb func(transport.Message, error)) {
+	if n.hostAt(to) == nil {
+		n.post(from, func() { cb(nil, transport.ErrUnreachable) })
+		return
+	}
+	frame, err := transport.Encode(req)
+	if err != nil {
+		n.codecErrors.Add(1)
+		n.post(from, func() { cb(nil, transport.ErrUnreachable) })
+		return
+	}
+	// done is only touched on the caller's loop, so it needs no lock.
+	done := false
+	timer := n.After(from, timeout, func() {
+		if done {
+			return
+		}
+		done = true
+		cb(nil, transport.ErrTimeout)
+	})
+	n.deliver(from, to, frame, func(resp transport.Message, handled bool) {
+		if !handled {
+			n.dropped.Add(1)
+			return // caller will observe the timeout
+		}
+		respFrame, err := transport.Encode(resp)
+		if err != nil {
+			n.codecErrors.Add(1)
+			return
+		}
+		back := func() {
+			n.post(from, func() {
+				if done {
+					return // timeout already fired
+				}
+				msg, err := transport.Decode(respFrame)
+				if err != nil {
+					// A corrupt response is a lost message, not a fast
+					// failure: leave the RPC outstanding so the caller
+					// observes the real timeout, and keep the codec
+					// counter as the visible symptom.
+					n.codecErrors.Add(1)
+					return
+				}
+				done = true
+				timer.Cancel()
+				if dst := n.hostAt(to); dst != nil {
+					dst.addSent(len(respFrame))
+				}
+				if src := n.hostAt(from); src != nil {
+					src.addReceived(len(respFrame))
+				}
+				cb(msg, nil)
+			})
+		}
+		if n.latency > 0 {
+			time.AfterFunc(n.latency, back)
+			return
+		}
+		back()
+	})
+}
+
+// chanTimer implements transport.Timer over a real-time timer plus a
+// cancellation flag (the flag closes the race between Stop and an
+// already-queued firing).
+type chanTimer struct {
+	cancelled atomic.Bool
+	t         *time.Timer
+}
+
+// Cancel implements transport.Timer.
+func (ct *chanTimer) Cancel() {
+	ct.cancelled.Store(true)
+	if ct.t != nil {
+		ct.t.Stop()
+	}
+}
+
+// After implements transport.Transport: fn runs on owner's loop.
+func (n *Network) After(owner transport.Addr, delay time.Duration, fn func()) transport.Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	ct := &chanTimer{}
+	ct.t = time.AfterFunc(delay, func() {
+		n.post(owner, func() {
+			if ct.cancelled.Load() {
+				return
+			}
+			fn()
+		})
+	})
+	return ct
+}
+
+// Every implements transport.Transport: fn runs on owner's loop once per
+// period until stop is called.
+func (n *Network) Every(owner transport.Addr, period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	stopCh := make(chan struct{})
+	var once sync.Once
+	var stopped atomic.Bool
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-n.done:
+				return // Close without a prior stop: don't leak the ticker
+			case <-tick.C:
+				n.post(owner, func() {
+					if stopped.Load() {
+						return
+					}
+					fn()
+				})
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			stopped.Store(true)
+			close(stopCh)
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPrimitiveRoundTrips drives every Writer/Reader primitive pair with
+// random values.
+func TestPrimitiveRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		u8 := uint8(rng.Uint32())
+		u16 := uint16(rng.Uint32())
+		u32 := rng.Uint32()
+		u48 := rng.Uint64() & ((1 << 48) - 1)
+		u64 := rng.Uint64()
+		i64 := rng.Int63() - rng.Int63()
+		d := time.Duration(rng.Int63())
+		addr := Addr(rng.Int31())
+		if rng.Intn(8) == 0 {
+			addr = NoAddr
+		}
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		var blob []byte
+		if len(b) > 0 {
+			blob = b
+		}
+		flag := rng.Intn(2) == 0
+
+		w := &Writer{}
+		w.U8(u8)
+		w.U16(u16)
+		w.U32(u32)
+		w.U48(u48)
+		w.U64(u64)
+		w.I64(i64)
+		w.Duration(d)
+		w.Addr(addr)
+		w.Bytes16(blob)
+		w.Bool(flag)
+		w.Pad(7)
+
+		// The counting writer must agree byte-for-byte with the real one.
+		c := NewCountingWriter()
+		c.U8(u8)
+		c.U16(u16)
+		c.U32(u32)
+		c.U48(u48)
+		c.U64(u64)
+		c.I64(i64)
+		c.Duration(d)
+		c.Addr(addr)
+		c.Bytes16(blob)
+		c.Bool(flag)
+		c.Pad(7)
+		if c.Len() != w.Len() {
+			t.Fatalf("counting writer length %d != real length %d", c.Len(), w.Len())
+		}
+
+		r := NewReader(w.Bytes())
+		if got := r.U8(); got != u8 {
+			t.Fatalf("u8 %d != %d", got, u8)
+		}
+		if got := r.U16(); got != u16 {
+			t.Fatalf("u16 %d != %d", got, u16)
+		}
+		if got := r.U32(); got != u32 {
+			t.Fatalf("u32 %d != %d", got, u32)
+		}
+		if got := r.U48(); got != u48 {
+			t.Fatalf("u48 %d != %d", got, u48)
+		}
+		if got := r.U64(); got != u64 {
+			t.Fatalf("u64 %d != %d", got, u64)
+		}
+		if got := r.I64(); got != i64 {
+			t.Fatalf("i64 %d != %d", got, i64)
+		}
+		if got := r.Duration(); got != d {
+			t.Fatalf("duration %v != %v", got, d)
+		}
+		if got := r.Addr(); got != addr {
+			t.Fatalf("addr %v != %v", got, addr)
+		}
+		if got := r.Bytes16(); !bytes.Equal(got, blob) {
+			t.Fatalf("bytes16 %v != %v", got, blob)
+		}
+		if got := r.Bool(); got != flag {
+			t.Fatalf("bool %v != %v", got, flag)
+		}
+		r.Skip(7)
+		if r.Err() != nil || r.Remaining() != 0 {
+			t.Fatalf("err=%v remaining=%d after full read", r.Err(), r.Remaining())
+		}
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	_ = r.U64()
+	if r.Err() != ErrShortBuffer {
+		t.Fatalf("err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Sticky: subsequent reads stay failed and return zero values.
+	if got := r.U16(); got != 0 || r.Err() != ErrShortBuffer {
+		t.Fatalf("sticky error violated: %d, %v", got, r.Err())
+	}
+}
+
+type unregistered struct{}
+
+func (unregistered) Size() int { return 0 }
+
+func TestEncodeRejectsNonWireMessages(t *testing.T) {
+	if _, err := Encode(unregistered{}); err == nil {
+		t.Fatal("Encode accepted a message without a codec")
+	}
+	if got := EncodedSize(unregistered{}); got != 0 {
+		t.Fatalf("EncodedSize of non-wire message = %d, want 0", got)
+	}
+}
+
+func TestDecodeRejectsUnknownTypeAndTrailingBytes(t *testing.T) {
+	if _, err := Decode([]byte{0xFF, 0xFF}); err == nil {
+		t.Fatal("Decode accepted an unknown type code")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode accepted an empty frame")
+	}
+}
+
+// FuzzDecode asserts the decoder never panics on arbitrary wire input —
+// a malformed or malicious frame must surface as an error, not a crash.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x06})
+	f.Add([]byte{0x01, 0x06, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x02, 0x01, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err == nil && m == nil {
+			t.Fatal("Decode returned nil message with nil error")
+		}
+	})
+}

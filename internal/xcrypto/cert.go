@@ -15,14 +15,11 @@ import (
 // state (§4.6), so unlike Myrmic's they never need re-issuing on churn.
 type Certificate struct {
 	Node   id.ID
-	Addr   int64 // network address (simnet.Address or packed IP:port)
+	Addr   int64 // network address (transport.Addr or packed IP:port)
 	Key    PublicKey
 	Expiry time.Duration // relative simulation time; examples use wall time offsets
 	Sig    []byte
 }
-
-// WireSize returns the accounted certificate size from the paper.
-func (Certificate) WireSize() int { return CertWireSize }
 
 func (c Certificate) signedBytes() []byte {
 	buf := make([]byte, 0, 8+8+len(c.Key)+8)

@@ -3,10 +3,12 @@ package xcrypto
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
 )
 
 func newTestCA(t *testing.T) *CA {
@@ -106,21 +108,46 @@ func TestVerifyCertificateStandalone(t *testing.T) {
 	}
 }
 
-func TestCertWireSize(t *testing.T) {
-	var c Certificate
-	if c.WireSize() != 50 {
-		t.Errorf("WireSize = %d, want 50 (paper footnote 4)", c.WireSize())
+func TestCertWireRoundTrip(t *testing.T) {
+	ca, err := NewCA(SimScheme{}, nil)
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	kp, err := SimScheme{}.GenerateKey(nil)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	cert, err := ca.Issue(42, 7, kp.Public, 90*time.Minute)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	w := &transport.Writer{}
+	cert.MarshalWire(w)
+	// WireSize must equal the real encoded length.
+	if got := cert.WireSize(); got != w.Len() {
+		t.Errorf("WireSize = %d, encoded length = %d", got, w.Len())
+	}
+	r := transport.NewReader(w.Bytes())
+	back := UnmarshalCertificate(r)
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("unmarshal: err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+	if !reflect.DeepEqual(back, cert) {
+		t.Fatalf("certificate round-trip mismatch:\n got %#v\nwant %#v", back, cert)
+	}
+	// The CA signature must survive the wire round-trip.
+	if err := ca.Verify(back, time.Minute); err != nil {
+		t.Errorf("round-tripped certificate no longer verifies: %v", err)
 	}
 }
 
 func TestWireSizeHelpers(t *testing.T) {
-	// A signed routing table of 12 fingers + 6 successors = 18 items:
-	// header 8 + 180 + timestamp 4 + sig 40 + cert 50 = 282 bytes.
-	if got := SignedTableWireSize(18); got != 282 {
-		t.Errorf("SignedTableWireSize(18) = %d, want 282", got)
-	}
 	if got := OnionWireOverhead(2); got != 2*(AddrWireSize+AESBlockSize) {
 		t.Errorf("OnionWireOverhead(2) = %d", got)
+	}
+	if RoutingItemWireSize != KeyIDWireSize+AddrWireSize {
+		t.Errorf("RoutingItemWireSize = %d, want ID+endpoint = %d",
+			RoutingItemWireSize, KeyIDWireSize+AddrWireSize)
 	}
 }
 

@@ -14,7 +14,7 @@
 //     relies on; the simulated adversary never forges signatures, matching
 //     the paper's assumption that ECDSA is secure.
 //
-// See DESIGN.md §2 for the substitution rationale.
+// See README.md for the substitution rationale.
 package xcrypto
 
 import (

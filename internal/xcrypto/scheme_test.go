@@ -168,7 +168,7 @@ func BenchmarkSimSign(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationSigner quantifies the DESIGN.md §6 decision to default
+// BenchmarkAblationSigner quantifies the decision to default
 // simulations to SimScheme: verify cost per routing-table message.
 func BenchmarkAblationSigner(b *testing.B) {
 	msg := make([]byte, 256)

@@ -9,8 +9,11 @@
 // exposes a synchronous API for lookups, key/value-style resolution, and
 // protocol introspection. The full machinery (anonymous relay paths, random
 // walks, dummy queries, surveillance, CA investigations) runs underneath
-// exactly as in the paper; see DESIGN.md for the architecture and
-// EXPERIMENTS.md for reproduced results.
+// exactly as in the paper. The protocol stack itself is transport-agnostic
+// (internal/transport): the simulator used here is one backend, and the
+// concurrent channel transport (internal/transport/chantransport) runs the
+// same state machines over real goroutines with every message serialized
+// through the binary wire codec. See README.md for the architecture map.
 //
 // # Quick start
 //
@@ -109,7 +112,8 @@ func New(cfg Config) (*Network, error) {
 		meanRTT = king.DefaultMeanRTT
 	}
 	lat := king.NewWith(cfg.Seed, meanRTT, king.DefaultSigma)
-	inner, err := core.BuildNetwork(sim, lat, cfg.Nodes, coreCfg)
+	net := simnet.NewNetwork(sim, lat, cfg.Nodes+1) // +1: the CA's address slot
+	inner, err := core.BuildNetwork(net, cfg.Nodes, coreCfg)
 	if err != nil {
 		return nil, err
 	}
