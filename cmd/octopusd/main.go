@@ -1,0 +1,310 @@
+// Command octopusd runs one process's slice of a multi-process Octopus
+// ring over real TCP sockets (internal/transport/nettransport).
+//
+// Every process of a deployment is started from the same ring configuration
+// file — an endpoint table assigning each node slot (and the CA) to a TCP
+// endpoint, plus the shared seed — and a -listen flag naming which endpoint
+// this process serves. The bootstrap is deterministic: all processes derive
+// the identical ring identifiers, key material, and initial routing state
+// from the shared seed, so no state is exchanged at startup; everything
+// after that (stabilization, relay-selection walks, surveillance, anonymous
+// lookups) is live protocol traffic over the sockets.
+//
+// Serve two processes on one machine (see docs/DEPLOYMENT.md for the full
+// walkthrough, and examples/multiprocess for a scripted version):
+//
+//	octopusd -config ring.json -listen 127.0.0.1:9101
+//	octopusd -config ring.json -listen 127.0.0.1:9102 -lookup my-key -once
+//
+// With -lookup, the daemon waits until its first node's relay pool is
+// stocked, resolves the key anonymously, verifies the answer against the
+// deterministic ground truth, and (with -once) exits 0 on success.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/core"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
+	"github.com/octopus-dht/octopus/internal/transport/nettransport"
+)
+
+// ringConfig is the JSON deployment descriptor shared by every process.
+type ringConfig struct {
+	// Seed drives the deterministic bootstrap; all processes must agree.
+	Seed int64 `json:"seed"`
+	// Nodes maps node slot i to the TCP endpoint of the process serving
+	// it. Multiple slots may share one endpoint (one process, many
+	// nodes).
+	Nodes []string `json:"nodes"`
+	// CA is the endpoint of the process hosting the certificate
+	// authority (address slot len(Nodes)).
+	CA string `json:"ca"`
+}
+
+func loadRingConfig(path string) (ringConfig, error) {
+	var rc ringConfig
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rc, err
+	}
+	if err := json.Unmarshal(b, &rc); err != nil {
+		return rc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(rc.Nodes) < 8 {
+		return rc, fmt.Errorf("%s: need at least 8 node slots, got %d", path, len(rc.Nodes))
+	}
+	if rc.CA == "" {
+		return rc, fmt.Errorf("%s: missing \"ca\" endpoint", path)
+	}
+	return rc, nil
+}
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "ring configuration JSON (required)")
+		listen     = flag.String("listen", "", "TCP endpoint this process serves; must appear in the config (required)")
+		lookupKey  = flag.String("lookup", "", "after warm-up, anonymously resolve this key from the first local node")
+		once       = flag.Bool("once", false, "exit after the -lookup completes (0 on success)")
+		warmPairs  = flag.Int("warm-pairs", 16, "relay pairs to stock before the -lookup starts")
+		warmMax    = flag.Duration("warm-timeout", 90*time.Second, "abort if the relay pool is not stocked in time")
+		statusEach = flag.Duration("status-every", 5*time.Second, "period of the status log line")
+
+		walkEvery  = flag.Duration("walk-every", 500*time.Millisecond, "relay-selection random-walk period")
+		stabilize  = flag.Duration("stabilize-every", time.Second, "Chord stabilization period")
+		surveil    = flag.Duration("surveil-every", 15*time.Second, "secret surveillance period")
+		fixFingers = flag.Duration("fix-fingers-every", 10*time.Second, "secured finger-update period")
+		rpcTimeout = flag.Duration("rpc-timeout", 2*time.Second, "per-RPC timeout")
+		queryTO    = flag.Duration("query-timeout", 4*time.Second, "anonymous-query round-trip timeout")
+		dummies    = flag.Int("dummies", 6, "dummy queries per anonymous lookup")
+		relayDelay = flag.Duration("relay-delay-max", 50*time.Millisecond, "max artificial relay delay (timing defense)")
+	)
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	if *configPath == "" || *listen == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configPath, *listen, daemonOpts{
+		lookupKey: *lookupKey, once: *once,
+		warmPairs: *warmPairs, warmMax: *warmMax, statusEach: *statusEach,
+		walkEvery: *walkEvery, stabilize: *stabilize, surveil: *surveil,
+		fixFingers: *fixFingers, rpcTimeout: *rpcTimeout, queryTO: *queryTO,
+		dummies: *dummies, relayDelay: *relayDelay,
+	}); err != nil {
+		log.Fatalf("octopusd: %v", err)
+	}
+}
+
+type daemonOpts struct {
+	lookupKey  string
+	once       bool
+	warmPairs  int
+	warmMax    time.Duration
+	statusEach time.Duration
+
+	walkEvery  time.Duration
+	stabilize  time.Duration
+	surveil    time.Duration
+	fixFingers time.Duration
+	rpcTimeout time.Duration
+	queryTO    time.Duration
+	dummies    int
+	relayDelay time.Duration
+}
+
+func run(configPath, listen string, opts daemonOpts) error {
+	rc, err := loadRingConfig(configPath)
+	if err != nil {
+		return err
+	}
+	n := len(rc.Nodes)
+	endpoints := append(append([]string{}, rc.Nodes...), rc.CA)
+
+	tr, err := nettransport.New(nettransport.Config{
+		Listen:    listen,
+		Self:      listen,
+		Endpoints: endpoints,
+		Seed:      rc.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.EstimatedSize = n
+	cfg.WalkEvery = opts.walkEvery
+	cfg.SurveilEvery = opts.surveil
+	cfg.Dummies = opts.dummies
+	cfg.QueryTimeout = opts.queryTO
+	cfg.RelayDelayMax = opts.relayDelay
+	cfg.Chord.StabilizeEvery = opts.stabilize
+	cfg.Chord.FixFingersEvery = opts.fixFingers
+	cfg.Chord.RPCTimeout = opts.rpcTimeout
+
+	isLocal := func(a transport.Addr) bool { return tr.Local(a) }
+	nw, err := core.BuildNetworkLocal(tr, n, cfg, isLocal)
+	if err != nil {
+		return err
+	}
+
+	var local []*core.Node
+	for _, node := range nw.Nodes {
+		if node != nil {
+			local = append(local, node)
+		}
+	}
+	servesCA := tr.Local(transport.Addr(n))
+	log.Printf("serving %d/%d nodes on %s (seed %d, CA %s)",
+		len(local), n, listen, rc.Seed, map[bool]string{true: "local", false: rc.CA}[servesCA])
+	for _, node := range local {
+		log.Printf("  node %s @ slot %d", node.Self().ID, node.Self().Addr)
+	}
+	if len(local) == 0 && !servesCA {
+		return fmt.Errorf("no node or CA slots map to %s in %s", listen, configPath)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if opts.lookupKey != "" {
+		if len(local) == 0 {
+			return fmt.Errorf("-lookup needs a local node, but %s serves only the CA", listen)
+		}
+		if err := warmAndLookup(tr, nw, local[0], opts); err != nil {
+			return err
+		}
+		if opts.once {
+			return nil
+		}
+	}
+
+	ticker := time.NewTicker(opts.statusEach)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			logStatus(tr, local)
+		case s := <-sig:
+			log.Printf("received %v, shutting down", s)
+			return nil
+		}
+	}
+}
+
+// inContext runs fn inside a node's serialization context and waits for it —
+// the only legal way to touch protocol state from the daemon's goroutine.
+func inContext(tr transport.Transport, addr transport.Addr, fn func()) {
+	done := make(chan struct{})
+	tr.After(addr, 0, func() {
+		fn()
+		close(done)
+	})
+	<-done
+}
+
+// warmAndLookup waits for the node's relay pool to stock, then resolves the
+// key anonymously and checks the answer against the deterministic ground
+// truth every process can derive locally.
+func warmAndLookup(tr transport.Transport, nw *core.Network, node *core.Node, opts daemonOpts) error {
+	self := node.Self()
+	deadline := time.Now().Add(opts.warmMax)
+	for {
+		var pool int
+		var walks uint64
+		inContext(tr, self.Addr, func() {
+			pool = node.PoolSize()
+			walks = node.Stats().WalksCompleted
+		})
+		if pool >= opts.warmPairs {
+			log.Printf("relay pool stocked: %d pairs after %d walks", pool, walks)
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("relay pool still at %d/%d pairs after %v (%d walks done) — are the other processes up?",
+				pool, opts.warmPairs, opts.warmMax, walks)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	key := id.FromBytes([]byte(opts.lookupKey))
+	// Ground truth from the full deterministic topology — valid because
+	// this static deployment has no churn, so the initial ring is the ring.
+	want := nw.Ring.OwnerAmong(key)
+	log.Printf("anonymous lookup of %q (key %s) from node %s", opts.lookupKey, key, self.ID)
+
+	type outcome struct {
+		owner chord.Peer
+		stats core.LookupStats
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	start := time.Now()
+	tr.After(self.Addr, 0, func() {
+		node.AnonLookup(key, func(owner chord.Peer, stats core.LookupStats, err error) {
+			ch <- outcome{owner, stats, err}
+		})
+	})
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			return fmt.Errorf("lookup failed: %w", out.err)
+		}
+		ep := "?"
+		if nt, ok := tr.(*nettransport.Transport); ok {
+			ep = nt.Endpoint(out.owner.Addr)
+		}
+		log.Printf("owner: %s @ slot %d (%s) — %d queries + %d dummies, %v",
+			out.owner.ID, out.owner.Addr, ep, out.stats.Queries, out.stats.Dummies,
+			time.Since(start).Round(time.Millisecond))
+		if out.owner.ID != want.ID {
+			return fmt.Errorf("lookup verification FAILED: owner %s, ground truth %s", out.owner.ID, want.ID)
+		}
+		log.Printf("lookup verified against ground truth")
+		return nil
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("lookup never completed")
+	}
+}
+
+func logStatus(tr transport.Transport, local []*core.Node) {
+	var pool int
+	var walks, lookups, queries uint64
+	var sent, recv uint64
+	for _, node := range local {
+		addr := node.Self().Addr
+		inContext(tr, addr, func() {
+			pool += node.PoolSize()
+			s := node.Stats()
+			walks += s.WalksCompleted
+			lookups += s.LookupsCompleted
+			queries += s.QueriesSent
+		})
+		st := tr.Stats(addr)
+		sent += st.BytesSent
+		recv += st.BytesReceived
+	}
+	log.Printf("status: pool=%d walks=%d lookups=%d queries=%d wire=%s out / %s in",
+		pool, walks, lookups, queries, fmtBytes(sent), fmtBytes(recv))
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

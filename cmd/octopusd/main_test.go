@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freePorts reserves k distinct kernel-assigned loopback ports. The
+// listeners are closed before use, which is racy in principle; in practice
+// the kernel does not re-assign an ephemeral port this quickly.
+func freePorts(t *testing.T, k int) []string {
+	t.Helper()
+	eps := make([]string, k)
+	lns := make([]net.Listener, k)
+	for i := range eps {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		lns[i] = ln
+		eps[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return eps
+}
+
+// TestMultiprocessAnonymousLookup is the acceptance test for the socket
+// deployment: it builds the octopusd binary, starts two OS processes that
+// split a 12-node ring between them (process A also hosts the CA), and
+// requires process B to complete — and verify — an anonymous lookup whose
+// every query crosses real TCP sockets between the processes.
+func TestMultiprocessAnonymousLookup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and builds a binary")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "octopusd")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build octopusd: %v\n%s", err, out)
+	}
+
+	eps := freePorts(t, 2)
+	const n = 12
+	rc := ringConfig{Seed: 42, CA: eps[0]}
+	for i := 0; i < n; i++ {
+		rc.Nodes = append(rc.Nodes, eps[i%2])
+	}
+	cfgPath := filepath.Join(dir, "ring.json")
+	raw, _ := json.Marshal(rc)
+	if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
+		t.Fatalf("write config: %v", err)
+	}
+
+	var logMu sync.Mutex
+	var logB bytes.Buffer
+	pipe := func(name string, cmd *exec.Cmd, keep *bytes.Buffer) {
+		stdout, _ := cmd.StdoutPipe()
+		cmd.Stderr = cmd.Stdout
+		sc := bufio.NewScanner(stdout)
+		go func() {
+			for sc.Scan() {
+				line := sc.Text()
+				logMu.Lock()
+				if keep != nil {
+					fmt.Fprintln(keep, line)
+				}
+				logMu.Unlock()
+				t.Logf("[%s] %s", name, line)
+			}
+		}()
+	}
+
+	procA := exec.Command(bin, "-config", cfgPath, "-listen", eps[0],
+		"-walk-every", "300ms", "-stabilize-every", "500ms")
+	pipe("A", procA, nil)
+	if err := procA.Start(); err != nil {
+		t.Fatalf("start process A: %v", err)
+	}
+	defer func() {
+		procA.Process.Kill()
+		procA.Wait()
+	}()
+
+	// "cross-process" hashes to a ring position owned by a node that
+	// process A serves (slot 10 under seed 42), so the lookup's exit
+	// queries provably leave process B.
+	procB := exec.Command(bin, "-config", cfgPath, "-listen", eps[1],
+		"-walk-every", "300ms", "-stabilize-every", "500ms",
+		"-lookup", "cross-process", "-once")
+	pipe("B", procB, &logB)
+	if err := procB.Start(); err != nil {
+		t.Fatalf("start process B: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- procB.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("process B failed: %v", err)
+		}
+	case <-time.After(3 * time.Minute):
+		procB.Process.Kill()
+		<-done
+		t.Fatal("process B never completed its lookup")
+	}
+
+	logMu.Lock()
+	out := logB.String()
+	logMu.Unlock()
+	if !strings.Contains(out, "lookup verified against ground truth") {
+		t.Fatalf("process B exited 0 but never verified its lookup; output:\n%s", out)
+	}
+	if !strings.Contains(out, "("+eps[0]+")") {
+		t.Fatalf("lookup owner was not served by process A (%s); output:\n%s", eps[0], out)
+	}
+}

@@ -27,6 +27,18 @@ type IdentityFactory func(self Peer) *Identity
 // consistent routing state everywhere (correct fingers, successor and
 // predecessor lists), binds every node, and starts its maintenance timers.
 func BuildRing(tr transport.Transport, cfg Config, n int, identFor IdentityFactory) *Ring {
+	return BuildRingLocal(tr, cfg, n, identFor, nil)
+}
+
+// BuildRingLocal is BuildRing for one process of a multi-process
+// deployment: it derives the same deterministic global topology (every
+// identifier, identity, and initial routing table comes from tr.Rand(), so
+// processes sharing a transport seed derive identical rings), but binds and
+// starts only the nodes for which local reports true. The remaining Node
+// structs exist as the ground-truth view — their addresses are served by
+// other processes over the shared transport. A nil local starts everything.
+func BuildRingLocal(tr transport.Transport, cfg Config, n int, identFor IdentityFactory,
+	local func(transport.Addr) bool) *Ring {
 	rng := tr.Rand()
 	ids := make([]id.ID, 0, n)
 	seen := make(map[id.ID]bool, n)
@@ -44,22 +56,45 @@ func BuildRing(tr transport.Transport, cfg Config, n int, identFor IdentityFacto
 	for i := range ids {
 		peers[i] = Peer{ID: ids[i], Addr: transport.Addr(i)}
 	}
-	for i, p := range peers {
+	for _, p := range peers {
 		var ident *Identity
 		if identFor != nil {
 			ident = identFor(p)
 		}
 		node := NewNode(tr, cfg, p, ident)
 		r.byAddr[p.Addr] = node
-		_ = i
 	}
 	for i := range peers {
 		r.installState(r.byAddr[peers[i].Addr], peers, i)
 	}
 	for _, node := range r.byAddr {
-		node.Start()
+		if local == nil || local(node.Self.Addr) {
+			node.Start()
+		}
 	}
 	return r
+}
+
+// Peers returns every peer of the deployment's initial topology, sorted by
+// identifier — including, unlike AlivePeers, nodes run by other processes
+// of a partial build. Static multi-process deployments use it as the
+// ground-truth ownership oracle.
+func (r *Ring) Peers() []Peer {
+	out := make([]Peer, 0, len(r.byAddr))
+	for _, node := range r.byAddr {
+		if node != nil {
+			out = append(out, node.Self)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// OwnerAmong returns the ground-truth owner of key within the full initial
+// topology (see Peers). For single-process deployments under churn, use
+// Owner, which consults liveness.
+func (r *Ring) OwnerAmong(key id.ID) Peer {
+	return successorOf(r.Peers(), key)
 }
 
 // installState fills a node's routing tables from the sorted global view.

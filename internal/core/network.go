@@ -26,6 +26,23 @@ type Network struct {
 // default a revocation ejects the node from the network (its certificate is
 // void, so peers stop talking to it), which is modelled by stopping it.
 func BuildNetwork(tr transport.Transport, n int, cfg Config) (*Network, error) {
+	return BuildNetworkLocal(tr, n, cfg, nil)
+}
+
+// BuildNetworkLocal is BuildNetwork for one process of a multi-process
+// deployment (cmd/octopusd over nettransport): every process derives the
+// identical deployment — ring identifiers, key material, CA identity, and
+// certificate directory all come deterministically from tr.Rand(), so
+// processes sharing a transport seed agree on all of it without exchanging
+// a byte — but each binds and starts only the nodes for which local reports
+// true. Remote slots stay nil in Nodes; their addresses are served by other
+// processes over the transport. The CA is constructed everywhere (its
+// verdict logic is pure given the shared directory) but its address is only
+// bound in the process whose local set contains slot n; on a partial
+// transport the other processes' Bind is a no-op. A nil local starts
+// everything, which is exactly BuildNetwork.
+func BuildNetworkLocal(tr transport.Transport, n int, cfg Config,
+	local func(transport.Addr) bool) (*Network, error) {
 	// Both in-tree transports expose their slot count; a transport too
 	// small for the CA slot would otherwise degrade silently (Bind on an
 	// out-of-range address is a no-op, so every report would just time
@@ -44,7 +61,7 @@ func BuildNetwork(tr transport.Transport, n int, cfg Config) (*Network, error) {
 	chordCfg.SignTables = true
 	chordCfg.DisableFingerUpdates = true
 	identFor := NewIdentityFactory(dir, auth, tr.Rand())
-	ring := chord.BuildRing(tr, chordCfg, n, identFor)
+	ring := chord.BuildRingLocal(tr, chordCfg, n, identFor, local)
 
 	caAddr := transport.Addr(n)
 	ca := NewCA(tr, caAddr, dir, auth)
@@ -58,6 +75,9 @@ func BuildNetwork(tr transport.Transport, n int, cfg Config) (*Network, error) {
 		CA:    ca,
 	}
 	for i, cn := range ring.Nodes() {
+		if local != nil && !local(cn.Self.Addr) {
+			continue
+		}
 		node := New(cn, cfg, caAddr, dir)
 		node.StartProtocols()
 		nw.Nodes[i] = node

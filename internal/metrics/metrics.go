@@ -1,6 +1,8 @@
 // Package metrics provides the small statistics toolkit the experiment
-// harness uses: samples with mean/median/percentiles, CDFs, and time
-// series.
+// harness (internal/experiments) uses to reproduce the paper's §5–§7
+// evaluation figures: samples with mean/median/percentiles, CDFs (e.g. the
+// lookup-latency CDFs of Fig. 5), and time series (e.g. the CA workload
+// series of Fig. 7).
 package metrics
 
 import (

@@ -1,0 +1,117 @@
+package nettransport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"github.com/octopus-dht/octopus/internal/transport"
+)
+
+// TCP framing: every message travels as one length-prefixed frame
+//
+//	uint32  length   — bytes that follow (header + codec frame)
+//	uint8   kind     — frameOneway | frameRequest | frameResponse
+//	6 bytes from     — source address (transport.Writer.Addr encoding)
+//	6 bytes to       — destination address
+//	uint64  reqID    — RPC correlation id; 0 for one-way sends
+//	[]byte  payload  — the self-describing codec frame (transport.Encode)
+//
+// All integers are big-endian, reusing the codec's Writer/Reader primitives
+// so the framing layer and the message layer share one set of encoding
+// rules. docs/PROTOCOL.md is the written form of this contract.
+
+// Frame kinds.
+const (
+	frameOneway   = 0x01 // no response expected
+	frameRequest  = 0x02 // expects a frameResponse with the same reqID
+	frameResponse = 0x03 // answers the frameRequest with the same reqID
+)
+
+// frameHeaderSize is the fixed header inside the length prefix:
+// kind (1) + from (6) + to (6) + reqID (8).
+const frameHeaderSize = 1 + 6 + 6 + 8
+
+// DefaultMaxFrame bounds a single frame (header + payload). The largest
+// legitimate Octopus messages are ProofResp/WalkSeedResp table batches, well
+// under a megabyte; the bound exists so a corrupt or hostile length prefix
+// cannot make the reader allocate unbounded memory.
+const DefaultMaxFrame = 8 << 20
+
+// Framing errors.
+var (
+	// errFrameTooLarge means a length prefix exceeded the configured bound.
+	errFrameTooLarge = errors.New("nettransport: frame exceeds size limit")
+	// errFrameTooSmall means a length prefix cannot even hold the header.
+	errFrameTooSmall = errors.New("nettransport: frame shorter than header")
+	// errBadKind means the frame kind byte is not a known value.
+	errBadKind = errors.New("nettransport: unknown frame kind")
+)
+
+// frameHeader is the decoded fixed header of one frame.
+type frameHeader struct {
+	kind  uint8
+	from  transport.Addr
+	to    transport.Addr
+	reqID uint64
+}
+
+// appendFrame builds a complete wire frame (length prefix included).
+func appendFrame(kind uint8, from, to transport.Addr, reqID uint64, payload []byte) []byte {
+	w := &transport.Writer{}
+	w.U32(uint32(frameHeaderSize + len(payload)))
+	w.U8(kind)
+	w.Addr(from)
+	w.Addr(to)
+	w.U64(reqID)
+	w.Raw(payload)
+	return w.Bytes()
+}
+
+// readFrame reads one frame from br. The returned payload is a fresh slice.
+// io.EOF is returned verbatim on a clean end of stream between frames; any
+// other error (short read, oversized or undersized length, unknown kind)
+// means the stream is unusable and the connection must be dropped.
+func readFrame(br *bufio.Reader, max int) (frameHeader, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		// io.EOF only when zero bytes were read (a clean close between
+		// frames); a stream cut mid-prefix surfaces io.ErrUnexpectedEOF,
+		// which the caller counts as a protocol error.
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("nettransport: truncated length prefix: %w", err)
+		}
+		return frameHeader{}, nil, err
+	}
+	n := int(uint32(lenBuf[0])<<24 | uint32(lenBuf[1])<<16 | uint32(lenBuf[2])<<8 | uint32(lenBuf[3]))
+	if n < frameHeaderSize {
+		return frameHeader{}, nil, fmt.Errorf("%w: %d bytes", errFrameTooSmall, n)
+	}
+	if n > max {
+		return frameHeader{}, nil, fmt.Errorf("%w: %d > %d bytes", errFrameTooLarge, n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return frameHeader{}, nil, fmt.Errorf("nettransport: truncated frame: %w", err)
+	}
+	r := transport.NewReader(body)
+	h := frameHeader{kind: r.U8(), from: r.Addr(), to: r.Addr(), reqID: r.U64()}
+	if h.kind != frameOneway && h.kind != frameRequest && h.kind != frameResponse {
+		return frameHeader{}, nil, fmt.Errorf("%w: 0x%02x", errBadKind, h.kind)
+	}
+	return h, body[frameHeaderSize:], nil
+}
+
+// writeAll writes b fully to conn, treating a short write as an error.
+func writeAll(conn net.Conn, b []byte) error {
+	for len(b) > 0 {
+		n, err := conn.Write(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
+}

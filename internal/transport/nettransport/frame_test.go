@@ -1,0 +1,100 @@
+package nettransport
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/octopus-dht/octopus/internal/transport"
+)
+
+// TestFrameRoundTrip drives appendFrame → readFrame with random headers and
+// payloads.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kinds := []uint8{frameOneway, frameRequest, frameResponse}
+	for i := 0; i < 300; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		from := transport.Addr(rng.Int31n(1 << 20))
+		to := transport.Addr(rng.Int31n(1 << 20))
+		if rng.Intn(8) == 0 {
+			from = transport.NoAddr
+		}
+		reqID := rng.Uint64()
+		payload := make([]byte, rng.Intn(512))
+		rng.Read(payload)
+
+		frame := appendFrame(kind, from, to, reqID, payload)
+		h, got, err := readFrame(bufio.NewReader(bytes.NewReader(frame)), DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if h.kind != kind || h.from != from || h.to != to || h.reqID != reqID {
+			t.Fatalf("header = %+v, want kind=%d from=%v to=%v reqID=%d", h, kind, from, to, reqID)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch: %d vs %d bytes", len(got), len(payload))
+		}
+	}
+}
+
+// TestFrameReaderRejects pins the reader's failure modes: oversized and
+// undersized length prefixes, truncation, unknown kinds, and clean EOF.
+func TestFrameReaderRejects(t *testing.T) {
+	read := func(b []byte, max int) error {
+		_, _, err := readFrame(bufio.NewReader(bytes.NewReader(b)), max)
+		return err
+	}
+	valid := appendFrame(frameRequest, 1, 2, 3, []byte("payload"))
+
+	if err := read(nil, DefaultMaxFrame); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	if err := read(valid[:3], DefaultMaxFrame); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("partial length prefix: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if err := read(valid[:10], DefaultMaxFrame); err == nil || err == io.EOF {
+		t.Errorf("truncated body: err = %v, want a framing error", err)
+	}
+	if err := read(valid, 8); !errors.Is(err, errFrameTooLarge) {
+		t.Errorf("oversized frame: err = %v, want errFrameTooLarge", err)
+	}
+	small := []byte{0, 0, 0, 4, 1, 2, 3, 4}
+	if err := read(small, DefaultMaxFrame); !errors.Is(err, errFrameTooSmall) {
+		t.Errorf("undersized frame: err = %v, want errFrameTooSmall", err)
+	}
+	bad := appendFrame(frameRequest, 1, 2, 3, nil)
+	bad[4] = 0x77 // corrupt the kind byte
+	if err := read(bad, DefaultMaxFrame); !errors.Is(err, errBadKind) {
+		t.Errorf("unknown kind: err = %v, want errBadKind", err)
+	}
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the length-prefixed reader: it
+// must never panic and never allocate past the configured frame bound.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(appendFrame(frameOneway, 0, 1, 0, []byte("seed")))
+	f.Add(appendFrame(frameResponse, transport.NoAddr, 5, 1<<40, nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const max = 1 << 16
+		br := bufio.NewReader(bytes.NewReader(data))
+		for {
+			h, payload, err := readFrame(br, max)
+			if err != nil {
+				return // any error terminates the stream; that's the contract
+			}
+			if len(payload) > max {
+				t.Fatalf("payload %d bytes exceeds max %d", len(payload), max)
+			}
+			if h.kind != frameOneway && h.kind != frameRequest && h.kind != frameResponse {
+				t.Fatalf("invalid kind 0x%02x escaped validation", h.kind)
+			}
+		}
+	})
+}

@@ -1,0 +1,823 @@
+// Package nettransport is the socket-backed transport.Transport: protocol
+// messages cross real TCP connections as length-prefixed frames around the
+// binary wire codec. It is the deployment end of the repository's fidelity
+// ladder — internal/simnet proves protocol logic under deterministic virtual
+// time, internal/transport/chantransport proves it under true parallelism,
+// and nettransport runs the identical state machines between OS processes
+// and machines (see docs/DEPLOYMENT.md).
+//
+// A Transport instance is one process's view of a deployment: an endpoint
+// table mapping every address slot to a TCP "host:port", a listener serving
+// the slots whose endpoint is this process's own (the local hosts), and
+// dial-on-demand persistent connections to every other endpoint. The
+// per-host serialization contract is honored exactly as in chantransport —
+// one actor loop per local host runs that host's handler, RPC callbacks, and
+// timer callbacks — so protocol state stays lock-free no matter which
+// backend it runs on.
+//
+// RPCs are correlated by a per-process request id carried in the frame
+// header. Requests that are dropped (dead host, selective-DoS handler,
+// connection loss, peer down) surface to the caller as transport.ErrTimeout
+// after the caller's deadline, matching the other backends: on a real
+// network, silence is the only honest failure signal.
+//
+// Traffic accounting follows the conformance contract: exactly
+// Message.Size() bytes — the codec frame, which is what the experiments
+// model — are accounted per delivered message. For hosts in other processes
+// delivery cannot be observed, so a sender accounts a remote-bound message
+// when it hands the frame to the connection writer. Framing overhead (the
+// 25-byte length prefix + header per message) is tracked separately via
+// Frames().
+package nettransport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/transport"
+)
+
+// Config describes one process's slice of a deployment.
+type Config struct {
+	// Endpoints maps every address slot to a TCP endpoint "host:port".
+	// Slots whose endpoint equals Self are served by this process.
+	Endpoints []string
+	// Listen is the TCP address to listen on. Ignored when Listener is
+	// set.
+	Listen string
+	// Listener, when non-nil, is a pre-bound listener to serve on (lets
+	// tests grab a kernel-assigned port before building the table).
+	Listener net.Listener
+	// Self is the endpoint string identifying this process in Endpoints.
+	// Defaults to Listen (or the Listener address when Listen is empty).
+	Self string
+	// Seed drives Rand(). Processes of one deployment must share it: the
+	// bootstrap state (ring identifiers, key material) is derived
+	// deterministically from this stream.
+	Seed int64
+	// MaxFrame bounds one frame's size; DefaultMaxFrame when zero.
+	MaxFrame int
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RedialBackoff is the quiet period after a failed dial during which
+	// outbound frames to that endpoint are dropped without redialing
+	// (default 250ms). Drops surface as RPC timeouts, the same signal a
+	// dead peer produces.
+	RedialBackoff time.Duration
+	// WriteTimeout bounds one frame write (default 5s); a wedged peer
+	// costs one write deadline, not a stuck writer goroutine.
+	WriteTimeout time.Duration
+	// LinkQueue is the per-endpoint outbound queue depth (default 1024).
+	// A full queue drops frames rather than blocking a host's actor loop.
+	LinkQueue int
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.RedialBackoff == 0 {
+		cfg.RedialBackoff = 250 * time.Millisecond
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 5 * time.Second
+	}
+	if cfg.LinkQueue == 0 {
+		cfg.LinkQueue = 1024
+	}
+}
+
+// host is one local actor: its mailbox loop runs every callback addressed
+// to it, which is what guarantees the serialization contract.
+type host struct {
+	box *mailbox
+
+	mu      sync.Mutex
+	handler transport.Handler
+	alive   bool
+	stats   transport.TrafficStats
+}
+
+func (h *host) getHandler() (transport.Handler, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.handler, h.alive && h.handler != nil
+}
+
+func (h *host) addSent(bytes int) {
+	h.mu.Lock()
+	h.stats.BytesSent += uint64(bytes)
+	h.stats.MsgsSent++
+	h.mu.Unlock()
+}
+
+func (h *host) addReceived(bytes int) {
+	h.mu.Lock()
+	h.stats.BytesReceived += uint64(bytes)
+	h.stats.MsgsReceived++
+	h.mu.Unlock()
+}
+
+// pendingCall is one outstanding RPC awaiting its response frame.
+type pendingCall struct {
+	from  transport.Addr
+	to    transport.Addr
+	cb    func(transport.Message, error)
+	timer *time.Timer
+}
+
+// Transport implements transport.Transport over TCP.
+type Transport struct {
+	cfg  Config
+	self string
+	ln   net.Listener
+
+	hosts []*host // nil entries are remote slots
+
+	mu      sync.Mutex
+	links   map[string]*link
+	pending map[uint64]*pendingCall
+	conns   map[net.Conn]struct{} // accepted connections, for Close
+
+	nextReq atomic.Uint64
+	rng     *rand.Rand
+	start   time.Time
+	wg      sync.WaitGroup
+	done    chan struct{}
+	closed  atomic.Bool
+
+	dropped     atomic.Uint64
+	codecErrors atomic.Uint64
+	protoErrors atomic.Uint64
+	sendDrops   atomic.Uint64
+	dials       atomic.Uint64
+	framesIn    atomic.Uint64
+	framesOut   atomic.Uint64
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New starts one process's transport: it listens on the configured
+// endpoint, launches an actor loop per local host slot, and is immediately
+// ready to dial the table's other endpoints on demand. Call Close when done.
+func New(cfg Config) (*Transport, error) {
+	cfg.fillDefaults()
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("nettransport: empty endpoint table")
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("nettransport: listen %s: %w", cfg.Listen, err)
+		}
+	}
+	self := cfg.Self
+	if self == "" {
+		self = cfg.Listen
+	}
+	if self == "" {
+		self = ln.Addr().String()
+	}
+	t := &Transport{
+		cfg:     cfg,
+		self:    self,
+		ln:      ln,
+		hosts:   make([]*host, len(cfg.Endpoints)),
+		links:   make(map[string]*link),
+		pending: make(map[uint64]*pendingCall),
+		conns:   make(map[net.Conn]struct{}),
+		rng:     rand.New(&lockedSource{src: rand.NewSource(cfg.Seed).(rand.Source64)}),
+		start:   time.Now(),
+		done:    make(chan struct{}),
+	}
+	local := 0
+	for i, ep := range cfg.Endpoints {
+		if ep != self {
+			continue
+		}
+		local++
+		h := &host{box: newMailbox()}
+		t.hosts[i] = h
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for {
+				fn, ok := h.box.take()
+				if !ok {
+					return
+				}
+				fn()
+			}
+		}()
+	}
+	if local == 0 {
+		ln.Close()
+		return nil, fmt.Errorf("nettransport: no endpoint in the table matches self %q", self)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Self returns the endpoint this process serves.
+func (t *Transport) Self() string { return t.self }
+
+// Addr returns the listener's concrete address (useful with ":0" listens).
+func (t *Transport) Addr() net.Addr { return t.ln.Addr() }
+
+// Size returns the number of address slots in the endpoint table.
+func (t *Transport) Size() int { return len(t.hosts) }
+
+// Local reports whether an address slot is served by this process.
+func (t *Transport) Local(addr transport.Addr) bool { return t.hostAt(addr) != nil }
+
+// Endpoint returns the TCP endpoint of an address slot ("" out of range).
+func (t *Transport) Endpoint(addr transport.Addr) string {
+	if !t.inTable(addr) {
+		return ""
+	}
+	return t.cfg.Endpoints[addr]
+}
+
+// Dropped reports messages dropped at delivery (dead host, no handler).
+func (t *Transport) Dropped() uint64 { return t.dropped.Load() }
+
+// CodecErrors reports messages that could not be encoded or decoded.
+func (t *Transport) CodecErrors() uint64 { return t.codecErrors.Load() }
+
+// ProtocolErrors reports malformed frames and misaddressed traffic.
+func (t *Transport) ProtocolErrors() uint64 { return t.protoErrors.Load() }
+
+// SendDrops reports outbound frames dropped before reaching the wire
+// (unreachable peer, full queue). Each one surfaces as an RPC timeout.
+func (t *Transport) SendDrops() uint64 { return t.sendDrops.Load() }
+
+// Dials reports completed outbound connection attempts; values above the
+// peer count indicate reconnects.
+func (t *Transport) Dials() uint64 { return t.dials.Load() }
+
+// Frames reports frames read from and handed to the wire. Multiplying by
+// the fixed 25-byte frame overhead gives the framing bytes that TrafficStats
+// (which accounts codec bytes, per the conformance contract) excludes.
+func (t *Transport) Frames() (in, out uint64) {
+	return t.framesIn.Load(), t.framesOut.Load()
+}
+
+// Close shuts down the listener, all connections, all host loops, and all
+// outstanding RPC timers, and waits for every goroutine to drain.
+func (t *Transport) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(t.done)
+	t.ln.Close()
+	t.mu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	for id, pc := range t.pending {
+		pc.timer.Stop()
+		delete(t.pending, id)
+	}
+	t.mu.Unlock()
+	for _, h := range t.hosts {
+		if h != nil {
+			h.box.close()
+		}
+	}
+	t.wg.Wait()
+}
+
+func (t *Transport) inTable(addr transport.Addr) bool {
+	return addr >= 0 && int(addr) < len(t.hosts)
+}
+
+func (t *Transport) hostAt(addr transport.Addr) *host {
+	if !t.inTable(addr) {
+		return nil
+	}
+	return t.hosts[addr]
+}
+
+// post runs fn in the serialization context of a local addr; closures for
+// remote or invalid addresses are dropped.
+func (t *Transport) post(addr transport.Addr, fn func()) {
+	if h := t.hostAt(addr); h != nil {
+		h.box.put(fn)
+	}
+}
+
+// Bind implements transport.Transport. Binding a remote slot is a no-op:
+// that host lives in another process.
+func (t *Transport) Bind(addr transport.Addr, hd transport.Handler) {
+	h := t.hostAt(addr)
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.handler = hd
+	h.alive = true
+	h.mu.Unlock()
+}
+
+// SetAlive implements transport.Transport (local hosts only; a process
+// cannot toggle liveness of a host it does not run).
+func (t *Transport) SetAlive(addr transport.Addr, alive bool) {
+	h := t.hostAt(addr)
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.alive = alive
+	h.mu.Unlock()
+}
+
+// Alive implements transport.Transport. Remote hosts are presumed alive —
+// on a real network liveness is only discoverable by talking to them, and
+// the protocol layers already treat RPC timeouts as the failure signal.
+func (t *Transport) Alive(addr transport.Addr) bool {
+	if !t.inTable(addr) {
+		return false
+	}
+	h := t.hosts[addr]
+	if h == nil {
+		return true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.alive && h.handler != nil
+}
+
+// Stats implements transport.Transport. Only local hosts accumulate
+// counters; remote slots report zeros.
+func (t *Transport) Stats(addr transport.Addr) transport.TrafficStats {
+	h := t.hostAt(addr)
+	if h == nil {
+		return transport.TrafficStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Now implements transport.Transport: wall time since the transport
+// started.
+func (t *Transport) Now() time.Duration { return time.Since(t.start) }
+
+// Rand implements transport.Transport with a lock-guarded seeded source.
+func (t *Transport) Rand() *rand.Rand { return t.rng }
+
+// Send implements transport.Transport: one frame, no response expected.
+func (t *Transport) Send(from, to transport.Addr, msg transport.Message) {
+	if !t.inTable(to) {
+		return
+	}
+	payload, err := transport.Encode(msg)
+	if err != nil {
+		t.codecErrors.Add(1)
+		return
+	}
+	t.enqueue(frameOneway, from, to, 0, payload)
+}
+
+// Call implements transport.Transport. The request id in the frame header
+// correlates the response; exactly one of {response, ErrTimeout,
+// ErrUnreachable} reaches cb, on the caller's actor loop.
+func (t *Transport) Call(from, to transport.Addr, req transport.Message,
+	timeout time.Duration, cb func(transport.Message, error)) {
+	if !t.inTable(to) {
+		t.post(from, func() { cb(nil, transport.ErrUnreachable) })
+		return
+	}
+	payload, err := transport.Encode(req)
+	if err != nil {
+		t.codecErrors.Add(1)
+		t.post(from, func() { cb(nil, transport.ErrUnreachable) })
+		return
+	}
+	id := t.nextReq.Add(1)
+	pc := &pendingCall{from: from, to: to, cb: cb}
+	// Register and arm atomically: a timer fired against an unregistered
+	// entry would leave the call pending forever, and an entry without a
+	// timer would break Close and the response path. The timer callback
+	// itself serializes on the same mutex via takePending.
+	t.mu.Lock()
+	t.pending[id] = pc
+	pc.timer = time.AfterFunc(timeout, func() {
+		if got := t.takePending(id, nil); got != nil {
+			t.post(got.from, func() { got.cb(nil, transport.ErrTimeout) })
+		}
+	})
+	t.mu.Unlock()
+	t.enqueue(frameRequest, from, to, id, payload)
+}
+
+// takePending removes and returns the pending call for id. The map removal
+// is the atomic race arbiter between the response path and the timeout
+// path: whichever takes the entry delivers the single callback. A non-nil
+// `from` additionally requires the response to originate from the address
+// the request targeted; on mismatch the entry is left in place (the frame
+// is spoofed or corrupt, and the real response or timeout is still owed).
+func (t *Transport) takePending(id uint64, from *transport.Addr) *pendingCall {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pc := t.pending[id]
+	if pc == nil {
+		return nil
+	}
+	if from != nil && *from != pc.to {
+		return nil
+	}
+	delete(t.pending, id)
+	return pc
+}
+
+// enqueue frames a payload and hands it to the destination endpoint's
+// writer. Remote-bound messages are accounted to the local sender here;
+// local-bound messages (which still travel the wire, through the loopback)
+// are accounted at delivery, where liveness of the destination is known.
+func (t *Transport) enqueue(kind uint8, from, to transport.Addr, reqID uint64, payload []byte) {
+	frame := appendFrame(kind, from, to, reqID, payload)
+	l := t.linkTo(t.cfg.Endpoints[to])
+	if l == nil {
+		t.sendDrops.Add(1)
+		return
+	}
+	select {
+	case l.ch <- frame:
+		t.framesOut.Add(1)
+		if t.hostAt(to) == nil {
+			if src := t.hostAt(from); src != nil {
+				src.addSent(len(payload))
+			}
+		}
+	default:
+		t.sendDrops.Add(1)
+	}
+}
+
+// dispatch routes one inbound frame.
+func (t *Transport) dispatch(h frameHeader, payload []byte) {
+	t.framesIn.Add(1)
+	switch h.kind {
+	case frameRequest, frameOneway:
+		t.dispatchRequest(h, payload)
+	case frameResponse:
+		t.dispatchResponse(h, payload)
+	}
+}
+
+// dispatchRequest delivers a request or one-way frame to its local host's
+// actor loop. Dead or unbound hosts drop silently (the caller observes a
+// timeout), exactly like the in-process backends.
+func (t *Transport) dispatchRequest(h frameHeader, payload []byte) {
+	host := t.hostAt(h.to)
+	if host == nil {
+		t.protoErrors.Add(1) // misaddressed: this process does not serve h.to
+		return
+	}
+	host.box.put(func() {
+		hd, ok := host.getHandler()
+		if !ok {
+			t.dropped.Add(1)
+			return
+		}
+		msg, err := transport.Decode(payload)
+		if err != nil {
+			t.codecErrors.Add(1)
+			return
+		}
+		if src := t.hostAt(h.from); src != nil {
+			src.addSent(len(payload))
+		}
+		host.addReceived(len(payload))
+		resp, handled := hd(h.from, msg)
+		if h.kind != frameRequest {
+			return
+		}
+		if !handled {
+			t.dropped.Add(1) // caller will observe its timeout
+			return
+		}
+		respPayload, err := transport.Encode(resp)
+		if err != nil {
+			t.codecErrors.Add(1)
+			return
+		}
+		if !t.inTable(h.from) {
+			t.protoErrors.Add(1)
+			return
+		}
+		t.enqueue(frameResponse, h.to, h.from, h.reqID, respPayload)
+	})
+}
+
+// dispatchResponse correlates a response frame with its pending call and
+// runs the callback on the caller's actor loop.
+func (t *Transport) dispatchResponse(h frameHeader, payload []byte) {
+	msg, err := transport.Decode(payload)
+	if err != nil {
+		// A corrupt response is a lost message, not a fast failure: the
+		// pending entry stays so the caller observes the real timeout.
+		t.codecErrors.Add(1)
+		return
+	}
+	pc := t.takePending(h.reqID, &h.from)
+	if pc == nil {
+		return // late, duplicate, or misattributed response
+	}
+	pc.timer.Stop()
+	t.post(pc.from, func() {
+		if src := t.hostAt(h.from); src != nil {
+			src.addSent(len(payload))
+		}
+		if dst := t.hostAt(pc.from); dst != nil {
+			dst.addReceived(len(payload))
+		}
+		pc.cb(msg, nil)
+	})
+}
+
+// acceptLoop serves inbound connections until Close.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed.Load() {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.conns[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(c)
+	}
+}
+
+// serveConn reads frames off one inbound connection until error or EOF. A
+// malformed frame poisons the stream, so the connection is dropped; the
+// peer's writer will redial.
+func (t *Transport) serveConn(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		c.Close()
+		t.mu.Lock()
+		delete(t.conns, c)
+		t.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	for {
+		h, payload, err := readFrame(br, t.cfg.MaxFrame)
+		if err != nil {
+			if err != io.EOF && !t.closed.Load() {
+				t.protoErrors.Add(1)
+			}
+			return
+		}
+		t.dispatch(h, payload)
+	}
+}
+
+// link is the outbound leg to one endpoint: a bounded frame queue drained
+// by a writer goroutine that dials on demand and redials after failures.
+type link struct {
+	t        *Transport
+	endpoint string
+	ch       chan []byte
+}
+
+func (t *Transport) linkTo(endpoint string) *link {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.links[endpoint]
+	if !ok {
+		if t.closed.Load() {
+			return nil // shutting down: no new writer goroutines
+		}
+		l = &link{t: t, endpoint: endpoint, ch: make(chan []byte, t.cfg.LinkQueue)}
+		t.links[endpoint] = l
+		t.wg.Add(1)
+		go l.run()
+	}
+	return l
+}
+
+func (l *link) dial() net.Conn {
+	c, err := net.DialTimeout("tcp", l.endpoint, l.t.cfg.DialTimeout)
+	if err != nil {
+		return nil
+	}
+	l.t.dials.Add(1)
+	return c
+}
+
+func (l *link) write(conn net.Conn, frame []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(l.t.cfg.WriteTimeout))
+	return writeAll(conn, frame)
+}
+
+// run drains the queue. Connection policy: dial on the first frame; after a
+// failed dial, drop frames for RedialBackoff before trying again (so a dead
+// peer costs one dial timeout per backoff window, not per frame); on a
+// write error, redial once immediately and retry the frame — a restarted
+// peer leaves a stale connection whose first write fails, and the frame is
+// still deliverable over a fresh one.
+func (l *link) run() {
+	defer l.t.wg.Done()
+	var conn net.Conn
+	var lastFail time.Time
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-l.t.done:
+			return
+		case frame := <-l.ch:
+			if conn == nil {
+				if time.Since(lastFail) < l.t.cfg.RedialBackoff {
+					l.t.sendDrops.Add(1)
+					continue
+				}
+				if conn = l.dial(); conn == nil {
+					lastFail = time.Now()
+					l.t.sendDrops.Add(1)
+					continue
+				}
+			}
+			if err := l.write(conn, frame); err != nil {
+				conn.Close()
+				if conn = l.dial(); conn == nil {
+					lastFail = time.Now()
+					l.t.sendDrops.Add(1)
+					continue
+				}
+				if err := l.write(conn, frame); err != nil {
+					conn.Close()
+					conn = nil
+					lastFail = time.Now()
+					l.t.sendDrops.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// chanTimer implements transport.Timer over a wall-clock timer plus a
+// cancellation flag (the flag closes the race between Cancel and an
+// already-queued firing).
+type chanTimer struct {
+	cancelled atomic.Bool
+	t         *time.Timer
+}
+
+// Cancel implements transport.Timer.
+func (ct *chanTimer) Cancel() {
+	ct.cancelled.Store(true)
+	if ct.t != nil {
+		ct.t.Stop()
+	}
+}
+
+// After implements transport.Transport: fn runs on owner's actor loop.
+func (t *Transport) After(owner transport.Addr, delay time.Duration, fn func()) transport.Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	ct := &chanTimer{}
+	ct.t = time.AfterFunc(delay, func() {
+		t.post(owner, func() {
+			if ct.cancelled.Load() {
+				return
+			}
+			fn()
+		})
+	})
+	return ct
+}
+
+// Every implements transport.Transport: fn runs on owner's actor loop once
+// per period until stop is called (or the transport closes).
+func (t *Transport) Every(owner transport.Addr, period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	stopCh := make(chan struct{})
+	var once sync.Once
+	var stopped atomic.Bool
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.done:
+				return
+			case <-tick.C:
+				t.post(owner, func() {
+					if stopped.Load() {
+						return
+					}
+					fn()
+				})
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			stopped.Store(true)
+			close(stopCh)
+		})
+	}
+}
+
+// mailbox is an unbounded FIFO of closures with blocking take — the actor
+// queue behind each local host.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []func()
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(fn func()) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.q = append(m.q, fn)
+	m.cond.Signal()
+	return true
+}
+
+func (m *mailbox) take() (func(), bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	fn := m.q[0]
+	m.q[0] = nil
+	m.q = m.q[1:]
+	return fn, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// lockedSource is a rand.Source64 safe for use from every goroutine.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}

@@ -1,0 +1,43 @@
+package transport_test
+
+// Pins the size arithmetic stated in docs/PROTOCOL.md to the real
+// encoders, so the spec cannot drift from the implementation silently.
+
+import (
+	"testing"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/core"
+	"github.com/octopus-dht/octopus/internal/transport"
+)
+
+func TestProtocolDocFixedSizes(t *testing.T) {
+	cases := []struct {
+		name string
+		m    transport.Message
+		want int
+	}{
+		{"PingReq", chord.PingReq{}, 2},
+		{"PingResp", chord.PingResp{}, 2},
+		{"FindNextReq", chord.FindNextReq{}, 10},
+		{"FindNextResp", chord.FindNextResp{}, 31},
+		{"GetTableReq", chord.GetTableReq{}, 4},
+		{"StabilizeReq", chord.StabilizeReq{}, 3},
+		{"NotifyReq", chord.NotifyReq{}, 17},
+		{"NotifyResp", chord.NotifyResp{}, 2},
+		{"ReportAck", core.ReportAck{}, 2},
+		{"WalkSeedReq", core.WalkSeedReq{}, 20},
+	}
+	for _, c := range cases {
+		if got := c.m.Size(); got != c.want {
+			t.Errorf("%s: Size() = %d, docs/PROTOCOL.md says %d", c.name, got, c.want)
+		}
+		enc, err := transport.Encode(c.m)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(enc) != c.m.Size() {
+			t.Errorf("%s: len(Encode) = %d != Size() %d", c.name, len(enc), c.m.Size())
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command mdlinkcheck verifies that relative links in Markdown files
+// resolve to files or directories that actually exist, so documentation
+// cannot rot silently as the tree moves. It is wired into CI over README.md
+// and docs/.
+//
+//	go run ./tools/mdlinkcheck README.md docs
+//
+// Arguments are files or directories (directories are scanned recursively
+// for *.md). External links (http/https/mailto) are not fetched — CI runs
+// offline — and pure #anchors are skipped; a relative link's own #fragment
+// is ignored when checking the target path.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links [text](target). Images use the same
+// syntax with a leading !, which the expression also captures.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	var files []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			fail("stat %s: %v", a, err)
+		}
+		if !info.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fail("walk %s: %v", a, err)
+		}
+	}
+
+	broken := 0
+	checked := 0
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			fail("read %s: %v", file, err)
+		}
+		dir := filepath.Dir(file)
+		for lineNo, line := range strings.Split(string(raw), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skippable(target) {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+					if target == "" {
+						continue
+					}
+				}
+				checked++
+				if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+					broken++
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q\n", file, lineNo+1, m[1])
+				}
+			}
+		}
+	}
+	fmt.Printf("mdlinkcheck: %d files, %d relative links checked, %d broken\n",
+		len(files), checked, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}
+
+func skippable(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mdlinkcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
