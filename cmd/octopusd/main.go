@@ -22,6 +22,8 @@
 package main
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +38,7 @@ import (
 	"github.com/octopus-dht/octopus/internal/id"
 	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/transport/nettransport"
+	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
 // ringConfig is the JSON deployment descriptor shared by every process.
@@ -71,9 +74,13 @@ func loadRingConfig(path string) (ringConfig, error) {
 
 func main() {
 	var (
-		configPath = flag.String("config", "", "ring configuration JSON (required)")
-		listen     = flag.String("listen", "", "TCP endpoint this process serves; must appear in the config (required)")
+		configPath = flag.String("config", "", "ring configuration JSON (static deployment; mutually exclusive with -join)")
+		joinVia    = flag.String("join", "", "TCP endpoint of any live daemon; join its ring dynamically instead of loading a config")
+		listen     = flag.String("listen", "", "TCP endpoint this process serves (required)")
+		idName     = flag.String("id", "", "with -join: derive the ring identifier from this string instead of random (testing)")
 		lookupKey  = flag.String("lookup", "", "after warm-up, anonymously resolve this key from the first local node")
+		expectID   = flag.String("expect-id", "", "verify the -lookup against the owner identifier derived from this string (instead of the static ground truth), retrying until it matches")
+		lookupWait = flag.Duration("lookup-retry", 2*time.Minute, "with -expect-id: how long to keep retrying the lookup")
 		once       = flag.Bool("once", false, "exit after the -lookup completes (0 on success)")
 		warmPairs  = flag.Int("warm-pairs", 16, "relay pairs to stock before the -lookup starts")
 		warmMax    = flag.Duration("warm-timeout", 90*time.Second, "abort if the relay pool is not stocked in time")
@@ -90,24 +97,41 @@ func main() {
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
-	if *configPath == "" || *listen == "" {
+	if *listen == "" || (*configPath == "") == (*joinVia == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *listen, daemonOpts{
-		lookupKey: *lookupKey, once: *once,
+	if *joinVia != "" && *lookupKey != "" && *expectID == "" {
+		// Catch this before joining: a dynamically joined ring has no
+		// deterministic ground truth, and failing after the join would
+		// skip the graceful leave.
+		log.Fatal("octopusd: -join with -lookup requires -expect-id (no deterministic ground truth in a joined ring)")
+	}
+	opts := daemonOpts{
+		lookupKey: *lookupKey, expectID: *expectID, lookupWait: *lookupWait, once: *once,
+		idName:    *idName,
 		warmPairs: *warmPairs, warmMax: *warmMax, statusEach: *statusEach,
 		walkEvery: *walkEvery, stabilize: *stabilize, surveil: *surveil,
 		fixFingers: *fixFingers, rpcTimeout: *rpcTimeout, queryTO: *queryTO,
 		dummies: *dummies, relayDelay: *relayDelay,
-	}); err != nil {
+	}
+	var err error
+	if *joinVia != "" {
+		err = runJoin(*joinVia, *listen, opts)
+	} else {
+		err = run(*configPath, *listen, opts)
+	}
+	if err != nil {
 		log.Fatalf("octopusd: %v", err)
 	}
 }
 
 type daemonOpts struct {
 	lookupKey  string
+	expectID   string
+	lookupWait time.Duration
 	once       bool
+	idName     string
 	warmPairs  int
 	warmMax    time.Duration
 	statusEach time.Duration
@@ -120,6 +144,22 @@ type daemonOpts struct {
 	queryTO    time.Duration
 	dummies    int
 	relayDelay time.Duration
+}
+
+// coreConfig assembles the Octopus configuration shared by both modes.
+func (opts daemonOpts) coreConfig(n int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.EstimatedSize = n
+	cfg.WalkEvery = opts.walkEvery
+	cfg.SurveilEvery = opts.surveil
+	cfg.Dummies = opts.dummies
+	cfg.QueryTimeout = opts.queryTO
+	cfg.RelayDelayMax = opts.relayDelay
+	cfg.Chord.StabilizeEvery = opts.stabilize
+	cfg.Chord.SuspectEvery = opts.stabilize
+	cfg.Chord.FixFingersEvery = opts.fixFingers
+	cfg.Chord.RPCTimeout = opts.rpcTimeout
+	return cfg
 }
 
 func run(configPath, listen string, opts daemonOpts) error {
@@ -141,16 +181,7 @@ func run(configPath, listen string, opts daemonOpts) error {
 	}
 	defer tr.Close()
 
-	cfg := core.DefaultConfig()
-	cfg.EstimatedSize = n
-	cfg.WalkEvery = opts.walkEvery
-	cfg.SurveilEvery = opts.surveil
-	cfg.Dummies = opts.dummies
-	cfg.QueryTimeout = opts.queryTO
-	cfg.RelayDelayMax = opts.relayDelay
-	cfg.Chord.StabilizeEvery = opts.stabilize
-	cfg.Chord.FixFingersEvery = opts.fixFingers
-	cfg.Chord.RPCTimeout = opts.rpcTimeout
+	cfg := opts.coreConfig(n)
 
 	isLocal := func(a transport.Addr) bool { return tr.Local(a) }
 	nw, err := core.BuildNetworkLocal(tr, n, cfg, isLocal)
@@ -174,6 +205,8 @@ func run(configPath, listen string, opts daemonOpts) error {
 		return fmt.Errorf("no node or CA slots map to %s in %s", listen, configPath)
 	}
 
+	enableDynamicMembership(tr, nw, local, opts)
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
@@ -181,7 +214,7 @@ func run(configPath, listen string, opts daemonOpts) error {
 		if len(local) == 0 {
 			return fmt.Errorf("-lookup needs a local node, but %s serves only the CA", listen)
 		}
-		if err := warmAndLookup(tr, nw, local[0], opts); err != nil {
+		if err := warmAndLookup(tr, nw.Ring.OwnerAmong, n, local[0], opts); err != nil {
 			return err
 		}
 		if opts.once {
@@ -202,6 +235,303 @@ func run(configPath, listen string, opts daemonOpts) error {
 	}
 }
 
+// enableDynamicMembership arms a static-deployment process for online
+// growth: it serves bootstrap admission requests from slotless joiners
+// (relaying them to the CA) and, when this process hosts the CA, wires the
+// CA's admission hooks to the transport's dynamic endpoint table and the
+// announce broadcast.
+func enableDynamicMembership(tr *nettransport.Transport, nw *core.Network, local []*core.Node, opts daemonOpts) {
+	caAddr := nw.CA.Addr()
+	caller := caAddr
+	bootstrap := chord.NoPeer
+	if len(local) > 0 {
+		caller = local[0].Self().Addr
+		bootstrap = local[0].Self()
+	} else if peers := nw.Ring.Peers(); len(peers) > 0 {
+		bootstrap = peers[0] // served by another process; still a valid contact
+	}
+	tr.SetBootstrapHandler(core.NewAdmissionRelay(tr, caller, caAddr, bootstrap, opts.rpcTimeout))
+
+	// CA admission hooks — only on the process that actually serves the
+	// CA, and installed from INSIDE the CA's serialization context: the
+	// CA handler is already reachable over TCP by the time this runs, so
+	// a plain field write from the daemon goroutine would race with a
+	// joiner's CertIssueReq.
+	if !tr.Local(caAddr) {
+		return
+	}
+	inContext(tr, caAddr, func() {
+		// Per-endpoint admission rate limit: a baseline resource bound,
+		// NOT Sybil resistance (which needs the external identity check
+		// the paper assumes of its CA, §3.2). A sliding window — rather
+		// than an absolute count — means an uncleanly crashed joiner
+		// regains admission once its old grants age out, while identity
+		// rotation from one endpoint stays throttled.
+		grantTimes := make(map[string][]time.Time)
+		var globalGrants []time.Time
+		const maxGrantsPerWindow = 8  // per endpoint string (honest-operator restart budget)
+		const maxGlobalPerWindow = 32 // across ALL endpoints — the endpoint string is
+		const grantWindow = time.Hour // attacker-chosen, so only a global cap truly bounds growth
+		pruneWindow := func(ts []time.Time) []time.Time {
+			cutoff := time.Now().Add(-grantWindow)
+			kept := ts[:0]
+			for _, at := range ts {
+				if at.After(cutoff) {
+					kept = append(kept, at)
+				}
+			}
+			return kept
+		}
+		nw.CA.AdmitPolicy = func(_ transport.Addr, req core.CertIssueReq) bool {
+			if req.Endpoint == "" {
+				return false
+			}
+			globalGrants = pruneWindow(globalGrants)
+			if len(globalGrants) >= maxGlobalPerWindow {
+				return false
+			}
+			recent := pruneWindow(grantTimes[req.Endpoint])
+			if len(recent) == 0 {
+				delete(grantTimes, req.Endpoint) // don't let dead keys accrete
+			}
+			if len(recent) >= maxGrantsPerWindow {
+				grantTimes[req.Endpoint] = recent
+				return false
+			}
+			grantTimes[req.Endpoint] = append(recent, time.Now())
+			globalGrants = append(globalGrants, time.Now())
+			return true
+		}
+		// Retirement releases the per-endpoint admission quota (the
+		// documented contract of CertRetireReq) and recycles the slot
+		// so join/leave cycling does not grow the endpoint tables. The
+		// GLOBAL cap is deliberately not released: it limits identity
+		// issuance per hour — identities are permanent state (directory
+		// keys, issuance records, rosters) whether or not their grants
+		// retire, so a join/retire loop must not mint them unboundedly.
+		var freeSlots []transport.Addr
+		nw.CA.OnRetire = func(endpoint string, addr transport.Addr) {
+			// Prune BEFORE dropping, or the drop could consume an
+			// already-expired timestamp and release nothing.
+			if ts := pruneWindow(grantTimes[endpoint]); len(ts) > 0 {
+				grantTimes[endpoint] = ts[1:]
+			} else {
+				delete(grantTimes, endpoint)
+			}
+			freeSlots = append(freeSlots, addr)
+		}
+		nw.CA.AllocAddr = func(endpoint string) (transport.Addr, bool) {
+			if endpoint == "" {
+				return transport.NoAddr, false
+			}
+			if n := len(freeSlots); n > 0 {
+				addr := freeSlots[n-1]
+				freeSlots = freeSlots[:n-1]
+				tr.SetEndpoint(addr, endpoint)
+				return addr, true
+			}
+			return tr.AddEndpoint(endpoint), true
+		}
+		nw.CA.Announce = func(m core.EndpointAnnounce) {
+			broadcastFromCA(tr, caAddr, []string{m.Endpoint}, m)
+		}
+		nw.CA.AnnounceRevocation = func(m core.RevocationAnnounce) {
+			broadcastFromCA(tr, caAddr, nil, m)
+		}
+	})
+	// Heal lost announces: endpoint announces are unacknowledged one-way
+	// sends, so a process that missed one would otherwise never learn a
+	// joiner's slot. Re-broadcasting is idempotent for receivers.
+	tr.Every(caAddr, 30*time.Second, nw.CA.ReAnnounce)
+}
+
+// broadcastFromCA sends one one-way copy of msg to the first node slot of
+// every other process (one per distinct endpoint), skipping the endpoints
+// in `skip`.
+func broadcastFromCA(tr *nettransport.Transport, caAddr transport.Addr,
+	skip []string, msg transport.Message) {
+	notified := map[string]bool{tr.Self(): true}
+	for _, ep := range skip {
+		notified[ep] = true
+	}
+	for slot, ep := range tr.Endpoints() {
+		if ep == "" || notified[ep] || transport.Addr(slot) == caAddr {
+			continue
+		}
+		notified[ep] = true
+		tr.Send(caAddr, transport.Addr(slot), msg)
+	}
+}
+
+// runJoin is the dynamic-membership mode: obtain a certified identity and a
+// slot from a live ring via one bootstrap exchange, then join it — no
+// configuration file, no shared seed, one contact endpoint.
+func runJoin(joinEP, listen string, opts daemonOpts) error {
+	scheme := xcrypto.SimScheme{}
+	// The identity key pair guards the leave/retire signatures and every
+	// signed table this node will ever publish — it MUST come from
+	// crypto/rand (a time-seeded math/rand key would be recoverable from
+	// the public ring identifier by seed enumeration). The transport's
+	// protocol randomness needs no such strength.
+	kp, err := scheme.GenerateKey(crand.Reader)
+	if err != nil {
+		return err
+	}
+	var idBuf [8]byte
+	if _, err := crand.Read(idBuf[:]); err != nil {
+		return err
+	}
+	ringID := id.ID(binary.BigEndian.Uint64(idBuf[:]))
+	if opts.idName != "" {
+		ringID = id.FromBytes([]byte(opts.idName))
+	}
+	seed := time.Now().UnixNano()
+
+	log.Printf("requesting admission from %s (id %s, endpoint %s)", joinEP, ringID, listen)
+	var adm core.RingAdmitResp
+	admitted := false
+	for attempt := 1; attempt <= 5 && !admitted; attempt++ {
+		resp, err := nettransport.BootstrapCall(joinEP,
+			core.RingAdmitReq{ID: ringID, Key: kp.Public, Endpoint: listen}, 10*time.Second)
+		if err != nil {
+			log.Printf("admission attempt %d: %v", attempt, err)
+			time.Sleep(time.Second)
+			continue
+		}
+		r, ok := resp.(core.RingAdmitResp)
+		if !ok || !r.OK {
+			return fmt.Errorf("admission refused by %s", joinEP)
+		}
+		adm, admitted = r, true
+	}
+	if !admitted {
+		return fmt.Errorf("could not reach %s for admission", joinEP)
+	}
+	grant := adm.Grant
+	self := grant.Self
+	log.Printf("admitted: certificate issued by the CA over the wire (id %s, slot %d, %d roster entries, %d endpoints)",
+		self.ID, self.Addr, len(grant.Roster), len(grant.Endpoints))
+	if int(self.Addr) >= len(grant.Endpoints) || grant.Endpoints[self.Addr] != listen {
+		return fmt.Errorf("admission endpoint table does not place %s at slot %d", listen, self.Addr)
+	}
+
+	tr, err := nettransport.New(nettransport.Config{
+		Listen:    listen,
+		Self:      listen,
+		Endpoints: grant.Endpoints,
+		Seed:      seed, // private randomness: the joiner shares no deterministic state
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	dir := core.NewDirectory(scheme)
+	dir.SetCAKey(grant.CAKey)
+	for _, e := range grant.Roster {
+		dir.Register(e.ID, e.Key)
+	}
+	dir.Register(self.ID, kp.Public)
+	// Seed replay protection: without the granted per-slot ordinals a
+	// fresh process would accept a captured announce for a reused slot's
+	// previous occupant.
+	for slot, seq := range grant.SlotSeqs {
+		if seq > 0 {
+			dir.AdvanceSlotSeq(transport.Addr(slot), seq)
+		}
+	}
+
+	cfg := opts.coreConfig(len(grant.Endpoints) - 1)
+	chordCfg := cfg.Chord
+	chordCfg.SignTables = true
+	chordCfg.DisableFingerUpdates = true
+	cn := chord.NewNode(tr, chordCfg, self,
+		&chord.Identity{Scheme: scheme, Key: kp, Cert: grant.Cert})
+	node := core.New(cn, cfg, adm.CAAddr, dir)
+	inContext(tr, self.Addr, cn.Start)
+
+	// The announce that teaches other processes our endpoint races with
+	// our first join RPCs, so retry until the ring answers.
+	joinDeadline := time.Now().Add(opts.warmMax)
+	for {
+		errc := make(chan error, 1)
+		tr.After(self.Addr, 0, func() { cn.Join(adm.Bootstrap, func(err error) { errc <- err }) })
+		err := <-errc
+		if err == nil {
+			break
+		}
+		if time.Now().After(joinDeadline) {
+			return fmt.Errorf("join never succeeded: %w", err)
+		}
+		log.Printf("join attempt failed (%v), retrying", err)
+		time.Sleep(500 * time.Millisecond)
+	}
+	inContext(tr, self.Addr, node.StartProtocols)
+	log.Printf("joined the ring as %s @ slot %d", self.ID, self.Addr)
+
+	// A joined daemon serves future joiners too.
+	tr.SetBootstrapHandler(core.NewAdmissionRelay(tr, self.Addr, adm.CAAddr, self, opts.rpcTimeout))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	leave := func() error {
+		// Ring-level leave FIRST: retiring releases this slot for
+		// immediate reuse, so it must not happen while the leave
+		// handshake (whose acks are addressed to this slot) is still in
+		// flight.
+		var leaveErr error
+		errc := make(chan error, 1)
+		tr.After(self.Addr, 0, func() { node.Leave(func(err error) { errc <- err }) })
+		select {
+		case leaveErr = <-errc:
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("leave handshake stalled")
+		}
+
+		// Best-effort grant retirement: releases this endpoint's
+		// admission quota at the CA and frees the slot. A timeout only
+		// means the quota frees when the window ages out.
+		retireSig, _ := scheme.Sign(kp, core.RetireStatement(self))
+		retired := make(chan struct{}, 1)
+		tr.After(self.Addr, 0, func() {
+			tr.Call(self.Addr, adm.CAAddr, core.CertRetireReq{Who: self, Sig: retireSig}, opts.rpcTimeout,
+				func(transport.Message, error) { retired <- struct{}{} })
+		})
+		select {
+		case <-retired:
+		case <-time.After(opts.rpcTimeout + time.Second):
+		}
+
+		if leaveErr != nil {
+			return fmt.Errorf("left the ring with unacknowledged neighbors: %w", leaveErr)
+		}
+		log.Printf("left the ring cleanly (neighbors acknowledged the leave)")
+		return nil
+	}
+
+	if opts.lookupKey != "" {
+		if err := warmAndLookup(tr, nil, 0, node, opts); err != nil {
+			return err
+		}
+		if opts.once {
+			return leave()
+		}
+	}
+
+	ticker := time.NewTicker(opts.statusEach)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			logStatus(tr, []*core.Node{node})
+		case s := <-sig:
+			log.Printf("received %v, leaving the ring", s)
+			return leave()
+		}
+	}
+}
+
 // inContext runs fn inside a node's serialization context and waits for it —
 // the only legal way to touch protocol state from the daemon's goroutine.
 func inContext(tr transport.Transport, addr transport.Addr, fn func()) {
@@ -214,9 +544,14 @@ func inContext(tr transport.Transport, addr transport.Addr, fn func()) {
 }
 
 // warmAndLookup waits for the node's relay pool to stock, then resolves the
-// key anonymously and checks the answer against the deterministic ground
-// truth every process can derive locally.
-func warmAndLookup(tr transport.Transport, nw *core.Network, node *core.Node, opts daemonOpts) error {
+// key anonymously and verifies the answer. Verification has two modes:
+// against the deterministic ground truth every static process derives
+// locally (truth != nil; staticSlots is the initial population, whose
+// slots the truth covers), or — when -expect-id names an owner, e.g. a
+// dynamically joined node no seed can predict — against that identifier,
+// retrying until the ring has converged on it or -lookup-retry expires.
+func warmAndLookup(tr transport.Transport, truth func(id.ID) chord.Peer, staticSlots int,
+	node *core.Node, opts daemonOpts) error {
 	self := node.Self()
 	deadline := time.Now().Add(opts.warmMax)
 	for {
@@ -238,42 +573,81 @@ func warmAndLookup(tr transport.Transport, nw *core.Network, node *core.Node, op
 	}
 
 	key := id.FromBytes([]byte(opts.lookupKey))
-	// Ground truth from the full deterministic topology — valid because
-	// this static deployment has no churn, so the initial ring is the ring.
-	want := nw.Ring.OwnerAmong(key)
 	log.Printf("anonymous lookup of %q (key %s) from node %s", opts.lookupKey, key, self.ID)
 
+	if opts.expectID != "" {
+		want := id.FromBytes([]byte(opts.expectID))
+		retryUntil := time.Now().Add(opts.lookupWait)
+		for {
+			owner, _, err := oneLookup(tr, node, key)
+			if err == nil && owner.ID == want {
+				log.Printf("owner: %s @ slot %d", owner.ID, owner.Addr)
+				log.Printf("lookup verified against expected owner %s", want)
+				return nil
+			}
+			if time.Now().After(retryUntil) {
+				return fmt.Errorf("lookup never resolved to expected owner %s (last: owner=%v err=%v)", want, owner, err)
+			}
+			if err != nil {
+				log.Printf("lookup attempt failed (%v), retrying", err)
+			} else {
+				log.Printf("owner %s != expected %s yet, retrying", owner.ID, want)
+			}
+			time.Sleep(2 * time.Second)
+		}
+	}
+
+	if truth == nil {
+		return fmt.Errorf("-lookup without -expect-id needs a deterministic deployment for ground truth")
+	}
+	// Ground truth from the full deterministic INITIAL topology. The ring
+	// can have grown since (this process serves admissions), so a dynamic
+	// joiner legitimately owning the key is not a failure — only a wrong
+	// answer within the static population is.
+	want := truth(key)
+	start := time.Now()
+	owner, stats, err := oneLookup(tr, node, key)
+	if err != nil {
+		return fmt.Errorf("lookup failed: %w", err)
+	}
+	ep := "?"
+	if nt, ok := tr.(*nettransport.Transport); ok {
+		ep = nt.Endpoint(owner.Addr)
+	}
+	log.Printf("owner: %s @ slot %d (%s) — %d queries + %d dummies, %v",
+		owner.ID, owner.Addr, ep, stats.Queries, stats.Dummies,
+		time.Since(start).Round(time.Millisecond))
+	if owner.ID != want.ID {
+		if staticSlots > 0 && int(owner.Addr) > staticSlots {
+			log.Printf("lookup resolved to dynamically joined node %s @ slot %d (static ground truth was %s); use -expect-id to verify grown rings",
+				owner.ID, owner.Addr, want.ID)
+			return nil
+		}
+		return fmt.Errorf("lookup verification FAILED: owner %s, ground truth %s", owner.ID, want.ID)
+	}
+	log.Printf("lookup verified against ground truth")
+	return nil
+}
+
+// oneLookup performs a single anonymous lookup from the node's context and
+// waits for the outcome.
+func oneLookup(tr transport.Transport, node *core.Node, key id.ID) (chord.Peer, core.LookupStats, error) {
 	type outcome struct {
 		owner chord.Peer
 		stats core.LookupStats
 		err   error
 	}
 	ch := make(chan outcome, 1)
-	start := time.Now()
-	tr.After(self.Addr, 0, func() {
+	tr.After(node.Self().Addr, 0, func() {
 		node.AnonLookup(key, func(owner chord.Peer, stats core.LookupStats, err error) {
 			ch <- outcome{owner, stats, err}
 		})
 	})
 	select {
 	case out := <-ch:
-		if out.err != nil {
-			return fmt.Errorf("lookup failed: %w", out.err)
-		}
-		ep := "?"
-		if nt, ok := tr.(*nettransport.Transport); ok {
-			ep = nt.Endpoint(out.owner.Addr)
-		}
-		log.Printf("owner: %s @ slot %d (%s) — %d queries + %d dummies, %v",
-			out.owner.ID, out.owner.Addr, ep, out.stats.Queries, out.stats.Dummies,
-			time.Since(start).Round(time.Millisecond))
-		if out.owner.ID != want.ID {
-			return fmt.Errorf("lookup verification FAILED: owner %s, ground truth %s", out.owner.ID, want.ID)
-		}
-		log.Printf("lookup verified against ground truth")
-		return nil
+		return out.owner, out.stats, out.err
 	case <-time.After(2 * time.Minute):
-		return fmt.Errorf("lookup never completed")
+		return chord.NoPeer, core.LookupStats{}, fmt.Errorf("lookup never completed")
 	}
 }
 

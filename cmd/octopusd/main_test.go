@@ -11,9 +11,66 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
+
+// buildOctopusd compiles the daemon binary once per test into dir.
+func buildOctopusd(t *testing.T, dir string) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(dir, "octopusd")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build octopusd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// logSink captures one process's interleaved stdout/stderr for polling.
+type logSink struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *logSink) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func (s *logSink) attach(t *testing.T, name string, cmd *exec.Cmd) {
+	t.Helper()
+	stdout, _ := cmd.StdoutPipe()
+	cmd.Stderr = cmd.Stdout
+	sc := bufio.NewScanner(stdout)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			s.mu.Lock()
+			fmt.Fprintln(&s.b, line)
+			s.mu.Unlock()
+			t.Logf("[%s] %s", name, line)
+		}
+	}()
+}
+
+// waitForLog polls a sink until the marker appears.
+func waitForLog(t *testing.T, s *logSink, marker string, timeout time.Duration, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if strings.Contains(s.String(), marker) {
+			return
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	t.Fatalf("%s: %q never appeared; log so far:\n%s", what, marker, s.String())
+}
 
 // freePorts reserves k distinct kernel-assigned loopback ports. The
 // listeners are closed before use, which is racy in principle; in practice
@@ -45,17 +102,8 @@ func TestMultiprocessAnonymousLookup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns OS processes and builds a binary")
 	}
-	goBin, err := exec.LookPath("go")
-	if err != nil {
-		t.Skip("go toolchain not on PATH")
-	}
-
 	dir := t.TempDir()
-	bin := filepath.Join(dir, "octopusd")
-	build := exec.Command(goBin, "build", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("go build octopusd: %v\n%s", err, out)
-	}
+	bin := buildOctopusd(t, dir)
 
 	eps := freePorts(t, 2)
 	const n = 12
@@ -131,5 +179,100 @@ func TestMultiprocessAnonymousLookup(t *testing.T) {
 	}
 	if !strings.Contains(out, "("+eps[0]+")") {
 		t.Fatalf("lookup owner was not served by process A (%s); output:\n%s", eps[0], out)
+	}
+}
+
+// TestDynamicJoinLeave is the acceptance test for dynamic membership: a
+// third octopusd process joins a live 2-process TCP ring from a single
+// contact endpoint (-join, no config file), obtains a CA-issued certificate
+// over the wire, becomes the owner an anonymous lookup from another process
+// resolves to, and then departs cleanly with both neighbors acknowledging
+// its leave.
+func TestDynamicJoinLeave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildOctopusd(t, dir)
+
+	eps := freePorts(t, 3)
+	const n = 12
+	rc := ringConfig{Seed: 42, CA: eps[0]}
+	for i := 0; i < n; i++ {
+		rc.Nodes = append(rc.Nodes, eps[i%2])
+	}
+	cfgPath := filepath.Join(dir, "ring.json")
+	raw, _ := json.Marshal(rc)
+	if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
+		t.Fatalf("write config: %v", err)
+	}
+
+	// joinerName's hash becomes the joiner's ring identifier, which is
+	// exactly the key process B looks up — so B's lookup verifies the
+	// joiner is routable, with no seed able to predict it.
+	const joinerName = "dynamic-member"
+
+	start := func(name string, args ...string) (*exec.Cmd, *logSink) {
+		cmd := exec.Command(bin, args...)
+		sink := &logSink{}
+		sink.attach(t, name, cmd)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start process %s: %v", name, err)
+		}
+		return cmd, sink
+	}
+
+	procA, _ := start("A", "-config", cfgPath, "-listen", eps[0],
+		"-walk-every", "300ms", "-stabilize-every", "500ms")
+	defer func() {
+		procA.Process.Kill()
+		procA.Wait()
+	}()
+
+	// B keeps serving after its verification (no -once): the joiner's
+	// neighbors must stay up for the leave handshake.
+	procB, sinkB := start("B", "-config", cfgPath, "-listen", eps[1],
+		"-walk-every", "300ms", "-stabilize-every", "500ms",
+		"-lookup", joinerName, "-expect-id", joinerName, "-lookup-retry", "120s")
+	defer func() {
+		procB.Process.Kill()
+		procB.Wait()
+	}()
+
+	// Give the static ring a moment to come up, then join through A.
+	time.Sleep(2 * time.Second)
+	procC, sinkC := start("C", "-join", eps[0], "-listen", eps[2], "-id", joinerName,
+		"-walk-every", "300ms", "-stabilize-every", "500ms")
+	defer func() {
+		procC.Process.Kill()
+		procC.Wait()
+	}()
+
+	waitForLog(t, sinkC, "certificate issued by the CA over the wire", time.Minute,
+		"joiner admission")
+	waitForLog(t, sinkC, "joined the ring as", time.Minute, "joiner integration")
+
+	// The anonymous lookup from B must converge on the joiner.
+	waitForLog(t, sinkB, "lookup verified against expected owner", 2*time.Minute,
+		"lookup of the joined node")
+
+	// Graceful departure: SIGTERM, clean leave, exit 0. The log marker is
+	// awaited BEFORE cmd.Wait — Wait closes the stdout pipe and would
+	// discard the final unread lines.
+	if err := procC.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal C: %v", err)
+	}
+	waitForLog(t, sinkC, "left the ring cleanly", time.Minute, "graceful leave")
+	done := make(chan error, 1)
+	go func() { done <- procC.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("process C exited dirty after SIGTERM: %v\n%s", err, sinkC.String())
+		}
+	case <-time.After(time.Minute):
+		procC.Process.Kill()
+		<-done
+		t.Fatalf("process C never exited after SIGTERM; log:\n%s", sinkC.String())
 	}
 }

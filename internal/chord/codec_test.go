@@ -8,6 +8,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/id"
 	"github.com/octopus-dht/octopus/internal/transport"
+	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
 // Property tests for the routing-layer codec: every message type round-trips
@@ -115,6 +116,66 @@ func TestChordMessagesRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 400; i++ {
 		roundTrip(t, randChordMessage(rng, i))
+	}
+}
+
+// randCert builds a random membership certificate (xcrypto wire format).
+func randCert(rng *rand.Rand) xcrypto.Certificate {
+	c := xcrypto.Certificate{
+		Node:   id.ID(rng.Uint64()),
+		Addr:   rng.Int63n(1 << 30),
+		Expiry: time.Duration(rng.Int63()),
+	}
+	if rng.Intn(4) != 0 {
+		c.Key = make(xcrypto.PublicKey, 16+rng.Intn(48))
+		rng.Read(c.Key)
+	}
+	if rng.Intn(4) != 0 {
+		c.Sig = make([]byte, 40+rng.Intn(24))
+		rng.Read(c.Sig)
+	}
+	return c
+}
+
+// randMembershipMessage draws one random instance of every 0x03xx routing-
+// layer membership message in rotation.
+func randMembershipMessage(rng *rand.Rand, i int) transport.Message {
+	switch i % 6 {
+	case 0:
+		return JoinReq{Who: randPeer(rng), Cert: randCert(rng)}
+	case 1:
+		return JoinResp{OK: rng.Intn(2) == 0, Successors: randPeers(rng, 8), Predecessors: randPeers(rng, 8)}
+	case 2:
+		return LeaveReq{Who: randPeer(rng), Successors: randPeers(rng, 8),
+			Predecessors: randPeers(rng, 8), Sig: randSig(rng)}
+	case 3:
+		return LeaveResp{OK: rng.Intn(2) == 0}
+	case 4:
+		return SuspectReq{}
+	default:
+		return SuspectResp{Who: randPeer(rng)}
+	}
+}
+
+func TestMembershipMessagesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 300; i++ {
+		roundTrip(t, randMembershipMessage(rng, i))
+	}
+}
+
+// TestCorruptMembershipRejected flips bytes in membership frames; decoding
+// must fail cleanly or produce some message — never panic.
+func TestCorruptMembershipRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 200; i++ {
+		m := randMembershipMessage(rng, i)
+		enc, err := transport.Encode(m)
+		if err != nil || len(enc) == 0 {
+			t.Fatalf("Encode(%T): %v", m, err)
+		}
+		enc[rng.Intn(len(enc))] ^= byte(1 + rng.Intn(255))
+		_, _ = transport.Decode(enc) // must not panic
 	}
 }
 

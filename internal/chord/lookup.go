@@ -122,39 +122,14 @@ func (n *Node) lookupFrom(first Peer, key id.ID, cb func(Peer, LookupStats, erro
 	step(next)
 }
 
-// Join bootstraps a fresh node into the ring via any live member: it looks
-// up its own identifier to find its successor, adopts it, primes the
-// predecessor list from the successor's state, and lets stabilization do the
-// rest. done receives the join outcome.
+// Join bootstraps a fresh node into the ring via any live member. Since the
+// dynamic-membership protocol it is an alias for JoinVia (membership.go):
+// the node looks up its own identifier to find its successor, then runs the
+// JoinReq admission handshake — carrying its certificate, when it has one —
+// and seeds its neighbor lists from the JoinResp. Routing bootstraps
+// through the successor list alone; the fingertable fills via finger
+// updates. (Seeding fingers with the successor would publish false finger
+// claims — the successor is almost never the owner of any ideal position.)
 func (n *Node) Join(bootstrap Peer, done func(error)) {
-	n.LookupVia(bootstrap, n.Self.ID, func(owner Peer, _ LookupStats, err error) {
-		if err != nil {
-			done(err)
-			return
-		}
-		if !owner.Valid() || owner.ID == n.Self.ID {
-			done(errors.New("chord: join found no distinct successor"))
-			return
-		}
-		// Routing bootstraps through the successor list alone; the
-		// fingertable fills via finger updates. (Seeding fingers with
-		// the successor would publish false finger claims — the
-		// successor is almost never the owner of any ideal position.)
-		n.succs = []Peer{owner}
-		// Prime the predecessor list from the successor's: the new node
-		// sits immediately before its successor, so it inherits the
-		// successor's former predecessors.
-		n.tr.Call(n.Self.Addr, owner.Addr,
-			GetTableReq{IncludePredecessors: true}, n.Cfg.RPCTimeout,
-			func(resp transport.Message, err error) {
-				if err == nil {
-					if r, ok := resp.(GetTableResp); ok {
-						n.preds = mergeNeighborList(n.Self, NoPeer,
-							r.Table.Predecessors, n.Cfg.Successors)
-					}
-				}
-				n.stabilize(true)
-				done(nil)
-			})
-	})
+	n.JoinVia(bootstrap, done)
 }

@@ -21,6 +21,13 @@ type Config struct {
 	Successors int
 	// StabilizeEvery is the period of both stabilization protocols.
 	StabilizeEvery time.Duration
+	// SuspectEvery is the period of the failure-suspicion probe, which
+	// pings one random non-head successor/predecessor with an
+	// identity-echoing SuspectReq and drops it on timeout or identity
+	// mismatch. Zero disables the probe (list tails then heal only
+	// through stabilization merges). Deployments under churn should set
+	// it to roughly the stabilization period.
+	SuspectEvery time.Duration
 	// FixFingersEvery is the period of finger-update lookups.
 	FixFingersEvery time.Duration
 	// RPCTimeout bounds every request/response exchange.
@@ -83,6 +90,17 @@ type Node struct {
 	// Extra handles message types unknown to the routing layer (Octopus
 	// relay and surveillance traffic).
 	Extra transport.Handler
+	// AdmitJoin, when set, vets a JoinReq before the node admits the
+	// sender as its predecessor (Octopus verifies the carried certificate
+	// against the CA key and registers the joiner's public key here). A
+	// nil hook admits every structurally valid join — the behaviour of
+	// the unsigned Chord baselines.
+	AdmitJoin func(m JoinReq) bool
+	// VetLeave, when set, vets a LeaveReq before the node splices the
+	// departing peer out (Octopus verifies the carried self-signature —
+	// see LeaveStatement). Nil accepts every leave notice, as the
+	// unsigned baselines must.
+	VetLeave func(m LeaveReq) bool
 	// FingerCandidate, when set, vets the result of a finger-update
 	// lookup before installation (Octopus secure finger update, §4.5).
 	// The implementation must call accept exactly once.
@@ -160,6 +178,10 @@ func (n *Node) Start() {
 	if !n.Cfg.DisableFingerUpdates {
 		n.stops = append(n.stops,
 			n.tr.Every(n.Self.Addr, n.Cfg.FixFingersEvery, func() { n.fixNextFinger() }))
+	}
+	if n.Cfg.SuspectEvery > 0 {
+		n.stops = append(n.stops,
+			n.tr.Every(n.Self.Addr, n.Cfg.SuspectEvery, func() { n.suspectNeighbor() }))
 	}
 }
 
@@ -309,6 +331,15 @@ func (n *Node) honestHandle(from transport.Addr, req transport.Message) (transpo
 	case NotifyReq:
 		n.handleNotify(m)
 		return NotifyResp{}, true
+
+	case JoinReq:
+		return n.handleJoin(m), true
+
+	case LeaveReq:
+		return n.handleLeave(m), true
+
+	case SuspectReq:
+		return SuspectResp{Who: n.Self}, true
 
 	default:
 		if n.Extra != nil {

@@ -164,6 +164,15 @@ func (r *Ring) Owner(key id.ID) Peer {
 	return successorOf(r.AlivePeers(), key)
 }
 
+// Replace installs a new node at an address slot. Dynamic-membership
+// drivers (core.Network.Rejoin) use it after the replacement's online join
+// succeeds, so the ring's ground-truth view tracks live membership.
+func (r *Ring) Replace(addr transport.Addr, node *Node) {
+	if addr >= 0 && int(addr) < len(r.byAddr) {
+		r.byAddr[addr] = node
+	}
+}
+
 // Kill stops the node at addr (churn death).
 func (r *Ring) Kill(addr transport.Addr) {
 	if node := r.Node(addr); node != nil {

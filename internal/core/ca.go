@@ -47,12 +47,70 @@ type CA struct {
 	// on its witnesses.
 	DropGrace time.Duration
 
+	// AdmitPolicy, when set, gates online admission before any
+	// certificate is issued. This is where a deployment implements the
+	// paper's §3.2 Sybil limit — the paper assumes the CA binds
+	// certificates to an external identity check, which no protocol
+	// message can provide. octopusd installs a per-endpoint grant cap as
+	// a baseline resource bound; nil admits every well-formed request.
+	AdmitPolicy func(from transport.Addr, req CertIssueReq) bool
+	// AllocAddr, when set, allocates a fresh network address for a
+	// joiner that proposed none (socket deployments wire it to the
+	// transport's dynamic endpoint table). Nil means joiners must
+	// propose their own address.
+	AllocAddr func(endpoint string) (transport.Addr, bool)
+	// Announce, when set, is invoked after each successful admission so
+	// the deployment can broadcast the joiner's certificate and endpoint.
+	// The message is fully assembled and attested by the CA; the hook
+	// only moves it.
+	Announce func(m EndpointAnnounce)
+	// AnnounceRevocation, when set, is invoked after each revocation so
+	// the deployment can broadcast it — without propagation, only the
+	// CA's own process would refuse a revoked node's still-valid
+	// certificate at join admission.
+	AnnounceRevocation func(m RevocationAnnounce)
+	// OnRetire, when set, fires when an online grant is retired
+	// (CertRetireReq), so admission quotas can be released.
+	OnRetire func(endpoint string, addr transport.Addr)
+
 	// OnRevoke fires when a node is judged malicious; the experiment
 	// harness uses it to eject the node from the simulated network.
 	OnRevoke func(p chord.Peer, kind ReportKind)
 
 	investigating map[id.ID]bool
+	granted       map[id.ID]grant
+	grantSeq      uint64 // admission ordinal; orders endpoint announces
+	revocations   []revocation
 	stats         CAStats
+}
+
+// revocation remembers a revocation broadcast for the re-announce window.
+type revocation struct {
+	node id.ID
+	sig  []byte
+	at   time.Duration
+}
+
+// grant remembers one online admission so a re-request (a joiner whose
+// CertIssueResp was lost) receives the identical grant instead of a
+// refusal.
+type grant struct {
+	cert     xcrypto.Certificate
+	endpoint string
+	seq      uint64        // admission ordinal, covered by sig
+	sig      []byte        // endpoint attestation
+	at       time.Duration // issuance time; bounds the re-announce window
+}
+
+// announce assembles the grant's broadcast message.
+func (g grant) announce() EndpointAnnounce {
+	return EndpointAnnounce{
+		Who:      chord.Peer{ID: g.cert.Node, Addr: transport.Addr(g.cert.Addr)},
+		Endpoint: g.endpoint,
+		Cert:     g.cert,
+		Seq:      g.seq,
+		Sig:      g.sig,
+	}
 }
 
 // CAStats aggregates the CA's casework.
@@ -65,6 +123,10 @@ type CAStats struct {
 	BadSignatures    uint64
 	DuplicateReports uint64
 	ByKind           map[ReportKind]uint64
+	// JoinsAdmitted and JoinsRefused count online admissions
+	// (CertIssueReq outcomes).
+	JoinsAdmitted uint64
+	JoinsRefused  uint64
 }
 
 // NewCA binds a CA at addr. auth is the PKI primitive whose Revoke is the
@@ -83,6 +145,7 @@ func NewCA(tr transport.Transport, addr transport.Addr, dir *Directory, auth *xc
 		MaxChain:           8,
 		DropGrace:          12 * time.Second,
 		investigating:      make(map[id.ID]bool),
+		granted:            make(map[id.ID]grant),
 	}
 	ca.stats.ByKind = make(map[ReportKind]uint64)
 	auth.SetClock(ca.tr.Now)
@@ -113,6 +176,12 @@ func (ca *CA) MessagesReceived() uint64 {
 func (ca *CA) Revoked(node id.ID) bool { return ca.auth.Revoked(node) }
 
 func (ca *CA) handle(from transport.Addr, req transport.Message) (transport.Message, bool) {
+	if issue, ok := req.(CertIssueReq); ok {
+		return ca.handleCertIssue(from, issue)
+	}
+	if retire, ok := req.(CertRetireReq); ok {
+		return ca.handleRetire(from, retire)
+	}
 	m, ok := req.(ReportMsg)
 	if !ok {
 		return nil, false
@@ -150,7 +219,7 @@ func (ca *CA) revoke(p chord.Peer, kind ReportKind) {
 	if ca.auth.Revoked(p.ID) {
 		return
 	}
-	ca.auth.Revoke(p.ID)
+	ca.propagateRevocation(p.ID)
 	ca.stats.Revocations++
 	if ca.OnRevoke != nil {
 		ca.OnRevoke(p, kind)

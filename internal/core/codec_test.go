@@ -9,6 +9,7 @@ import (
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
 	"github.com/octopus-dht/octopus/internal/transport"
+	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
 // Property tests for the Octopus-layer codec: round-trips, the
@@ -192,6 +193,151 @@ func TestCoreMessagesRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for i := 0; i < 440; i++ {
 		roundTripCore(t, randCoreMessage(rng, i))
+	}
+}
+
+// randCertC builds a random certificate for the membership messages.
+func randCertC(rng *rand.Rand) xcrypto.Certificate {
+	c := xcrypto.Certificate{
+		Node:   id.ID(rng.Uint64()),
+		Addr:   rng.Int63n(1 << 30),
+		Expiry: time.Duration(rng.Int63()),
+	}
+	if rng.Intn(4) != 0 {
+		c.Key = make(xcrypto.PublicKey, 16+rng.Intn(48))
+		rng.Read(c.Key)
+	}
+	if rng.Intn(4) != 0 {
+		c.Sig = make([]byte, 40+rng.Intn(24))
+		rng.Read(c.Sig)
+	}
+	return c
+}
+
+func randKeyC(rng *rand.Rand) xcrypto.PublicKey {
+	if rng.Intn(4) == 0 {
+		return nil
+	}
+	k := make(xcrypto.PublicKey, 16+rng.Intn(48))
+	rng.Read(k)
+	return k
+}
+
+// randMembershipCoreMessage draws one random instance of every 0x031x
+// admission message in rotation.
+func randMembershipCoreMessage(rng *rand.Rand, i int) transport.Message {
+	randRoster := func() []RosterEntry {
+		n := rng.Intn(5)
+		if n == 0 {
+			return nil
+		}
+		out := make([]RosterEntry, n)
+		for j := range out {
+			out[j] = RosterEntry{ID: id.ID(rng.Uint64()), Key: randKeyC(rng)}
+		}
+		return out
+	}
+	randEndpoints := func() []string {
+		n := rng.Intn(5)
+		if n == 0 {
+			return nil
+		}
+		out := make([]string, n)
+		for j := range out {
+			out[j] = "127.0.0.1:9100"
+		}
+		return out
+	}
+	randSeqs := func() []uint64 {
+		n := rng.Intn(5)
+		if n == 0 {
+			return nil
+		}
+		out := make([]uint64, n)
+		for j := range out {
+			out[j] = rng.Uint64()
+		}
+		return out
+	}
+	switch i % 8 {
+	case 5:
+		m := CertRetireReq{Who: randPeerC(rng)}
+		if rng.Intn(4) != 0 {
+			m.Sig = make([]byte, 40+rng.Intn(24))
+			rng.Read(m.Sig)
+		}
+		return m
+	case 6:
+		return CertRetireResp{OK: rng.Intn(2) == 0}
+	case 7:
+		m := RevocationAnnounce{Node: id.ID(rng.Uint64())}
+		if rng.Intn(4) != 0 {
+			m.Sig = make([]byte, 40+rng.Intn(24))
+			rng.Read(m.Sig)
+		}
+		return m
+	case 0:
+		return CertIssueReq{
+			ID:         id.ID(rng.Uint64()),
+			Addr:       transport.Addr(rng.Int31n(1<<20) - 1),
+			Key:        randKeyC(rng),
+			Endpoint:   "10.0.0.7:9101",
+			WantRoster: rng.Intn(2) == 0,
+		}
+	case 1:
+		return CertIssueResp{
+			OK:        rng.Intn(2) == 0,
+			Self:      randPeerC(rng),
+			Cert:      randCertC(rng),
+			CAKey:     randKeyC(rng),
+			Roster:    randRoster(),
+			Endpoints: randEndpoints(),
+			SlotSeqs:  randSeqs(),
+		}
+	case 2:
+		m := EndpointAnnounce{Who: randPeerC(rng), Endpoint: "10.0.0.7:9101", Cert: randCertC(rng), Seq: rng.Uint64()}
+		if rng.Intn(4) != 0 {
+			m.Sig = make([]byte, 40+rng.Intn(24))
+			rng.Read(m.Sig)
+		}
+		return m
+	case 3:
+		return RingAdmitReq{ID: id.ID(rng.Uint64()), Key: randKeyC(rng), Endpoint: "10.0.0.7:9101"}
+	default:
+		return RingAdmitResp{
+			OK:        rng.Intn(2) == 0,
+			CAAddr:    transport.Addr(rng.Int31n(1 << 20)),
+			Bootstrap: randPeerC(rng),
+			Grant: CertIssueResp{
+				OK:     rng.Intn(2) == 0,
+				Self:   randPeerC(rng),
+				Cert:   randCertC(rng),
+				CAKey:  randKeyC(rng),
+				Roster: randRoster(),
+			},
+		}
+	}
+}
+
+func TestMembershipCoreMessagesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 300; i++ {
+		roundTripCore(t, randMembershipCoreMessage(rng, i))
+	}
+}
+
+// TestCorruptMembershipCoreRejected flips bytes in admission frames;
+// decoding must fail cleanly or yield some message — never panic.
+func TestCorruptMembershipCoreRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for i := 0; i < 200; i++ {
+		m := randMembershipCoreMessage(rng, i)
+		enc, err := transport.Encode(m)
+		if err != nil || len(enc) == 0 {
+			t.Fatalf("Encode(%T): %v", m, err)
+		}
+		enc[rng.Intn(len(enc))] ^= byte(1 + rng.Intn(255))
+		_, _ = transport.Decode(enc) // must not panic
 	}
 }
 

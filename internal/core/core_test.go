@@ -404,14 +404,12 @@ func TestNoFalsePositivesUnderChurn(t *testing.T) {
 		}
 	}
 	churner.OnRejoin = func(addr simnet.Address) {
-		identFor := NewIdentityFactory(nw.Dir, nw.Auth, nw.Sim.Rand())
-		cn := nw.Ring.Rejoin(addr, identFor)
-		if cn == nil {
+		alive := nw.Ring.AlivePeers()
+		if len(alive) == 0 {
 			return
 		}
-		node := New(cn, nw.Node(0).Config(), nw.CA.Addr(), nw.Dir)
-		node.StartProtocols()
-		nw.Nodes[addr] = node
+		bootstrap := alive[nw.Sim.Rand().Intn(len(alive))]
+		nw.Rejoin(addr, bootstrap, nw.Node(0).Config(), func(*Node, error) {})
 	}
 	for i := 0; i < 60; i++ {
 		churner.Track(simnet.Address(i))

@@ -2,9 +2,12 @@ package core
 
 import (
 	"math/rand"
+	"sort"
+	"sync"
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/xcrypto"
 )
 
@@ -14,34 +17,149 @@ import (
 // a table owner's signature after checking the owner's certificate against
 // the CA key; the in-process deployments keep the equivalent key material in
 // one shared map instead of copying certificates into every message value.
+//
+// Since dynamic membership the directory is written at runtime — the CA
+// registers joiners as it issues their certificates, and nodes register
+// announced joiners — while every host goroutine reads it, so access is
+// guarded by a RWMutex.
 type Directory struct {
 	scheme xcrypto.Scheme
-	keys   map[id.ID]xcrypto.PublicKey
+
+	mu      sync.RWMutex
+	keys    map[id.ID]xcrypto.PublicKey
+	caKey   xcrypto.PublicKey
+	revoked map[id.ID]bool
+	// slotSeq records the highest admission ordinal accepted per address
+	// slot, so a replayed announce for a slot's PREVIOUS (retired)
+	// occupant can never rebind it.
+	slotSeq map[transport.Addr]uint64
+}
+
+// RosterEntry is one directory line as it travels in a CertIssueResp: a
+// node's ring identifier and its public key. Joiners seed their own
+// directory from the roster so they can verify signed tables immediately.
+type RosterEntry struct {
+	ID  id.ID
+	Key xcrypto.PublicKey
 }
 
 // NewDirectory creates an empty directory for the given scheme.
 func NewDirectory(scheme xcrypto.Scheme) *Directory {
-	return &Directory{scheme: scheme, keys: make(map[id.ID]xcrypto.PublicKey)}
+	return &Directory{
+		scheme:  scheme,
+		keys:    make(map[id.ID]xcrypto.PublicKey),
+		revoked: make(map[id.ID]bool),
+		slotSeq: make(map[transport.Addr]uint64),
+	}
+}
+
+// SlotSeq returns the highest admission ordinal accepted for a slot (0 =
+// never dynamically granted).
+func (d *Directory) SlotSeq(addr transport.Addr) uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.slotSeq[addr]
+}
+
+// AdvanceSlotSeq records an announce ordinal for an address slot. It
+// reports false — and records nothing — when the slot has already
+// accepted an equal or higher ordinal (a replay or an out-of-date
+// announce for the slot's previous occupant).
+func (d *Directory) AdvanceSlotSeq(addr transport.Addr, seq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if seq <= d.slotSeq[addr] {
+		return false
+	}
+	d.slotSeq[addr] = seq
+	return true
+}
+
+// Revoke marks an identity revoked in the directory. The CA calls it as
+// part of every revocation so join admission (Node.admitJoin) can refuse a
+// revoked node's still-validly-signed, non-expiring certificate — without
+// this, revocation would only bite at certificate issuance, and a revoked
+// node could simply re-join.
+func (d *Directory) Revoke(node id.ID) {
+	d.mu.Lock()
+	d.revoked[node] = true
+	d.mu.Unlock()
+}
+
+// Revoked reports whether an identity is revoked.
+func (d *Directory) Revoked(node id.ID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.revoked[node]
 }
 
 // Scheme returns the signature scheme in use.
 func (d *Directory) Scheme() xcrypto.Scheme { return d.scheme }
 
+// SetCAKey records the CA's public key for certificate verification
+// (announced joiners, join admission).
+func (d *Directory) SetCAKey(k xcrypto.PublicKey) {
+	d.mu.Lock()
+	d.caKey = append(xcrypto.PublicKey(nil), k...)
+	d.mu.Unlock()
+}
+
+// CAKey returns the CA public key, or nil when none was set.
+func (d *Directory) CAKey() xcrypto.PublicKey {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.caKey
+}
+
+// VerifyCert checks a certificate against the directory's CA key. It
+// reports false when no CA key is known.
+func (d *Directory) VerifyCert(c xcrypto.Certificate) bool {
+	key := d.CAKey()
+	if len(key) == 0 {
+		return false
+	}
+	return xcrypto.VerifyCertificate(d.scheme, key, c)
+}
+
 // Register records a node's public key (performed when the CA issues the
-// node's certificate).
+// node's certificate, or when a node learns of a certified joiner).
 func (d *Directory) Register(node id.ID, key xcrypto.PublicKey) {
+	d.mu.Lock()
 	d.keys[node] = key
+	d.mu.Unlock()
 }
 
 // Key returns a node's public key.
 func (d *Directory) Key(node id.ID) (xcrypto.PublicKey, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	k, ok := d.keys[node]
 	return k, ok
 }
 
+// Len returns the number of registered identities.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.keys)
+}
+
+// Snapshot returns every registered identity, sorted by ring identifier —
+// the roster a CertIssueResp hands a joiner.
+func (d *Directory) Snapshot() []RosterEntry {
+	d.mu.RLock()
+	out := make([]RosterEntry, 0, len(d.keys))
+	for node, key := range d.keys {
+		out = append(out, RosterEntry{ID: node, Key: key})
+	}
+	d.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // VerifyTable checks a routing table's owner signature.
 func (d *Directory) VerifyTable(t chord.RoutingTable) bool {
-	key, ok := d.keys[t.Owner.ID]
+	key, ok := d.Key(t.Owner.ID)
 	if !ok {
 		return false
 	}

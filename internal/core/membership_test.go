@@ -1,0 +1,603 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
+)
+
+// These tests pin the dynamic-membership edge cases of the Octopus layer on
+// the deterministic simulator: online certificate issuance, admission
+// refusals, a join racing an in-flight anonymous lookup, and a graceful
+// leave of a node holding directory/proof state while surveillance runs.
+
+// rejoinAt replaces the node at addr through the full wire path and runs
+// the simulator until the join completes.
+func rejoinAt(t *testing.T, nw *testNet, addr transport.Addr) *Node {
+	t.Helper()
+	alive := nw.Ring.AlivePeers()
+	bootstrap := alive[0]
+	if bootstrap.Addr == addr && len(alive) > 1 {
+		bootstrap = alive[1]
+	}
+	var joined *Node
+	var joinErr error
+	done := false
+	nw.Rejoin(addr, bootstrap, nw.Node(0).Config(), func(n *Node, err error) {
+		joined, joinErr, done = n, err, true
+	})
+	nw.Sim.Run(nw.Sim.Now() + time.Minute)
+	if !done {
+		t.Fatal("wire rejoin never completed")
+	}
+	if joinErr != nil {
+		t.Fatalf("wire rejoin failed: %v", joinErr)
+	}
+	return joined
+}
+
+func TestWireRejoinIssuesCertificateOnline(t *testing.T) {
+	nw := buildTestNet(t, 3, 40, nil)
+	nw.Sim.Run(30 * time.Second)
+
+	victim := nw.Node(7)
+	oldID := victim.Self().ID
+	victim.Stop()
+	issuedBefore := nw.Auth.Issued()
+
+	joined := rejoinAt(t, nw, 7)
+
+	if joined.Self().ID == oldID {
+		t.Error("replacement reused the dead node's identity")
+	}
+	if got := nw.Auth.Issued(); got != issuedBefore+1 {
+		t.Errorf("certificates issued = %d, want %d (exactly one online issuance)", got, issuedBefore+1)
+	}
+	if nw.CA.Stats().JoinsAdmitted != 1 {
+		t.Errorf("JoinsAdmitted = %d, want 1", nw.CA.Stats().JoinsAdmitted)
+	}
+	// The certificate records the join time, which the investigation
+	// settling logic depends on.
+	if _, known := nw.Auth.IssuedAt(joined.Self().ID); !known {
+		t.Error("CA has no issuance record for the online joiner")
+	}
+	// The joiner's signed tables must verify against the shared directory.
+	nw.Sim.Run(nw.Sim.Now() + 30*time.Second)
+	table := joined.Chord.Table(true, true)
+	if !nw.Dir.VerifyTable(table) {
+		t.Error("online joiner's signed table does not verify")
+	}
+	// And the ring must route its identifier to it.
+	var owner chord.Peer
+	nw.Node(3).Chord.Lookup(joined.Self().ID, func(p chord.Peer, _ chord.LookupStats, err error) {
+		if err != nil {
+			t.Errorf("lookup of joiner failed: %v", err)
+		}
+		owner = p
+	})
+	nw.Sim.Run(nw.Sim.Now() + 30*time.Second)
+	if owner.ID != joined.Self().ID {
+		t.Errorf("lookup of joiner resolved to %v, want %v", owner, joined.Self())
+	}
+}
+
+func TestCertIssueRefusals(t *testing.T) {
+	nw := buildTestNet(t, 5, 20, nil)
+	nw.Sim.Run(5 * time.Second)
+
+	existing := nw.Node(4).Self()
+	kp, err := nw.Dir.Scheme().GenerateKey(nw.Sim.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 19's node is stopped so the slot is legitimately reusable; a
+	// rejoiner calls the CA FROM the slot it proposes.
+	nw.Node(19).Stop()
+	ask := func(from transport.Addr, req CertIssueReq) (resp CertIssueResp, ok bool) {
+		done := false
+		nw.Net.Call(from, nw.CA.Addr(), req, 2*time.Second,
+			func(m transport.Message, err error) {
+				done = true
+				if err != nil {
+					return
+				}
+				resp, ok = m.(CertIssueResp)
+			})
+		nw.Sim.Run(nw.Sim.Now() + 5*time.Second)
+		if !done {
+			t.Fatal("CertIssueReq never answered")
+		}
+		return resp, ok
+	}
+
+	// Identity takeover: an already-certified identifier is refused.
+	if resp, ok := ask(19, CertIssueReq{ID: existing.ID, Addr: 19, Key: kp.Public}); !ok || resp.OK {
+		t.Errorf("duplicate-identity request not refused (ok=%v resp=%+v)", ok, resp)
+	}
+
+	// A revoked identity stays out.
+	revoked := id.ID(0xdead)
+	nw.Auth.Revoke(revoked)
+	if resp, _ := ask(19, CertIssueReq{ID: revoked, Addr: 19, Key: kp.Public}); resp.OK {
+		t.Error("revoked identity was re-certified")
+	}
+
+	// No address and no allocator: refused, not misbound.
+	if resp, _ := ask(19, CertIssueReq{ID: id.ID(0xbeef), Addr: transport.NoAddr, Key: kp.Public}); resp.OK {
+		t.Error("addressless request granted without an allocator")
+	}
+
+	// Slot takeover: proposing an address the request does not originate
+	// from is refused — even for a fresh identity.
+	if resp, _ := ask(0, CertIssueReq{ID: id.ID(0xbeef), Addr: 19, Key: kp.Public}); resp.OK {
+		t.Error("third-party address proposal was granted (slot takeover)")
+	}
+
+	// A fresh identity proposed from its own slot is granted, with the
+	// roster on request.
+	resp, _ := ask(19, CertIssueReq{ID: id.ID(0xbeef), Addr: 19, Key: kp.Public, WantRoster: true})
+	if !resp.OK {
+		t.Fatal("legitimate admission refused")
+	}
+	if len(resp.Roster) == 0 || len(resp.CAKey) == 0 {
+		t.Errorf("grant missing roster (%d) or CA key (%d bytes)", len(resp.Roster), len(resp.CAKey))
+	}
+	if resp.Cert.Node != id.ID(0xbeef) || resp.Cert.Addr != 19 {
+		t.Errorf("certificate binds %v@%d, want beef@19", resp.Cert.Node, resp.Cert.Addr)
+	}
+	issued := nw.Auth.Issued()
+
+	// A retry of the identical request (lost response) returns the SAME
+	// grant without a second issuance.
+	again, _ := ask(19, CertIssueReq{ID: id.ID(0xbeef), Addr: 19, Key: kp.Public})
+	if !again.OK {
+		t.Fatal("identical re-request refused (admission not idempotent)")
+	}
+	if string(again.Cert.Sig) != string(resp.Cert.Sig) {
+		t.Error("re-request returned a different certificate")
+	}
+	if nw.Auth.Issued() != issued {
+		t.Error("re-request minted a second certificate")
+	}
+
+	// The same identifier with a DIFFERENT key is a takeover, not a retry.
+	kp2, err := nw.Dir.Scheme().GenerateKey(nw.Sim.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := ask(19, CertIssueReq{ID: id.ID(0xbeef), Addr: 19, Key: kp2.Public}); resp.OK {
+		t.Error("granted identifier re-certified under a different key")
+	}
+
+	if refused := nw.CA.Stats().JoinsRefused; refused != 5 {
+		t.Errorf("JoinsRefused = %d, want 5", refused)
+	}
+}
+
+// TestAnnounceAttestationRequired: an EndpointAnnounce whose endpoint was
+// tampered with (valid certificate, wrong or missing attestation) must not
+// touch the directory or the endpoint table.
+func TestAnnounceAttestationRequired(t *testing.T) {
+	nw := buildTestNet(t, 7, 20, nil)
+	nw.Sim.Run(2 * time.Second)
+
+	kp, err := nw.Dir.Scheme().GenerateKey(nw.Sim.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	who := chord.Peer{ID: id.ID(0xfeed), Addr: 25}
+	cert, err := nw.Auth.Issue(who.ID, int64(who.Addr), kp.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := nw.Auth.Attest(attestedEndpoint(7, who, "10.0.0.9:9000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := nw.Node(3)
+
+	// Replayed announce with a swapped endpoint: attestation mismatch.
+	node.handleAnnounce(EndpointAnnounce{Who: who, Endpoint: "10.6.6.6:6666", Cert: cert, Seq: 7, Sig: sig})
+	// Missing attestation entirely.
+	node.handleAnnounce(EndpointAnnounce{Who: who, Endpoint: "10.0.0.9:9000", Cert: cert, Seq: 7})
+	// Tampered ordinal: the signature covers Seq too.
+	node.handleAnnounce(EndpointAnnounce{Who: who, Endpoint: "10.0.0.9:9000", Cert: cert, Seq: 8, Sig: sig})
+	if _, ok := nw.Dir.Key(who.ID); ok {
+		t.Fatal("tampered announce registered the identity")
+	}
+
+	// The genuine announce is accepted.
+	node.handleAnnounce(EndpointAnnounce{Who: who, Endpoint: "10.0.0.9:9000", Cert: cert, Seq: 7, Sig: sig})
+	if _, ok := nw.Dir.Key(who.ID); !ok {
+		t.Fatal("genuine announce rejected")
+	}
+
+	// Replay of an OLDER genuine announce for the same slot (a retired
+	// occupant) must not rebind it: a later occupant's higher ordinal
+	// wins, and the older announce is ignored forever after.
+	successor := chord.Peer{ID: id.ID(0xf00d), Addr: 25}
+	kp2, err := nw.Dir.Scheme().GenerateKey(nw.Sim.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert2, err := nw.Auth.Issue(successor.ID, int64(successor.Addr), kp2.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := nw.Auth.Attest(attestedEndpoint(9, successor, "10.0.0.10:9000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.handleAnnounce(EndpointAnnounce{Who: successor, Endpoint: "10.0.0.10:9000", Cert: cert2, Seq: 9, Sig: sig2})
+	if ok := nw.Dir.AdvanceSlotSeq(25, 9); ok {
+		t.Fatal("slot sequence did not advance to the successor's ordinal")
+	}
+	// The old occupant's genuine announce replayed now: verified but stale.
+	node.handleAnnounce(EndpointAnnounce{Who: who, Endpoint: "10.0.0.9:9000", Cert: cert, Seq: 7, Sig: sig})
+	if nw.Dir.AdvanceSlotSeq(25, 9) {
+		t.Fatal("stale replay rolled the slot sequence back")
+	}
+}
+
+// TestRevokedNodeCannotRejoin: revocation must bite at JOIN admission, not
+// only at certificate issuance — certificates never expire, so a revoked
+// node still holds a validly-signed one.
+func TestRevokedNodeCannotRejoin(t *testing.T) {
+	nw := buildTestNet(t, 17, 30, nil)
+	nw.Sim.Run(10 * time.Second)
+
+	evil := nw.Node(11)
+	evilPeer := evil.Self()
+	cert := evil.Chord.Identity().Cert
+	// Revoke via the CA's revocation path (mirrors into the directory).
+	nw.Auth.Revoke(evilPeer.ID)
+	nw.Dir.Revoke(evilPeer.ID)
+	nw.Eject(evilPeer)
+	nw.Sim.Run(nw.Sim.Now() + 10*time.Second)
+
+	// The revoked node replays its still-validly-signed certificate in a
+	// fresh JoinReq to a live member; admission must refuse it.
+	target := nw.Node(2)
+	if !nw.Dir.VerifyCert(cert) {
+		t.Fatal("test premise broken: the revoked node's certificate no longer verifies")
+	}
+	handled := false
+	var joinResp chord.JoinResp
+	nw.Net.Call(evilPeer.Addr, target.Self().Addr,
+		chord.JoinReq{Who: evilPeer, Cert: cert}, 2*time.Second,
+		func(m transport.Message, err error) {
+			handled = true
+			if err != nil {
+				t.Fatalf("join RPC failed outright: %v", err)
+			}
+			joinResp, _ = m.(chord.JoinResp)
+		})
+	nw.Sim.Run(nw.Sim.Now() + 5*time.Second)
+	if !handled {
+		t.Fatal("join RPC never answered")
+	}
+	if joinResp.OK {
+		t.Fatal("revoked node was re-admitted through the join handshake")
+	}
+}
+
+// TestRevocationAnnounceHandling: a node accepts a CA-attested revocation
+// broadcast and rejects a forged one.
+func TestRevocationAnnounceHandling(t *testing.T) {
+	nw := buildTestNet(t, 19, 20, nil)
+	nw.Sim.Run(2 * time.Second)
+	node := nw.Node(5)
+	victim := id.ID(0xabad1dea)
+
+	// Forged (unsigned / wrongly signed) broadcasts change nothing.
+	node.handleRevocation(RevocationAnnounce{Node: victim})
+	node.handleRevocation(RevocationAnnounce{Node: victim, Sig: []byte("not a signature")})
+	if nw.Dir.Revoked(victim) {
+		t.Fatal("forged revocation broadcast was accepted")
+	}
+
+	sig, err := nw.Auth.Attest(attestedRevocation(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.handleRevocation(RevocationAnnounce{Node: victim, Sig: sig})
+	if !nw.Dir.Revoked(victim) {
+		t.Fatal("genuine revocation broadcast was rejected")
+	}
+	// An endpoint attestation must never verify as a revocation (the
+	// statements carry distinct tags).
+	other := id.ID(0xcafe)
+	epSig, err := nw.Auth.Attest(attestedEndpoint(1, chord.Peer{ID: other, Addr: 9}, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.handleRevocation(RevocationAnnounce{Node: other, Sig: epSig})
+	if nw.Dir.Revoked(other) {
+		t.Fatal("cross-statement signature replay revoked an identity")
+	}
+}
+
+// TestCertRetireReleasesGrant: a retired grant leaves the CA's re-announce
+// set, fires the quota-release hook, and only the identity's own address
+// may retire it.
+func TestCertRetireReleasesGrant(t *testing.T) {
+	nw := buildTestNet(t, 23, 20, nil)
+	nw.Sim.Run(2 * time.Second)
+	nw.Node(19).Stop()
+
+	kp, err := nw.Dir.Scheme().GenerateKey(nw.Sim.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retired []string
+	nw.CA.OnRetire = func(endpoint string, _ transport.Addr) { retired = append(retired, endpoint) }
+
+	call := func(from transport.Addr, req transport.Message) transport.Message {
+		var got transport.Message
+		nw.Net.Call(from, nw.CA.Addr(), req, 2*time.Second,
+			func(m transport.Message, err error) {
+				if err == nil {
+					got = m
+				}
+			})
+		nw.Sim.Run(nw.Sim.Now() + 5*time.Second)
+		return got
+	}
+	joiner := chord.Peer{ID: id.ID(0xfeed), Addr: 19}
+	grantResp, _ := call(19, CertIssueReq{ID: joiner.ID, Addr: 19, Key: kp.Public, Endpoint: "ep-19"}).(CertIssueResp)
+	if !grantResp.OK {
+		t.Fatal("admission refused")
+	}
+	sig, err := nw.Dir.Scheme().Sign(kp, RetireStatement(joiner))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the identity's signature the retirement is refused — the
+	// frame-header origin alone is forgeable on socket transports.
+	if r, _ := call(19, CertRetireReq{Who: joiner}).(CertRetireResp); r.OK {
+		t.Fatal("unsigned retirement accepted")
+	}
+	wrongKp, err := nw.Dir.Scheme().GenerateKey(nw.Sim.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongSig, err := nw.Dir.Scheme().Sign(wrongKp, RetireStatement(joiner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := call(3, CertRetireReq{Who: joiner, Sig: wrongSig}).(CertRetireResp); r.OK {
+		t.Fatal("third-party retirement accepted")
+	}
+	if len(retired) != 0 {
+		t.Fatal("quota released by refused retirement")
+	}
+
+	// Proof of key possession retires the grant, from any origin.
+	if r, _ := call(3, CertRetireReq{Who: joiner, Sig: sig}).(CertRetireResp); !r.OK {
+		t.Fatal("legitimate retirement refused")
+	}
+	if len(retired) != 1 || retired[0] != "ep-19" {
+		t.Fatalf("OnRetire = %v, want [ep-19]", retired)
+	}
+	// Retirement is terminal: the identity is revoked (slot reuse makes a
+	// re-joining retiree alias its recycled slot), cannot be
+	// re-certified, and retiring twice is a no-op refusal.
+	if !nw.Auth.Revoked(joiner.ID) || !nw.Dir.Revoked(joiner.ID) {
+		t.Fatal("retired identity was not revoked")
+	}
+	if r, _ := call(19, CertRetireReq{Who: joiner, Sig: sig}).(CertRetireResp); r.OK {
+		t.Fatal("double retirement accepted")
+	}
+	if resp, _ := call(19, CertIssueReq{ID: joiner.ID, Addr: 19, Key: kp.Public}).(CertIssueResp); resp.OK {
+		t.Fatal("retired identifier re-certified")
+	}
+}
+
+// TestForgedLeaveRejected: a leave notice without the departing identity's
+// signature must not evict a live node — unauthenticated leaves would be
+// an eviction primitive on socket transports.
+func TestForgedLeaveRejected(t *testing.T) {
+	nw := buildTestNet(t, 29, 20, nil)
+	nw.Sim.Run(10 * time.Second)
+
+	target := nw.Node(8)
+	victims := target.Chord.Successors()
+	if len(victims) == 0 {
+		t.Fatal("test premise broken: target has no successors")
+	}
+	victim := victims[0]
+
+	deliver := func(m chord.LeaveReq) {
+		answered := false
+		nw.Net.Call(3, target.Self().Addr, m, 2*time.Second,
+			func(transport.Message, error) { answered = true })
+		nw.Sim.Run(nw.Sim.Now() + 5*time.Second)
+		if !answered {
+			t.Fatal("leave RPC never answered")
+		}
+	}
+	// Unsigned forgery, then one signed by the wrong key.
+	deliver(chord.LeaveReq{Who: victim})
+	wrongKp, err := nw.Dir.Scheme().GenerateKey(nw.Sim.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongSig, err := nw.Dir.Scheme().Sign(wrongKp, chord.LeaveStatement(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(chord.LeaveReq{Who: victim, Sig: wrongSig})
+
+	still := target.Chord.Successors()
+	found := false
+	for _, p := range still {
+		if p.ID == victim.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("forged leave evicted live node %v from its predecessor's successor list", victim)
+	}
+	// The genuine signature is accepted: stop the victim (a real
+	// departure stops the node as the notices go out — a still-running
+	// "leaver" would just be re-woven by stabilization) and deliver its
+	// signed notice. The full graceful-leave path is covered by
+	// TestGracefulLeaveUnderSurveillance.
+	realSig, err := nw.Dir.Scheme().Sign(nw.Ring.Node(victim.Addr).Identity().Key, chord.LeaveStatement(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Node(victim.Addr).Stop()
+	deliver(chord.LeaveReq{Who: victim, Sig: realSig})
+	for _, p := range target.Chord.Successors() {
+		if p.ID == victim.ID {
+			t.Fatalf("genuine signed leave did not evict %v", victim)
+		}
+	}
+}
+
+// TestJoinDuringAnonymousLookup pins the race the paper's churn model
+// creates constantly: a node joins right next to a key while an anonymous
+// lookup of that key is mid-flight. The lookup must complete (the protocol
+// never wedges), and once stabilization absorbs the joiner, lookups must
+// resolve to the new owner.
+func TestJoinDuringAnonymousLookup(t *testing.T) {
+	nw := buildTestNet(t, 11, 40, func(cfg *Config) {
+		cfg.WalkEvery = time.Second
+	})
+	nw.Sim.Run(60 * time.Second) // stock relay pools
+
+	// Kill a slot so the joiner can take it.
+	nw.Node(9).Stop()
+	nw.Sim.Run(nw.Sim.Now() + 10*time.Second)
+
+	initiator := nw.Node(2)
+	oldOwnerOfKey := func(k id.ID) chord.Peer { return nw.Ring.Owner(k) }
+
+	var lookupDone bool
+	var lookupErr error
+	var got chord.Peer
+	var key id.ID
+
+	// Start the lookup, then fire the join 200 virtual ms later — well
+	// inside the multi-second anonymous path round-trip.
+	var joined *Node
+	nw.Sim.After(0, func() {
+		// The joiner's future identifier is unknown until Rejoin draws
+		// it, so look up a key near a dense region instead: the dead
+		// node's old identifier, whose ownership transfers to its
+		// successor and MAY transfer again to the joiner.
+		key = nw.Node(9).Self().ID
+		initiator.AnonLookup(key, func(owner chord.Peer, _ LookupStats, err error) {
+			lookupDone, got, lookupErr = true, owner, err
+		})
+	})
+	nw.Sim.After(200*time.Millisecond, func() {
+		alive := nw.Ring.AlivePeers()
+		nw.Rejoin(9, alive[0], nw.Node(0).Config(), func(n *Node, err error) {
+			if err != nil {
+				t.Errorf("join during lookup failed: %v", err)
+				return
+			}
+			joined = n
+		})
+	})
+	nw.Sim.Run(nw.Sim.Now() + 2*time.Minute)
+
+	if !lookupDone {
+		t.Fatal("anonymous lookup wedged across a concurrent join")
+	}
+	if lookupErr != nil {
+		t.Fatalf("anonymous lookup failed across a concurrent join: %v", lookupErr)
+	}
+	if joined == nil {
+		t.Fatal("concurrent join never completed")
+	}
+	// The in-flight answer must be SOME consistent owner: the one before
+	// the join or the joiner itself, depending on which side of the race
+	// the final queries landed.
+	want := oldOwnerOfKey(key)
+	if got.ID != want.ID && got.ID != joined.Self().ID {
+		t.Errorf("mid-join lookup resolved to %v, want %v (current) or %v (joiner)",
+			got, want, joined.Self())
+	}
+	// Post-stabilization, a fresh lookup agrees with ground truth.
+	var finalOwner chord.Peer
+	finalDone := false
+	initiator.AnonLookup(key, func(owner chord.Peer, _ LookupStats, err error) {
+		finalDone = true
+		if err != nil {
+			t.Errorf("post-join lookup failed: %v", err)
+		}
+		finalOwner = owner
+	})
+	nw.Sim.Run(nw.Sim.Now() + 2*time.Minute)
+	if !finalDone {
+		t.Fatal("post-join lookup never completed")
+	}
+	if truth := nw.Ring.Owner(key); finalOwner.ID != truth.ID {
+		t.Errorf("post-join lookup = %v, ground truth %v", finalOwner, truth)
+	}
+}
+
+// TestGracefulLeaveUnderSurveillance departs a node that holds directory
+// state — it is registered in the certificate directory, its signed tables
+// sit in its neighbors' proof queues, and it holds proofs of theirs — while
+// the full surveillance machinery runs. A graceful leave must not trigger a
+// single revocation (the CA's liveness gate must classify the departure as
+// churn, not manipulation), and the ring must keep resolving lookups.
+func TestGracefulLeaveUnderSurveillance(t *testing.T) {
+	nw := buildTestNet(t, 13, 40, func(cfg *Config) {
+		cfg.SurveilEvery = 20 * time.Second
+	})
+	nw.Sim.Run(2 * time.Minute) // proof queues and pools fill
+
+	leaver := nw.Node(17)
+	leaverID := leaver.Self().ID
+	if _, ok := nw.Dir.Key(leaverID); !ok {
+		t.Fatal("leaver not in the certificate directory")
+	}
+
+	var leaveErr error
+	leaveDone := false
+	leaver.Leave(func(err error) { leaveDone, leaveErr = true, err })
+	nw.Sim.Run(nw.Sim.Now() + 30*time.Second)
+	if !leaveDone {
+		t.Fatal("graceful leave never completed")
+	}
+	if leaveErr != nil {
+		t.Fatalf("graceful leave unacknowledged: %v", leaveErr)
+	}
+	if leaver.Chord.Running() {
+		t.Error("leaver still running")
+	}
+
+	// Surveillance keeps probing for several periods; the departed node's
+	// absence from successor lists must never be prosecuted.
+	nw.Sim.Run(nw.Sim.Now() + 5*time.Minute)
+	if revs := nw.CA.Stats().Revocations; revs != 0 {
+		t.Errorf("graceful leave produced %d revocations (false positives); CA stats %+v",
+			revs, nw.CA.Stats())
+	}
+	// Keys the leaver owned now resolve to its live successor.
+	var owner chord.Peer
+	ownerDone := false
+	nw.Node(3).AnonLookup(leaverID, func(p chord.Peer, _ LookupStats, err error) {
+		ownerDone = true
+		if err != nil {
+			t.Errorf("post-leave lookup failed: %v", err)
+		}
+		owner = p
+	})
+	nw.Sim.Run(nw.Sim.Now() + 2*time.Minute)
+	if !ownerDone {
+		t.Fatal("post-leave lookup never completed")
+	}
+	if truth := nw.Ring.Owner(leaverID); owner.ID != truth.ID {
+		t.Errorf("post-leave lookup = %v, ground truth %v", owner, truth)
+	}
+}

@@ -56,6 +56,7 @@ func BuildNetworkLocal(tr transport.Transport, n int, cfg Config,
 	if err != nil {
 		return nil, err
 	}
+	dir.SetCAKey(auth.PublicKey())
 
 	chordCfg := cfg.Chord
 	chordCfg.SignTables = true

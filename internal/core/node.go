@@ -130,6 +130,8 @@ func New(cn *chord.Node, cfg Config, caAddr transport.Addr, dir *Directory) *Nod
 	cn.Cfg.DisableFingerUpdates = true
 	cn.Extra = n.handleExtra
 	cn.OnNeighborTable = n.recordProof
+	cn.AdmitJoin = n.admitJoin
+	cn.VetLeave = n.vetLeave
 	return n
 }
 
@@ -343,6 +345,12 @@ func (n *Node) handleExtra(from transport.Addr, req transport.Message) (transpor
 		return nil, false
 	case WitnessResp:
 		n.statements[m.QID] = append(n.statements[m.QID], m)
+		return nil, false
+	case EndpointAnnounce:
+		n.handleAnnounce(m)
+		return nil, false
+	case RevocationAnnounce:
+		n.handleRevocation(m)
 		return nil, false
 	default:
 		return nil, false

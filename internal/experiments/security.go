@@ -158,10 +158,13 @@ func RunSecurity(cfg SecurityConfig) SecurityResult {
 		}
 	}
 
-	// Churn (Table 2): replacements keep their predecessor's role.
+	// Churn (Table 2): replacements keep their predecessor's role. Every
+	// rejoin goes through the SAME wire path a real joiner takes
+	// (core.Network.Rejoin): the replacement obtains its certificate from
+	// the CA with a CertIssueReq over the simulated network and enters
+	// through the JoinReq handshake.
 	if cfg.ChurnMean > 0 {
 		churner := simnet.NewChurner(sim, cfg.ChurnMean)
-		identFor := core.NewIdentityFactory(nw.Dir, nw.Auth, sim.Rand())
 		churner.OnDeath = func(addr simnet.Address) {
 			if node := nw.Node(addr); node != nil {
 				node.Stop()
@@ -174,14 +177,17 @@ func RunSecurity(cfg SecurityConfig) SecurityResult {
 				// to certify churning attackers back in once caught.
 				return
 			}
-			cn := nw.Ring.Rejoin(addr, identFor)
-			if cn == nil {
+			alive := nw.Ring.AlivePeers()
+			if len(alive) == 0 {
 				return
 			}
-			node := core.New(cn, coreCfg, nw.CA.Addr(), nw.Dir)
-			node.StartProtocols()
-			nw.Nodes[addr] = node
-			adv.ReplaceAt(addr, node)
+			bootstrap := alive[sim.Rand().Intn(len(alive))]
+			nw.Rejoin(addr, bootstrap, coreCfg, func(node *core.Node, err error) {
+				if err != nil {
+					return // a failed online join leaves the slot empty until the next cycle
+				}
+				adv.ReplaceAt(addr, node)
+			})
 		}
 		for i := 0; i < cfg.N; i++ {
 			churner.Track(simnet.Address(i))

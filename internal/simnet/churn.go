@@ -8,6 +8,12 @@ import (
 // exponentially distributed with mean Mean, and a dead node is immediately
 // replaced by a fresh join on the same address slot so the population size
 // stays constant.
+//
+// The Churner only schedules the churn events; membership changes
+// themselves must go through the transport — the OnRejoin callback is
+// expected to drive the wire join path (core.Network.Rejoin: certificate
+// issuance via CertIssueReq, entry via the JoinReq handshake), so simulated
+// churn exercises exactly the code a real `octopusd -join` runs.
 type Churner struct {
 	sim  *Simulator
 	mean time.Duration

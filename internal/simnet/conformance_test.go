@@ -20,3 +20,17 @@ func TestSimnetConformance(t *testing.T) {
 		}
 	})
 }
+
+// TestSimnetChurnConformance runs the dynamic-membership suite — online
+// join, simultaneous joins, graceful leave, failure suspicion — on the
+// simulator backend.
+func TestSimnetChurnConformance(t *testing.T) {
+	transporttest.RunChurnConformance(t, func(t *testing.T, hosts int) transporttest.Harness {
+		sim := simnet.New(7)
+		net := simnet.NewNetwork(sim, simnet.ConstantLatency{D: time.Millisecond}, hosts)
+		return transporttest.Harness{
+			Tr:      net,
+			Advance: func(d time.Duration) { sim.Run(sim.Now() + d) },
+		}
+	})
+}

@@ -61,8 +61,9 @@ type ProxyLookupReq struct {
 // Size implements transport.Message.
 func (m ProxyLookupReq) Size() int { return transport.EncodedSize(m) }
 
-// WireType implements transport.Wire (0x03xx: baseline protocols).
-func (ProxyLookupReq) WireType() uint16 { return 0x0301 }
+// WireType implements transport.Wire (0x04xx: baseline protocols; the
+// 0x03xx block belongs to the dynamic-membership registry).
+func (ProxyLookupReq) WireType() uint16 { return 0x0401 }
 
 // EncodePayload implements transport.Wire.
 func (m ProxyLookupReq) EncodePayload(w *transport.Writer) { w.U64(uint64(m.Key)) }
@@ -80,7 +81,7 @@ type ProxyLookupResp struct {
 func (m ProxyLookupResp) Size() int { return transport.EncodedSize(m) }
 
 // WireType implements transport.Wire.
-func (ProxyLookupResp) WireType() uint16 { return 0x0302 }
+func (ProxyLookupResp) WireType() uint16 { return 0x0402 }
 
 // EncodePayload implements transport.Wire.
 func (m ProxyLookupResp) EncodePayload(w *transport.Writer) {
@@ -91,10 +92,10 @@ func (m ProxyLookupResp) EncodePayload(w *transport.Writer) {
 }
 
 func init() {
-	transport.RegisterType(0x0301, func(r *transport.Reader) transport.Wire {
+	transport.RegisterType(0x0401, func(r *transport.Reader) transport.Wire {
 		return ProxyLookupReq{Key: id.ID(r.U64())}
 	})
-	transport.RegisterType(0x0302, func(r *transport.Reader) transport.Wire {
+	transport.RegisterType(0x0402, func(r *transport.Reader) transport.Wire {
 		return ProxyLookupResp{Key: id.ID(r.U64()), Owner: chord.DecodePeer(r), Hops: int(r.U16()), OK: r.Bool()}
 	})
 }

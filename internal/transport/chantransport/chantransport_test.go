@@ -25,6 +25,20 @@ func TestChanTransportConformance(t *testing.T) {
 	})
 }
 
+// TestChanTransportChurnConformance runs the dynamic-membership suite under
+// true parallelism: joins, leaves, and failure suspicion race with live
+// stabilization traffic, with every message crossing the wire codec.
+func TestChanTransportChurnConformance(t *testing.T) {
+	transporttest.RunChurnConformance(t, func(t *testing.T, hosts int) transporttest.Harness {
+		net := chantransport.New(hosts, 7)
+		return transporttest.Harness{
+			Tr:      net,
+			Advance: func(d time.Duration) { time.Sleep(d) },
+			Close:   net.Close,
+		}
+	})
+}
+
 // TestConformanceWithLatency reruns the suite with a delivery delay, which
 // shakes out ordering assumptions hidden by instant delivery.
 func TestConformanceWithLatency(t *testing.T) {

@@ -141,7 +141,16 @@ type Transport struct {
 	self string
 	ln   net.Listener
 
-	hosts []*host // nil entries are remote slots
+	// The address table is dynamic since online membership: admitting a
+	// joiner appends a slot (AddEndpoint on the CA's process) or installs
+	// a learned mapping (SetEndpoint on everyone else). tableMu guards
+	// both slices; nil host entries are remote slots.
+	tableMu   sync.RWMutex
+	endpoints []string
+	hosts     []*host
+
+	bootstrapMu sync.RWMutex
+	bootstrap   func(req transport.Message) (transport.Message, bool)
 
 	mu      sync.Mutex
 	links   map[string]*link
@@ -190,16 +199,17 @@ func New(cfg Config) (*Transport, error) {
 		self = ln.Addr().String()
 	}
 	t := &Transport{
-		cfg:     cfg,
-		self:    self,
-		ln:      ln,
-		hosts:   make([]*host, len(cfg.Endpoints)),
-		links:   make(map[string]*link),
-		pending: make(map[uint64]*pendingCall),
-		conns:   make(map[net.Conn]struct{}),
-		rng:     rand.New(&lockedSource{src: rand.NewSource(cfg.Seed).(rand.Source64)}),
-		start:   time.Now(),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		self:      self,
+		ln:        ln,
+		endpoints: append([]string(nil), cfg.Endpoints...),
+		hosts:     make([]*host, len(cfg.Endpoints)),
+		links:     make(map[string]*link),
+		pending:   make(map[uint64]*pendingCall),
+		conns:     make(map[net.Conn]struct{}),
+		rng:       rand.New(&lockedSource{src: rand.NewSource(cfg.Seed).(rand.Source64)}),
+		start:     time.Now(),
+		done:      make(chan struct{}),
 	}
 	local := 0
 	for i, ep := range cfg.Endpoints {
@@ -207,19 +217,7 @@ func New(cfg Config) (*Transport, error) {
 			continue
 		}
 		local++
-		h := &host{box: newMailbox()}
-		t.hosts[i] = h
-		t.wg.Add(1)
-		go func() {
-			defer t.wg.Done()
-			for {
-				fn, ok := h.box.take()
-				if !ok {
-					return
-				}
-				fn()
-			}
-		}()
+		t.hosts[i] = t.newHost()
 	}
 	if local == 0 {
 		ln.Close()
@@ -230,6 +228,23 @@ func New(cfg Config) (*Transport, error) {
 	return t, nil
 }
 
+// newHost creates a local host slot and launches its actor loop.
+func (t *Transport) newHost() *host {
+	h := &host{box: newMailbox()}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			fn, ok := h.box.take()
+			if !ok {
+				return
+			}
+			fn()
+		}
+	}()
+	return h
+}
+
 // Self returns the endpoint this process serves.
 func (t *Transport) Self() string { return t.self }
 
@@ -237,17 +252,80 @@ func (t *Transport) Self() string { return t.self }
 func (t *Transport) Addr() net.Addr { return t.ln.Addr() }
 
 // Size returns the number of address slots in the endpoint table.
-func (t *Transport) Size() int { return len(t.hosts) }
+func (t *Transport) Size() int {
+	t.tableMu.RLock()
+	defer t.tableMu.RUnlock()
+	return len(t.hosts)
+}
 
 // Local reports whether an address slot is served by this process.
 func (t *Transport) Local(addr transport.Addr) bool { return t.hostAt(addr) != nil }
 
-// Endpoint returns the TCP endpoint of an address slot ("" out of range).
+// Endpoint returns the TCP endpoint of an address slot ("" out of range or
+// not yet learned).
 func (t *Transport) Endpoint(addr transport.Addr) string {
-	if !t.inTable(addr) {
+	t.tableMu.RLock()
+	defer t.tableMu.RUnlock()
+	if addr < 0 || int(addr) >= len(t.endpoints) {
 		return ""
 	}
-	return t.cfg.Endpoints[addr]
+	return t.endpoints[addr]
+}
+
+// Endpoints returns a copy of the slot-indexed endpoint table.
+func (t *Transport) Endpoints() []string {
+	t.tableMu.RLock()
+	defer t.tableMu.RUnlock()
+	return append([]string(nil), t.endpoints...)
+}
+
+// SetEndpoint installs the endpoint of an address slot, growing the table
+// as needed (membership announces teach a process about slots allocated
+// elsewhere). Setting a slot to this process's own endpoint creates the
+// local host actor, so a late-learned local slot still serves traffic.
+func (t *Transport) SetEndpoint(addr transport.Addr, endpoint string) {
+	if addr < 0 {
+		return
+	}
+	t.tableMu.Lock()
+	defer t.tableMu.Unlock()
+	for int(addr) >= len(t.endpoints) {
+		t.endpoints = append(t.endpoints, "")
+		t.hosts = append(t.hosts, nil)
+	}
+	t.endpoints[addr] = endpoint
+	// The closed check happens under tableMu so it orders against Close's
+	// host snapshot: no actor goroutine can be created after Close ran.
+	if endpoint == t.self && t.hosts[addr] == nil && !t.closed.Load() {
+		t.hosts[addr] = t.newHost()
+	}
+}
+
+// AddEndpoint appends a fresh address slot for the endpoint and returns it
+// (the CA's address allocator on the admission path).
+func (t *Transport) AddEndpoint(endpoint string) transport.Addr {
+	t.tableMu.Lock()
+	defer t.tableMu.Unlock()
+	addr := transport.Addr(len(t.endpoints))
+	t.endpoints = append(t.endpoints, endpoint)
+	var h *host
+	if endpoint == t.self && !t.closed.Load() {
+		h = t.newHost()
+	}
+	t.hosts = append(t.hosts, h)
+	return addr
+}
+
+// SetBootstrapHandler installs the handler for bootstrap requests: frames
+// addressed to NoAddr from processes that hold no slot yet (an octopusd
+// -join admission). The response is written back on the inbound connection
+// — the only frame path that does so — because a slotless caller has no
+// endpoint-table entry to dial. The handler runs on the connection's read
+// goroutine; it must not block indefinitely.
+func (t *Transport) SetBootstrapHandler(h func(req transport.Message) (transport.Message, bool)) {
+	t.bootstrapMu.Lock()
+	t.bootstrap = h
+	t.bootstrapMu.Unlock()
 }
 
 // Dropped reports messages dropped at delivery (dead host, no handler).
@@ -291,7 +369,13 @@ func (t *Transport) Close() {
 		delete(t.pending, id)
 	}
 	t.mu.Unlock()
-	for _, h := range t.hosts {
+	// Snapshot under tableMu: a concurrent SetEndpoint/AddEndpoint either
+	// ordered before this lock (its host is in the snapshot and gets
+	// closed) or after (it observes closed and creates no host).
+	t.tableMu.Lock()
+	hosts := append([]*host(nil), t.hosts...)
+	t.tableMu.Unlock()
+	for _, h := range hosts {
 		if h != nil {
 			h.box.close()
 		}
@@ -300,11 +384,15 @@ func (t *Transport) Close() {
 }
 
 func (t *Transport) inTable(addr transport.Addr) bool {
+	t.tableMu.RLock()
+	defer t.tableMu.RUnlock()
 	return addr >= 0 && int(addr) < len(t.hosts)
 }
 
 func (t *Transport) hostAt(addr transport.Addr) *host {
-	if !t.inTable(addr) {
+	t.tableMu.RLock()
+	defer t.tableMu.RUnlock()
+	if addr < 0 || int(addr) >= len(t.hosts) {
 		return nil
 	}
 	return t.hosts[addr]
@@ -347,10 +435,19 @@ func (t *Transport) SetAlive(addr transport.Addr, alive bool) {
 // on a real network liveness is only discoverable by talking to them, and
 // the protocol layers already treat RPC timeouts as the failure signal.
 func (t *Transport) Alive(addr transport.Addr) bool {
-	if !t.inTable(addr) {
+	// One critical section for bounds check + slot read: the table grows
+	// at runtime (SetEndpoint/AddEndpoint), so a re-check outside the
+	// lock would race with append's reallocation.
+	t.tableMu.RLock()
+	inRange := addr >= 0 && int(addr) < len(t.hosts)
+	var h *host
+	if inRange {
+		h = t.hosts[addr]
+	}
+	t.tableMu.RUnlock()
+	if !inRange {
 		return false
 	}
-	h := t.hosts[addr]
 	if h == nil {
 		return true
 	}
@@ -448,8 +545,15 @@ func (t *Transport) takePending(id uint64, from *transport.Addr) *pendingCall {
 // local-bound messages (which still travel the wire, through the loopback)
 // are accounted at delivery, where liveness of the destination is known.
 func (t *Transport) enqueue(kind uint8, from, to transport.Addr, reqID uint64, payload []byte) {
+	ep := t.Endpoint(to)
+	if ep == "" {
+		// Slot exists but its endpoint is not known yet (an announce is
+		// still in flight); the drop surfaces as an RPC timeout.
+		t.sendDrops.Add(1)
+		return
+	}
 	frame := appendFrame(kind, from, to, reqID, payload)
-	l := t.linkTo(t.cfg.Endpoints[to])
+	l := t.linkTo(ep)
 	if l == nil {
 		t.sendDrops.Add(1)
 		return
@@ -590,7 +694,87 @@ func (t *Transport) serveConn(c net.Conn) {
 			}
 			return
 		}
+		if h.kind == frameRequest && !h.to.Valid() {
+			// A bootstrap request from a slotless process: answer on
+			// this same connection (see SetBootstrapHandler).
+			if err := t.serveBootstrap(c, h, payload); err != nil {
+				return
+			}
+			continue
+		}
 		t.dispatch(h, payload)
+	}
+}
+
+// serveBootstrap answers one bootstrap request frame inline on the inbound
+// connection. A missing handler or an unanswerable request is silence —
+// the caller observes its timeout, the same failure signal as everywhere
+// else. The returned error poisons the connection (write failure).
+func (t *Transport) serveBootstrap(c net.Conn, h frameHeader, payload []byte) error {
+	t.bootstrapMu.RLock()
+	handler := t.bootstrap
+	t.bootstrapMu.RUnlock()
+	if handler == nil {
+		t.dropped.Add(1)
+		return nil
+	}
+	t.framesIn.Add(1)
+	req, err := transport.Decode(payload)
+	if err != nil {
+		t.codecErrors.Add(1)
+		return nil
+	}
+	resp, ok := handler(req)
+	if !ok {
+		t.dropped.Add(1)
+		return nil
+	}
+	respPayload, err := transport.Encode(resp)
+	if err != nil {
+		t.codecErrors.Add(1)
+		return nil
+	}
+	frame := appendFrame(frameResponse, transport.NoAddr, transport.NoAddr, h.reqID, respPayload)
+	c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	if err := writeAll(c, frame); err != nil {
+		return err
+	}
+	t.framesOut.Add(1)
+	return nil
+}
+
+// BootstrapCall performs a single request/response exchange with a process
+// that serves `endpoint`, without holding any slot in (or even knowing) the
+// deployment's address table: dial, send one bootstrap frame, read the
+// response off the same connection. It is how an `octopusd -join` process
+// asks to be admitted before it can construct its Transport.
+func BootstrapCall(endpoint string, req transport.Message, timeout time.Duration) (transport.Message, error) {
+	payload, err := transport.Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.DialTimeout("tcp", endpoint, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	deadline := time.Now().Add(timeout)
+	c.SetDeadline(deadline)
+	const bootstrapReqID = 1
+	frame := appendFrame(frameRequest, transport.NoAddr, transport.NoAddr, bootstrapReqID, payload)
+	if err := writeAll(c, frame); err != nil {
+		return nil, fmt.Errorf("nettransport: bootstrap write: %w", err)
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+	for {
+		h, respPayload, err := readFrame(br, DefaultMaxFrame)
+		if err != nil {
+			return nil, fmt.Errorf("nettransport: bootstrap read: %w", err)
+		}
+		if h.kind != frameResponse || h.reqID != bootstrapReqID {
+			continue // not ours; a broken peer could interleave frames
+		}
+		return transport.Decode(respPayload)
 	}
 }
 

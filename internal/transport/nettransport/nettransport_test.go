@@ -53,6 +53,22 @@ func TestNetTransportConformance(t *testing.T) {
 	})
 }
 
+// TestNetTransportChurnConformance runs the dynamic-membership suite with
+// every join, leave, and suspicion probe crossing real TCP sockets.
+func TestNetTransportChurnConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time churn convergence over TCP")
+	}
+	transporttest.RunChurnConformance(t, func(t *testing.T, hosts int) transporttest.Harness {
+		tr := newLoopback(t, hosts)
+		return transporttest.Harness{
+			Tr:      tr,
+			Advance: func(d time.Duration) { time.Sleep(d) },
+			Close:   tr.Close,
+		}
+	})
+}
+
 // twoProcs builds two Transport instances sharing one endpoint table — the
 // in-test stand-in for two OS processes (distinct listeners, distinct
 // sockets; only the address space is shared). Slot 0 lives on a, slot 1 on

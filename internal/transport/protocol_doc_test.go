@@ -27,6 +27,9 @@ func TestProtocolDocFixedSizes(t *testing.T) {
 		{"NotifyResp", chord.NotifyResp{}, 2},
 		{"ReportAck", core.ReportAck{}, 2},
 		{"WalkSeedReq", core.WalkSeedReq{}, 20},
+		{"LeaveResp", chord.LeaveResp{}, 3},
+		{"SuspectReq", chord.SuspectReq{}, 2},
+		{"SuspectResp", chord.SuspectResp{}, 16},
 	}
 	for _, c := range cases {
 		if got := c.m.Size(); got != c.want {

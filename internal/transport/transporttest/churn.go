@@ -1,0 +1,323 @@
+package transporttest
+
+import (
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
+)
+
+// Churn conformance: the dynamic-membership counterpart to RunConformance.
+// Where the base suite pins transport semantics with synthetic echo
+// messages, this one runs the real routing layer over the backend under
+// test and pins the membership protocol's observable guarantees: a fresh
+// node can join a live ring through the JoinReq handshake and become
+// routable; two nodes can join between the same successor pair
+// concurrently; a graceful leave splices the ring without waiting for
+// timeouts; and failure suspicion evicts dead nodes from neighbor lists.
+//
+// Every assertion reads protocol state from inside the owning host's
+// serialization context, so the suite is race-clean on the concurrent
+// backends and deterministic on the simulator.
+
+// churnRingSize is the population of the base ring; joiners occupy the
+// slots after it. Factories receive churnRingSize+2 host slots.
+const churnRingSize = 8
+
+// RunChurnConformance runs the dynamic-membership suite against the factory.
+func RunChurnConformance(t *testing.T, mk Factory) {
+	t.Run("JoinBecomesRoutable", func(t *testing.T) { testJoinBecomesRoutable(t, mk) })
+	t.Run("SimultaneousJoinsSamePair", func(t *testing.T) { testSimultaneousJoins(t, mk) })
+	t.Run("GracefulLeaveSplices", func(t *testing.T) { testGracefulLeave(t, mk) })
+	t.Run("FailureSuspicionEvicts", func(t *testing.T) { testFailureSuspicion(t, mk) })
+}
+
+// churnConfig is tuned for suite wall time: fast stabilization, suspicion
+// on (the membership repair path under test).
+func churnConfig() chord.Config {
+	cfg := chord.DefaultConfig()
+	cfg.Successors = 4
+	cfg.StabilizeEvery = 3 * tick
+	cfg.SuspectEvery = 3 * tick
+	cfg.FixFingersEvery = 10 * tick
+	cfg.RPCTimeout = 8 * tick
+	return cfg
+}
+
+// churnDeadline bounds each convergence wait. Real-time backends spend
+// actual milliseconds per Advance; the budget stays well under a minute.
+const churnDeadline = 30 * time.Second
+
+// await blocks for a value on ch while pumping the harness clock — the one
+// poll-pump loop every helper and subtest shares.
+func await[T any](t *testing.T, h Harness, ch <-chan T, what string) T {
+	t.Helper()
+	deadline := time.Now().Add(churnDeadline)
+	for {
+		select {
+		case v := <-ch:
+			return v
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never completed", what)
+		}
+		h.Advance(tick)
+	}
+}
+
+// eval runs fn inside addr's serialization context and waits for it,
+// pumping the harness clock. It is the only legal way the suite touches
+// node state.
+func eval(t *testing.T, h Harness, addr transport.Addr, fn func() any) any {
+	t.Helper()
+	ch := make(chan any, 1)
+	h.Tr.After(addr, 0, func() { ch <- fn() })
+	return await(t, h, ch, "eval on host")
+}
+
+// lookupFrom resolves key from the node at `from` and returns the owner
+// (NoPeer on error).
+func lookupFrom(t *testing.T, h Harness, from *chord.Node, key id.ID) chord.Peer {
+	t.Helper()
+	ch := make(chan chord.Peer, 1)
+	h.Tr.After(from.Self.Addr, 0, func() {
+		from.Lookup(key, func(owner chord.Peer, _ chord.LookupStats, err error) {
+			if err != nil {
+				owner = chord.NoPeer
+			}
+			ch <- owner
+		})
+	})
+	return await(t, h, ch, "lookup")
+}
+
+// waitOwner retries a lookup until it resolves key to want or the deadline
+// expires.
+func waitOwner(t *testing.T, h Harness, from *chord.Node, key id.ID, want id.ID) {
+	t.Helper()
+	deadline := time.Now().Add(churnDeadline)
+	var last chord.Peer
+	for time.Now().Before(deadline) {
+		last = lookupFrom(t, h, from, key)
+		if last.Valid() && last.ID == want {
+			return
+		}
+		h.Advance(2 * tick)
+	}
+	t.Fatalf("lookup of %v from host %d stuck at owner %v, want %v",
+		key, from.Self.Addr, last, want)
+}
+
+// startJoin launches a fresh node's wire join via bootstrap and returns
+// the channel its outcome arrives on (awaited by the caller, so
+// simultaneous joins can be launched before waiting on either).
+func startJoin(h Harness, node *chord.Node, bootstrap chord.Peer) <-chan error {
+	ch := make(chan error, 1)
+	h.Tr.After(node.Self.Addr, 0, func() {
+		node.Start()
+		node.Join(bootstrap, func(err error) { ch <- err })
+	})
+	return ch
+}
+
+// joinNode starts a fresh node and runs the wire join via bootstrap,
+// returning the join error.
+func joinNode(t *testing.T, h Harness, node *chord.Node, bootstrap chord.Peer) error {
+	t.Helper()
+	return await(t, h, startJoin(h, node, bootstrap), "join")
+}
+
+// midID picks the identifier halfway around the ring from lo to hi —
+// deterministic, so simulator runs replay exactly.
+func midID(lo, hi id.ID) id.ID {
+	gap := uint64(hi) - uint64(lo) // wraps correctly on ring crossings
+	return id.ID(uint64(lo) + gap/2)
+}
+
+// widestGap returns the index whose clockwise gap to the next peer is the
+// largest, plus that gap — where joiner identifiers provably change key
+// ownership.
+func widestGap(peers []chord.Peer) (int, uint64) {
+	gi, widest := 0, uint64(0)
+	for i := range peers {
+		next := peers[(i+1)%len(peers)]
+		if g := peers[i].ID.Distance(next.ID); g > widest {
+			widest, gi = g, i
+		}
+	}
+	return gi, widest
+}
+
+func testJoinBecomesRoutable(t *testing.T, mk Factory) {
+	h := mk(t, churnRingSize+2)
+	defer closeH(h)
+	cfg := churnConfig()
+	ring := chord.BuildRing(h.Tr, cfg, churnRingSize, nil)
+	peers := ring.Peers()
+
+	// Join midway into the widest gap, so the new node provably owns keys
+	// its successor owned before.
+	gi, _ := widestGap(peers)
+	newID := midID(peers[gi].ID, peers[(gi+1)%len(peers)].ID)
+	fresh := chord.NewNode(h.Tr, cfg, chord.Peer{ID: newID, Addr: transport.Addr(churnRingSize)}, nil)
+	bootstrap := peers[(gi+3)%len(peers)] // not a future neighbor
+	if err := joinNode(t, h, fresh, bootstrap); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+
+	// The joiner must have seeded both neighbor lists from the JoinResp.
+	succs := eval(t, h, fresh.Self.Addr, func() any { return fresh.Successors() }).([]chord.Peer)
+	if len(succs) == 0 {
+		t.Fatal("joiner has no successors after join")
+	}
+	want := peers[(gi+1)%len(peers)]
+	if succs[0].ID != want.ID {
+		t.Errorf("joiner's successor = %v, want %v", succs[0], want)
+	}
+
+	// Every ring member must eventually route keys in (pred, newID] to the
+	// joiner.
+	for _, probe := range []int{0, churnRingSize / 2} {
+		waitOwner(t, h, ring.Node(transport.Addr(probe)), newID, newID)
+	}
+}
+
+func testSimultaneousJoins(t *testing.T, mk Factory) {
+	h := mk(t, churnRingSize+2)
+	defer closeH(h)
+	cfg := churnConfig()
+	ring := chord.BuildRing(h.Tr, cfg, churnRingSize, nil)
+	peers := ring.Peers()
+
+	// Two identifiers between the SAME successor pair, joining at once.
+	gi, widest := widestGap(peers)
+	lo := peers[gi]
+	idA := id.ID(uint64(lo.ID) + widest/3)
+	idB := id.ID(uint64(lo.ID) + 2*widest/3)
+	nodeA := chord.NewNode(h.Tr, cfg, chord.Peer{ID: idA, Addr: transport.Addr(churnRingSize)}, nil)
+	nodeB := chord.NewNode(h.Tr, cfg, chord.Peer{ID: idB, Addr: transport.Addr(churnRingSize + 1)}, nil)
+
+	// Launch both joins before waiting on either: on the concurrent
+	// backends they genuinely race; on the simulator they interleave in
+	// virtual time. (Awaiting A then B is fine — pumping for A advances
+	// B's join too.)
+	chA := startJoin(h, nodeA, peers[(gi+2)%len(peers)])
+	chB := startJoin(h, nodeB, peers[(gi+5)%len(peers)])
+	if err := await(t, h, chA, "join A"); err != nil {
+		t.Fatalf("join A: %v", err)
+	}
+	if err := await(t, h, chB, "join B"); err != nil {
+		t.Fatalf("join B: %v", err)
+	}
+
+	// Both must become routable, in order: lo < idA < idB < hi.
+	waitOwner(t, h, ring.Node(peers[(gi+4)%len(peers)].Addr), idA, idA)
+	waitOwner(t, h, ring.Node(peers[(gi+4)%len(peers)].Addr), idB, idB)
+	// And they must have sorted themselves into adjacency: A's first
+	// successor is B (eventually — stabilization may still be weaving).
+	deadline := time.Now().Add(churnDeadline)
+	for {
+		succs := eval(t, h, nodeA.Self.Addr, func() any { return nodeA.Successors() }).([]chord.Peer)
+		if len(succs) > 0 && succs[0].ID == idB {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node A's successor never became node B; successors = %v", succs)
+		}
+		h.Advance(2 * tick)
+	}
+}
+
+func testGracefulLeave(t *testing.T, mk Factory) {
+	h := mk(t, churnRingSize+2)
+	defer closeH(h)
+	cfg := churnConfig()
+	ring := chord.BuildRing(h.Tr, cfg, churnRingSize, nil)
+	peers := ring.Peers()
+
+	leaver := ring.Node(peers[2].Addr)
+	succ := peers[3]
+	probe := ring.Node(peers[6].Addr)
+
+	// Sanity: before the leave, the leaver owns its own identifier.
+	if got := lookupFrom(t, h, probe, leaver.Self.ID); got.ID != leaver.Self.ID {
+		t.Fatalf("pre-leave lookup = %v, want %v", got, leaver.Self)
+	}
+
+	errc := make(chan error, 1)
+	h.Tr.After(leaver.Self.Addr, 0, func() {
+		leaver.Leave(func(err error) { errc <- err })
+	})
+	if err := await(t, h, errc, "graceful leave"); err != nil {
+		t.Fatalf("graceful leave not acknowledged: %v", err)
+	}
+	// The errc receive synchronizes with the leaver's Stop (same channel),
+	// and nothing mutates a stopped node, so this read is race-free.
+	if leaver.Running() {
+		t.Error("leaver still running after Leave")
+	}
+
+	// The departed identifier's keys belong to its successor, and the
+	// immediate neighbors must have spliced it out without waiting for
+	// suspicion (check right away, then converge the rest of the ring).
+	for _, addr := range []transport.Addr{peers[1].Addr, peers[3].Addr} {
+		lists := eval(t, h, addr, func() any {
+			n := ring.Node(addr)
+			return append(n.Successors(), n.Predecessors()...)
+		}).([]chord.Peer)
+		for _, p := range lists {
+			if p.ID == leaver.Self.ID {
+				t.Errorf("neighbor %d still lists the departed node immediately after leave", addr)
+			}
+		}
+	}
+	waitOwner(t, h, probe, leaver.Self.ID, succ.ID)
+}
+
+func testFailureSuspicion(t *testing.T, mk Factory) {
+	h := mk(t, churnRingSize+2)
+	defer closeH(h)
+	cfg := churnConfig()
+	ring := chord.BuildRing(h.Tr, cfg, churnRingSize, nil)
+	peers := ring.Peers()
+
+	dead := peers[4]
+	ring.Kill(dead.Addr) // stops timers and drops all traffic: a crash, not a leave
+
+	// Suspicion + stabilization must evict the dead node from every live
+	// node's neighbor lists — including list TAILS, which stabilization
+	// alone does not probe.
+	deadline := time.Now().Add(churnDeadline)
+	for {
+		holdouts := 0
+		for _, p := range peers {
+			if p.ID == dead.ID {
+				continue
+			}
+			lists := eval(t, h, p.Addr, func() any {
+				n := ring.Node(p.Addr)
+				return append(n.Successors(), n.Predecessors()...)
+			}).([]chord.Peer)
+			for _, q := range lists {
+				if q.ID == dead.ID {
+					holdouts++
+					break
+				}
+			}
+		}
+		if holdouts == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d nodes still list the dead node after suspicion deadline", holdouts)
+		}
+		h.Advance(3 * tick)
+	}
+
+	// And the dead node's keys now route to its successor.
+	want := peers[5]
+	waitOwner(t, h, ring.Node(peers[0].Addr), dead.ID, want.ID)
+}

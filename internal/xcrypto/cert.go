@@ -117,6 +117,13 @@ func (ca *CA) Issue(node id.ID, addr int64, key PublicKey, expiry time.Duration)
 	return c, nil
 }
 
+// Attest signs an arbitrary statement with the CA key. Dynamic membership
+// uses it to authenticate endpoint announcements, whose endpoint string is
+// not covered by the identity certificate's signature.
+func (ca *CA) Attest(msg []byte) ([]byte, error) {
+	return ca.scheme.Sign(ca.kp, msg)
+}
+
 // Revoke ejects a node from the network by revoking its certificate.
 func (ca *CA) Revoke(node id.ID) {
 	ca.mu.Lock()

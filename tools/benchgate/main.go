@@ -1,0 +1,372 @@
+// Command benchgate is the CI benchmark-regression gate. It has two modes:
+//
+//	benchgate -parse -in bench.txt -out BENCH_<sha>.json
+//	    Parse `go test -bench` output into a JSON snapshot. Repeated runs
+//	    of one benchmark (-count N) are aggregated: ns/op, B/op and
+//	    allocs/op take the MINIMUM across runs (the least-noisy estimate
+//	    of the code's true cost), custom units take the mean (they are
+//	    deterministic under fixed seeds, so min and mean coincide).
+//
+//	benchgate -compare -baseline BENCH_baseline.json -current BENCH_<sha>.json
+//	    Fail (exit 1) when the current snapshot regresses against the
+//	    committed baseline by more than -tolerance (default 0.15):
+//
+//	      - Micro benchmarks (those reporting no custom units) compare
+//	        ns/op as a RATIO to the geometric mean of all micro
+//	        benchmarks' ns/op in the same file, so a baseline recorded on
+//	        one machine remains meaningful on a differently-clocked CI
+//	        runner, and no single noisy benchmark poisons the
+//	        normalization. -anchor <name> normalizes by one benchmark
+//	        instead; -absolute compares raw ns/op (same-machine runs).
+//	      - Experiment benchmarks (those reporting custom units) skip the
+//	        ns/op comparison: their wall time is simulation bookkeeping,
+//	        not a hot path, and their regression signal is the units.
+//	      - B/op and allocs/op are machine-independent and compared
+//	        absolutely; only increases beyond tolerance fail.
+//	      - every other unit is a headline experiment metric (err%,
+//	        leak-bits, …) produced under fixed seeds; a drift beyond
+//	        tolerance in EITHER direction means behaviour changed and
+//	        fails the gate.
+//	      - a benchmark present in the baseline but missing from the
+//	        current snapshot fails the gate (coverage loss).
+//
+// GOMAXPROCS suffixes ("-8") are stripped from benchmark names so
+// snapshots compare across machines with different core counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated numbers.
+type Result struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Runs    int     `json:"runs"`
+	// Units holds every reported unit except ns/op: B/op, allocs/op, and
+	// the experiment benchmarks' custom units.
+	Units map[string]float64 `json:"units,omitempty"`
+}
+
+// Snapshot is the JSON file format.
+type Snapshot struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		parse     = flag.Bool("parse", false, "parse `go test -bench` output into a JSON snapshot")
+		compare   = flag.Bool("compare", false, "compare a current snapshot against a baseline")
+		in        = flag.String("in", "", "parse: benchmark text input (default stdin)")
+		out       = flag.String("out", "", "parse: JSON output path (default stdout)")
+		baseline  = flag.String("baseline", "", "compare: baseline snapshot path")
+		current   = flag.String("current", "", "compare: current snapshot path")
+		tolerance = flag.Float64("tolerance", 0.15, "compare: allowed relative regression")
+		anchor    = flag.String("anchor", "", "compare: normalize ns/op by this one benchmark instead of the micro-benchmark geometric mean")
+		absolute  = flag.Bool("absolute", false, "compare: raw ns/op instead of normalized ratios")
+	)
+	flag.Parse()
+	switch {
+	case *parse == *compare:
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -parse / -compare is required")
+		os.Exit(2)
+	case *parse:
+		if err := runParse(*in, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		failures, err := runCompare(*baseline, *current, *tolerance, *anchor, *absolute)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if failures > 0 {
+			fmt.Printf("benchgate: FAIL — %d regression(s) beyond %.0f%% tolerance\n", failures, *tolerance*100)
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: PASS")
+	}
+}
+
+// benchLine matches one benchmark result line:
+//
+//	BenchmarkName[-8] <iters> <value> <unit> [<value> <unit>]...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// ParseBench reads `go test -bench` text and aggregates it into a Snapshot.
+func ParseBench(r io.Reader) (Snapshot, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	type agg struct {
+		ns    []float64
+		units map[string][]float64
+	}
+	byName := make(map[string]*agg)
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			continue
+		}
+		a := byName[name]
+		if a == nil {
+			a = &agg{units: make(map[string][]float64)}
+			byName[name] = a
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				a.ns = append(a.ns, v)
+			} else {
+				a.units[unit] = append(a.units[unit], v)
+			}
+		}
+	}
+	if len(byName) == 0 {
+		return Snapshot{}, fmt.Errorf("no benchmark lines found in input")
+	}
+	snap := Snapshot{Benchmarks: make(map[string]Result, len(byName))}
+	for name, a := range byName {
+		res := Result{Runs: len(a.ns), Units: make(map[string]float64)}
+		if len(a.ns) > 0 {
+			res.NsPerOp = minOf(a.ns)
+		}
+		for unit, vs := range a.units {
+			switch unit {
+			case "B/op", "allocs/op":
+				res.Units[unit] = minOf(vs)
+			default:
+				res.Units[unit] = meanOf(vs)
+			}
+		}
+		if len(res.Units) == 0 {
+			res.Units = nil
+		}
+		snap.Benchmarks[name] = res
+	}
+	return snap, nil
+}
+
+func minOf(vs []float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func meanOf(vs []float64) float64 {
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+func runParse(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	snap, err := ParseBench(r)
+	if err != nil {
+		return err
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return Snapshot{}, fmt.Errorf("%s: empty snapshot", path)
+	}
+	return s, nil
+}
+
+// isMicro reports whether a result is a micro benchmark: it reports no
+// units beyond the standard time/alloc/throughput set. Experiment
+// benchmarks carry headline custom units and skip the ns/op comparison.
+func isMicro(r Result) bool {
+	for unit := range r.Units {
+		switch unit {
+		case "B/op", "allocs/op", "MB/s":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// geomeanNs returns the geometric mean of ns/op over the named benchmarks.
+func geomeanNs(s Snapshot, names []string) float64 {
+	sum, n := 0.0, 0
+	for _, name := range names {
+		if r, ok := s.Benchmarks[name]; ok && r.NsPerOp > 0 {
+			sum += math.Log(r.NsPerOp)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Compare evaluates current against base and returns the failure messages.
+// Exported (with ParseBench) so the gate's own tests can inject synthetic
+// regressions.
+func Compare(base, cur Snapshot, tolerance float64, anchor string, absolute bool) []string {
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	micro := make([]string, 0, len(base.Benchmarks))
+	for name, r := range base.Benchmarks {
+		names = append(names, name)
+		if _, inCur := cur.Benchmarks[name]; inCur && isMicro(r) {
+			micro = append(micro, name)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(micro)
+
+	// The normalization factor per judged benchmark: one anchor benchmark
+	// when named, otherwise the geometric mean of the OTHER shared micro
+	// benchmarks (leave-one-out — including the judged benchmark in its
+	// own normalizer would dilute its regression by n-th-root, silently
+	// widening the advertised tolerance).
+	normFor := func(name string) (bn, cn float64, kind string, ok bool) {
+		if absolute {
+			return 1, 1, "ns/op", true
+		}
+		if anchor != "" {
+			b, okB := base.Benchmarks[anchor]
+			c, okC := cur.Benchmarks[anchor]
+			if okB && okC && b.NsPerOp > 0 && c.NsPerOp > 0 {
+				return b.NsPerOp, c.NsPerOp, "ns/op (anchor-normalized)", name != anchor
+			}
+			return 1, 1, "ns/op", true // anchor unusable: absolute
+		}
+		others := make([]string, 0, len(micro))
+		for _, m := range micro {
+			if m != name {
+				others = append(others, m)
+			}
+		}
+		bn, cn = geomeanNs(base, others), geomeanNs(cur, others)
+		if bn <= 0 || cn <= 0 {
+			return 1, 1, "ns/op", true // no peers to normalize by: absolute
+		}
+		return bn, cn, "ns/op (geomean-normalized)", true
+	}
+
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fail("%s: present in baseline but missing from current run (coverage loss)", name)
+			continue
+		}
+		// Time, micro benchmarks only. With a single-benchmark anchor,
+		// the anchor cannot be judged against itself (its drift is
+		// absorbed into every other ratio).
+		if bn, cn, kind, judge := normFor(name); judge && isMicro(b) && b.NsPerOp > 0 && c.NsPerOp > 0 {
+			bv, cv := b.NsPerOp/bn, c.NsPerOp/cn
+			if cv > bv*(1+tolerance) {
+				fail("%s: %s regressed %.1f%% (%.4g -> %.4g)", name, kind, (cv/bv-1)*100, bv, cv)
+			}
+		}
+		for unit, bv := range b.Units {
+			cv, ok := c.Units[unit]
+			if !ok {
+				fail("%s: unit %q disappeared from current run", name, unit)
+				continue
+			}
+			switch unit {
+			case "MB/s":
+				// Redundant with ns/op and machine-dependent; skip.
+			case "B/op", "allocs/op":
+				if cv > bv*(1+tolerance) {
+					fail("%s: %s regressed %.1f%% (%g -> %g)", name, unit, (cv/bv-1)*100, bv, cv)
+				}
+			default:
+				// Headline experiment metric under fixed seeds:
+				// drift in either direction is a behaviour change.
+				scale := math.Max(math.Abs(bv), 1e-9)
+				if math.Abs(cv-bv)/scale > tolerance {
+					fail("%s: headline unit %q drifted %.1f%% (%g -> %g)", name, unit,
+						math.Abs(cv-bv)/scale*100, bv, cv)
+				}
+			}
+		}
+	}
+	return failures
+}
+
+func runCompare(baselinePath, currentPath string, tolerance float64, anchor string, absolute bool) (int, error) {
+	if baselinePath == "" || currentPath == "" {
+		return 0, fmt.Errorf("-compare needs -baseline and -current")
+	}
+	base, err := loadSnapshot(baselinePath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := loadSnapshot(currentPath)
+	if err != nil {
+		return 0, err
+	}
+	failures := Compare(base, cur, tolerance, anchor, absolute)
+	for _, f := range failures {
+		fmt.Println("REGRESSION:", f)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("note: %s is new (not in baseline); add it by regenerating BENCH_baseline.json\n", name)
+		}
+	}
+	return len(failures), nil
+}

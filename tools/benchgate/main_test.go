@@ -1,0 +1,182 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+goarch: amd64
+pkg: github.com/octopus-dht/octopus
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCodecEncodeTable-8 	    1000	      1457 ns/op	 233.29 MB/s	    1152 B/op	       6 allocs/op
+BenchmarkCodecEncodeTable-8 	    1000	       654.7 ns/op	 519.34 MB/s	    1152 B/op	       6 allocs/op
+BenchmarkCodecSizeTable-8   	    1000	       139.5 ns/op	     192 B/op	       2 allocs/op
+BenchmarkCodecSizeTable-8   	    1000	       152.3 ns/op	     192 B/op	       2 allocs/op
+BenchmarkChanTransportRPC 	    1000	      9827 ns/op	    2701 B/op	      36 allocs/op
+BenchmarkTable1TimingAnalysis 	       1	    790286 ns/op	       100.0 err%	         0 leak-bits
+PASS
+`
+
+func parseSample(t *testing.T) Snapshot {
+	t.Helper()
+	snap, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatalf("ParseBench: %v", err)
+	}
+	return snap
+}
+
+func TestParseAggregatesAndStripsSuffix(t *testing.T) {
+	snap := parseSample(t)
+	enc, ok := snap.Benchmarks["BenchmarkCodecEncodeTable"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped; have %v", snap.Benchmarks)
+	}
+	if enc.NsPerOp != 654.7 {
+		t.Errorf("ns/op = %v, want the min across runs (654.7)", enc.NsPerOp)
+	}
+	if enc.Runs != 2 {
+		t.Errorf("runs = %d, want 2", enc.Runs)
+	}
+	if enc.Units["B/op"] != 1152 || enc.Units["allocs/op"] != 6 {
+		t.Errorf("alloc units wrong: %v", enc.Units)
+	}
+	tbl := snap.Benchmarks["BenchmarkTable1TimingAnalysis"]
+	if tbl.Units["err%"] != 100.0 || tbl.Units["leak-bits"] != 0 {
+		t.Errorf("custom units wrong: %v", tbl.Units)
+	}
+	if _, err := ParseBench(strings.NewReader("no benchmarks here")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCompareBaselineAgainstItselfPasses(t *testing.T) {
+	snap := parseSample(t)
+	if failures := Compare(snap, snap, 0.15, "", false); len(failures) != 0 {
+		t.Errorf("self-comparison failed the gate: %v", failures)
+	}
+}
+
+// clone deep-copies a snapshot so a test can perturb one benchmark.
+func clone(s Snapshot) Snapshot {
+	out := Snapshot{Benchmarks: make(map[string]Result, len(s.Benchmarks))}
+	for name, r := range s.Benchmarks {
+		cp := r
+		if r.Units != nil {
+			cp.Units = make(map[string]float64, len(r.Units))
+			for u, v := range r.Units {
+				cp.Units[u] = v
+			}
+		}
+		out.Benchmarks[name] = cp
+	}
+	return out
+}
+
+// TestInjectedTimeRegressionFails is the gate's acceptance check: a
+// synthetic >15% ns/op slowdown on one benchmark must fail the comparison,
+// in both anchor-normalized and absolute modes.
+func TestInjectedTimeRegressionFails(t *testing.T) {
+	base := parseSample(t)
+	cur := clone(base)
+	r := cur.Benchmarks["BenchmarkChanTransportRPC"]
+	r.NsPerOp *= 1.30 // 30% slower — well beyond the 15% tolerance
+	cur.Benchmarks["BenchmarkChanTransportRPC"] = r
+
+	for _, mode := range []struct {
+		anchor   string
+		absolute bool
+	}{
+		{"", false},                        // geomean-normalized (the CI default)
+		{"BenchmarkCodecSizeTable", false}, // single-anchor normalization
+		{"", true},                         // absolute
+	} {
+		failures := Compare(base, cur, 0.15, mode.anchor, mode.absolute)
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkChanTransportRPC") {
+			t.Errorf("anchor=%q absolute=%v: injected 30%% regression not caught exactly once: %v",
+				mode.anchor, mode.absolute, failures)
+		}
+	}
+
+	// A 10% slowdown stays inside the tolerance.
+	mild := clone(base)
+	r = mild.Benchmarks["BenchmarkChanTransportRPC"]
+	r.NsPerOp *= 1.10
+	mild.Benchmarks["BenchmarkChanTransportRPC"] = r
+	if failures := Compare(base, mild, 0.15, "", false); len(failures) != 0 {
+		t.Errorf("10%% drift failed a 15%% gate: %v", failures)
+	}
+
+	// Leave-one-out normalization: an 18% single-benchmark regression is
+	// beyond the 15% tolerance and must fail — with the judged benchmark
+	// included in its own geomean it would be diluted below threshold.
+	edge := clone(base)
+	r = edge.Benchmarks["BenchmarkChanTransportRPC"]
+	r.NsPerOp *= 1.18
+	edge.Benchmarks["BenchmarkChanTransportRPC"] = r
+	failures := Compare(base, edge, 0.15, "", false)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkChanTransportRPC") {
+		t.Errorf("18%% regression slipped through the 15%% gate (geomean dilution): %v", failures)
+	}
+}
+
+// TestNormalizationAbsorbsMachineSpeed pins the property that makes a
+// committed baseline portable: a uniformly 2x-slower machine (every ns/op
+// doubled) does not fail the geomean-normalized gate, but would fail an
+// absolute one.
+func TestNormalizationAbsorbsMachineSpeed(t *testing.T) {
+	base := parseSample(t)
+	slow := clone(base)
+	for name, r := range slow.Benchmarks {
+		r.NsPerOp *= 2
+		slow.Benchmarks[name] = r
+	}
+	if failures := Compare(base, slow, 0.15, "", false); len(failures) != 0 {
+		t.Errorf("uniform slowdown failed the normalized gate: %v", failures)
+	}
+	if failures := Compare(base, slow, 0.15, "", true); len(failures) == 0 {
+		t.Error("uniform slowdown passed the absolute gate (expected failures)")
+	}
+}
+
+// TestHeadlineUnitDriftFails: a deterministic experiment metric moving
+// beyond tolerance in either direction is a behaviour change.
+func TestHeadlineUnitDriftFails(t *testing.T) {
+	base := parseSample(t)
+	cur := clone(base)
+	r := cur.Benchmarks["BenchmarkTable1TimingAnalysis"]
+	r.Units["err%"] = 70 // was 100: a 30% drop
+	cur.Benchmarks["BenchmarkTable1TimingAnalysis"] = r
+	failures := Compare(base, cur, 0.15, "", false)
+	if len(failures) != 1 || !strings.Contains(failures[0], "err%") {
+		t.Errorf("headline drift not caught exactly once: %v", failures)
+	}
+}
+
+// TestMissingBenchmarkFails: silently dropping a benchmark from the suite
+// must not pass the gate.
+func TestMissingBenchmarkFails(t *testing.T) {
+	base := parseSample(t)
+	cur := clone(base)
+	delete(cur.Benchmarks, "BenchmarkCodecEncodeTable")
+	failures := Compare(base, cur, 0.15, "", false)
+	if len(failures) != 1 || !strings.Contains(failures[0], "coverage loss") {
+		t.Errorf("missing benchmark not caught: %v", failures)
+	}
+}
+
+// TestAllocRegressionFails: B/op is machine-independent, so any increase
+// beyond tolerance fails even on a differently-clocked runner.
+func TestAllocRegressionFails(t *testing.T) {
+	base := parseSample(t)
+	cur := clone(base)
+	r := cur.Benchmarks["BenchmarkCodecEncodeTable"]
+	r.Units["B/op"] = r.Units["B/op"] * 1.5
+	cur.Benchmarks["BenchmarkCodecEncodeTable"] = r
+	failures := Compare(base, cur, 0.15, "", false)
+	if len(failures) != 1 || !strings.Contains(failures[0], "B/op") {
+		t.Errorf("alloc regression not caught: %v", failures)
+	}
+}
