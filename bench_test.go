@@ -176,6 +176,28 @@ func BenchmarkFig7bCAWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkLoadAnonLookup is the serving-path headline: open-loop load on
+// a deployment served sequentially (the paper's path: α=1, one worker,
+// passive pool) versus concurrently (α=3, 8 workers, managed pool). The
+// custom units are deterministic under the fixed seed, so the benchmark
+// gate pins both throughput ceilings and their ratio.
+func BenchmarkLoadAnonLookup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		seqCfg := experiments.SequentialLoadConfig()
+		seqCfg.N = 100
+		seqCfg.Duration = time.Minute
+		parCfg := experiments.DefaultLoadConfig()
+		parCfg.N = 100
+		parCfg.Duration = time.Minute
+		seq := experiments.RunLoad(seqCfg)
+		par := experiments.RunLoad(parCfg)
+		b.ReportMetric(seq.Throughput, "thr-seq/s")
+		b.ReportMetric(par.Throughput, "thr-par/s")
+		b.ReportMetric(par.Throughput/seq.Throughput, "speedup")
+		b.ReportMetric(par.P95.Seconds(), "p95-s")
+	}
+}
+
 // --- Ablations ---
 
 // BenchmarkAblationDummyPlacement compares target-anonymity leak with and

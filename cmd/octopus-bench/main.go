@@ -8,7 +8,12 @@
 //	octopus-bench [flags] <experiment>
 //
 // Experiments: table1 table2 table3 fig3a fig3b fig3c fig4 fig5a fig5b
-// fig5c fig6 fig7a fig7b fig9 all
+// fig5c fig6 fig7a fig7b fig9 load all
+//
+// `load` goes beyond the paper: it drives a serving deployment with an
+// open-loop arrival process and reports the throughput ceiling and latency
+// percentiles as a function of α (lookup parallelism) and the managed
+// relay-pair pool (see internal/experiments/load.go).
 //
 // The -scale flag shrinks every experiment for quick runs (0.1 ≈ seconds,
 // 1.0 = paper scale).
@@ -45,7 +50,7 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: octopus-bench [-scale f] [-seed n] <%s>", "table1|table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig9|all")
+		return fmt.Errorf("usage: octopus-bench [-scale f] [-seed n] <%s>", "table1|table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig9|load|all")
 	}
 	opt := options{scale: *scale, seed: *seed}
 
@@ -53,12 +58,12 @@ func run(w io.Writer, args []string) error {
 		"table1": table1, "table2": table2, "table3": table3,
 		"fig3a": fig3a, "fig3b": fig3b, "fig3c": fig3c, "fig4": fig4,
 		"fig5a": fig5a, "fig5b": fig5b, "fig5c": fig5c, "fig6": fig6,
-		"fig7a": fig7a, "fig7b": fig7b, "fig9": fig9,
+		"fig7a": fig7a, "fig7b": fig7b, "fig9": fig9, "load": load,
 	}
 	name := fs.Arg(0)
 	if name == "all" {
 		order := []string{"table1", "table2", "table3", "fig3a", "fig3b", "fig3c",
-			"fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "fig9"}
+			"fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "fig9", "load"}
 		for _, n := range order {
 			if err := all[n](w, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
@@ -286,6 +291,41 @@ func fig7b(w io.Writer, opt options) error {
 		res := experiments.RunSecurity(cfg)
 		fmt.Fprintf(w, "-- %s --\n", atk.name)
 		fmt.Fprint(w, res.CAWorkloadSeries().Format("CA messages/s"))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// load sweeps the serving path's throughput ceiling over α and the
+// managed-pool target, at a fixed open-loop offered load.
+func load(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Load: anonymous-lookup serving throughput vs α and pool (open loop) ==")
+	base := experiments.DefaultLoadConfig()
+	base.N = scaled(base.N, opt.scale, 80)
+	base.Duration = scaledDur(base.Duration, opt.scale, 45*time.Second)
+	base.Seed = opt.seed
+	rows := []struct {
+		name                 string
+		alpha, pool, workers int
+	}{
+		{"sequential", 1, 0, 1}, // the paper's one-at-a-time path
+		{"α=1 +pool", 1, 16, 8},
+		{"α=3 -pool", 3, 0, 8},
+		{"α=3 +pool", 3, 16, 8},
+	}
+	fmt.Fprintf(w, "offered %.0f lookups/s over %v, %d nodes, %d serving\n",
+		base.Rate, base.Duration, base.N, base.ServingNodes)
+	fmt.Fprintf(w, "%-12s %-10s %-10s %-9s %-9s %-9s %-9s %s\n",
+		"config", "done/s", "rejected", "p50", "p95", "p99", "wait", "fallback pairs")
+	for _, row := range rows {
+		cfg := base
+		cfg.Alpha, cfg.Pool, cfg.Workers = row.alpha, row.pool, row.workers
+		r := experiments.RunLoad(cfg)
+		fmt.Fprintf(w, "%-12s %-10.2f %-10d %-9s %-9s %-9s %-9s %d\n",
+			row.name, r.Throughput, r.Rejected,
+			r.P50.Round(10*time.Millisecond), r.P95.Round(10*time.Millisecond),
+			r.P99.Round(10*time.Millisecond), r.MeanWait.Round(10*time.Millisecond),
+			r.FallbackPairs)
 	}
 	fmt.Fprintln(w)
 	return nil

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -94,6 +95,14 @@ func main() {
 		queryTO    = flag.Duration("query-timeout", 4*time.Second, "anonymous-query round-trip timeout")
 		dummies    = flag.Int("dummies", 6, "dummy queries per anonymous lookup")
 		relayDelay = flag.Duration("relay-delay-max", 50*time.Millisecond, "max artificial relay delay (timing defense)")
+
+		alpha        = flag.Int("alpha", 3, "α: concurrent table queries per lookup (1 = the paper's sequential schedule)")
+		poolTarget   = flag.Int("pool-target", 16, "relay pairs the managed pool keeps pre-built (0 = passive WalkEvery-only pool)")
+		serveLookups = flag.Bool("serve-lookups", true, "serve ClientLookupReq (0x05xx) from external clients on the bootstrap channel")
+		serveWorkers = flag.Int("serve-workers", 8, "lookup-service worker slots (concurrent client lookups)")
+		serveQueue   = flag.Int("serve-queue", 64, "lookup-service queue depth before clients see backpressure")
+		servePer     = flag.Int("serve-per-client", 16, "queued+running lookups allowed per client IP")
+		serveTO      = flag.Duration("serve-timeout", 60*time.Second, "per-client-lookup service deadline")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -114,6 +123,9 @@ func main() {
 		walkEvery: *walkEvery, stabilize: *stabilize, surveil: *surveil,
 		fixFingers: *fixFingers, rpcTimeout: *rpcTimeout, queryTO: *queryTO,
 		dummies: *dummies, relayDelay: *relayDelay,
+		alpha: *alpha, poolTarget: *poolTarget,
+		serveLookups: *serveLookups, serveWorkers: *serveWorkers,
+		serveQueue: *serveQueue, servePer: *servePer, serveTO: *serveTO,
 	}
 	var err error
 	if *joinVia != "" {
@@ -144,6 +156,14 @@ type daemonOpts struct {
 	queryTO    time.Duration
 	dummies    int
 	relayDelay time.Duration
+
+	alpha        int
+	poolTarget   int
+	serveLookups bool
+	serveWorkers int
+	serveQueue   int
+	servePer     int
+	serveTO      time.Duration
 }
 
 // coreConfig assembles the Octopus configuration shared by both modes.
@@ -159,7 +179,45 @@ func (opts daemonOpts) coreConfig(n int) core.Config {
 	cfg.Chord.SuspectEvery = opts.stabilize
 	cfg.Chord.FixFingersEvery = opts.fixFingers
 	cfg.Chord.RPCTimeout = opts.rpcTimeout
+	cfg.LookupParallelism = opts.alpha
+	cfg.PairPoolTarget = opts.poolTarget
 	return cfg
+}
+
+// newLookupService builds the client-serving lookup service over the
+// process's first local node, or nil when serving is disabled or the
+// process hosts only the CA.
+func (opts daemonOpts) newLookupService(local []*core.Node) *core.LookupService {
+	if !opts.serveLookups || len(local) == 0 {
+		return nil
+	}
+	return core.NewLookupService(local[0], core.ServiceConfig{
+		Workers:   opts.serveWorkers,
+		Queue:     opts.serveQueue,
+		PerClient: opts.servePer,
+	})
+}
+
+// bootstrapDispatcher routes bootstrap-channel frames: ClientLookupReq to
+// the lookup service (blocking this client connection's read goroutine,
+// which is exactly the per-client queue), everything else to the admission
+// relay. A nil service drops lookup requests silently — the client
+// observes a timeout, the transport's universal failure signal.
+func bootstrapDispatcher(svc *core.LookupService, serveTO time.Duration,
+	admission func(string, transport.Message) (transport.Message, bool)) func(string, transport.Message) (transport.Message, bool) {
+	return func(remote string, req transport.Message) (transport.Message, bool) {
+		if m, ok := req.(core.ClientLookupReq); ok {
+			if svc == nil {
+				return nil, false
+			}
+			client := remote
+			if host, _, err := net.SplitHostPort(remote); err == nil {
+				client = host // per-IP quota: ports churn per connection
+			}
+			return svc.ServeClientLookup(client, m, serveTO), true
+		}
+		return admission(remote, req)
+	}
 }
 
 func run(configPath, listen string, opts daemonOpts) error {
@@ -205,7 +263,12 @@ func run(configPath, listen string, opts daemonOpts) error {
 		return fmt.Errorf("no node or CA slots map to %s in %s", listen, configPath)
 	}
 
-	enableDynamicMembership(tr, nw, local, opts)
+	svc := opts.newLookupService(local)
+	enableDynamicMembership(tr, nw, local, svc, opts)
+	if svc != nil {
+		log.Printf("serving client lookups (α=%d, pool target %d, %d workers, queue %d)",
+			opts.alpha, opts.poolTarget, opts.serveWorkers, opts.serveQueue)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -227,7 +290,7 @@ func run(configPath, listen string, opts daemonOpts) error {
 	for {
 		select {
 		case <-ticker.C:
-			logStatus(tr, local)
+			logStatus(tr, local, svc)
 		case s := <-sig:
 			log.Printf("received %v, shutting down", s)
 			return nil
@@ -240,7 +303,8 @@ func run(configPath, listen string, opts daemonOpts) error {
 // (relaying them to the CA) and, when this process hosts the CA, wires the
 // CA's admission hooks to the transport's dynamic endpoint table and the
 // announce broadcast.
-func enableDynamicMembership(tr *nettransport.Transport, nw *core.Network, local []*core.Node, opts daemonOpts) {
+func enableDynamicMembership(tr *nettransport.Transport, nw *core.Network, local []*core.Node,
+	svc *core.LookupService, opts daemonOpts) {
 	caAddr := nw.CA.Addr()
 	caller := caAddr
 	bootstrap := chord.NoPeer
@@ -250,7 +314,8 @@ func enableDynamicMembership(tr *nettransport.Transport, nw *core.Network, local
 	} else if peers := nw.Ring.Peers(); len(peers) > 0 {
 		bootstrap = peers[0] // served by another process; still a valid contact
 	}
-	tr.SetBootstrapHandler(core.NewAdmissionRelay(tr, caller, caAddr, bootstrap, opts.rpcTimeout))
+	tr.SetBootstrapHandler(bootstrapDispatcher(svc, opts.serveTO,
+		core.NewAdmissionRelay(tr, caller, caAddr, bootstrap, opts.rpcTimeout)))
 
 	// CA admission hooks — only on the process that actually serves the
 	// CA, and installed from INSIDE the CA's serialization context: the
@@ -469,8 +534,11 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 	inContext(tr, self.Addr, node.StartProtocols)
 	log.Printf("joined the ring as %s @ slot %d", self.ID, self.Addr)
 
-	// A joined daemon serves future joiners too.
-	tr.SetBootstrapHandler(core.NewAdmissionRelay(tr, self.Addr, adm.CAAddr, self, opts.rpcTimeout))
+	// A joined daemon serves future joiners — and, like a static daemon,
+	// client lookups.
+	svc := opts.newLookupService([]*core.Node{node})
+	tr.SetBootstrapHandler(bootstrapDispatcher(svc, opts.serveTO,
+		core.NewAdmissionRelay(tr, self.Addr, adm.CAAddr, self, opts.rpcTimeout)))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -524,7 +592,7 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 	for {
 		select {
 		case <-ticker.C:
-			logStatus(tr, []*core.Node{node})
+			logStatus(tr, []*core.Node{node}, svc)
 		case s := <-sig:
 			log.Printf("received %v, leaving the ring", s)
 			return leave()
@@ -651,25 +719,31 @@ func oneLookup(tr transport.Transport, node *core.Node, key id.ID) (chord.Peer, 
 	}
 }
 
-func logStatus(tr transport.Transport, local []*core.Node) {
+func logStatus(tr transport.Transport, local []*core.Node, svc *core.LookupService) {
 	var pool int
 	var walks, lookups, queries uint64
 	var sent, recv uint64
 	for _, node := range local {
 		addr := node.Self().Addr
-		inContext(tr, addr, func() {
-			pool += node.PoolSize()
-			s := node.Stats()
-			walks += s.WalksCompleted
-			lookups += s.LookupsCompleted
-			queries += s.QueriesSent
-		})
+		// Stats() and PoolSize() are atomic snapshots — no context hop
+		// needed.
+		pool += node.PoolSize()
+		s := node.Stats()
+		walks += s.WalksCompleted
+		lookups += s.LookupsCompleted
+		queries += s.QueriesSent
 		st := tr.Stats(addr)
 		sent += st.BytesSent
 		recv += st.BytesReceived
 	}
-	log.Printf("status: pool=%d walks=%d lookups=%d queries=%d wire=%s out / %s in",
+	line := fmt.Sprintf("status: pool=%d walks=%d lookups=%d queries=%d wire=%s out / %s in",
 		pool, walks, lookups, queries, fmtBytes(sent), fmtBytes(recv))
+	if svc != nil {
+		ss := svc.Stats()
+		line += fmt.Sprintf(" | served=%d failed=%d busy=%d active=%d queued=%d",
+			ss.Completed, ss.Failed, ss.RejectedQueue+ss.RejectedClient, ss.Active, ss.Queued)
+	}
+	log.Print(line)
 }
 
 func fmtBytes(n uint64) string {

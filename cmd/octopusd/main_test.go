@@ -14,6 +14,11 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"github.com/octopus-dht/octopus/internal/core"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport/nettransport"
 )
 
 // buildOctopusd compiles the daemon binary once per test into dir.
@@ -179,6 +184,106 @@ func TestMultiprocessAnonymousLookup(t *testing.T) {
 	}
 	if !strings.Contains(out, "("+eps[0]+")") {
 		t.Fatalf("lookup owner was not served by process A (%s); output:\n%s", eps[0], out)
+	}
+}
+
+// TestClientLookupService is the acceptance test for the 0x05xx client
+// serving path: two octopusd processes split a TCP ring, and the TEST
+// process — holding no ring slot, running no protocol — drives anonymous
+// lookups through one daemon over a persistent client connection,
+// verifying every answer against the deterministic ground truth.
+func TestClientLookupService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildOctopusd(t, dir)
+
+	eps := freePorts(t, 2)
+	const n = 12
+	const seed = 42
+	rc := ringConfig{Seed: seed, CA: eps[0]}
+	for i := 0; i < n; i++ {
+		rc.Nodes = append(rc.Nodes, eps[i%2])
+	}
+	cfgPath := filepath.Join(dir, "ring.json")
+	raw, _ := json.Marshal(rc)
+	if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
+		t.Fatalf("write config: %v", err)
+	}
+
+	// Ground truth: replay the deterministic bootstrap on the simulator —
+	// identical seed, identical draw order — and read the initial
+	// topology's owner for each key.
+	sim := simnet.New(seed)
+	net0 := simnet.NewNetwork(sim, simnet.ConstantLatency{D: time.Millisecond}, n+1)
+	truth, err := core.BuildNetwork(net0, n, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("ground-truth build: %v", err)
+	}
+
+	start := func(name string, args ...string) (*exec.Cmd, *logSink) {
+		cmd := exec.Command(bin, args...)
+		sink := &logSink{}
+		sink.attach(t, name, cmd)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start process %s: %v", name, err)
+		}
+		return cmd, sink
+	}
+	procA, _ := start("A", "-config", cfgPath, "-listen", eps[0],
+		"-walk-every", "300ms", "-stabilize-every", "500ms")
+	defer func() {
+		procA.Process.Kill()
+		procA.Wait()
+	}()
+	procB, sinkB := start("B", "-config", cfgPath, "-listen", eps[1],
+		"-walk-every", "300ms", "-stabilize-every", "500ms")
+	defer func() {
+		procB.Process.Kill()
+		procB.Wait()
+	}()
+	waitForLog(t, sinkB, "serving client lookups", time.Minute, "service start")
+
+	cc, err := nettransport.DialClient(eps[1], 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial client: %v", err)
+	}
+	defer cc.Close()
+
+	keys := []string{"client-key-one", "client-key-two", "client-key-three"}
+	deadline := time.Now().Add(2 * time.Minute)
+	for i, name := range keys {
+		key := id.FromBytes([]byte(name))
+		want := truth.Ring.OwnerAmong(key)
+		for {
+			resp, err := cc.Call(core.ClientLookupReq{Seq: uint64(i + 1), Key: key}, 90*time.Second)
+			if err != nil {
+				t.Fatalf("client call %d: %v", i, err)
+			}
+			r, ok := resp.(core.ClientLookupResp)
+			if !ok {
+				t.Fatalf("client call %d: response type %T", i, resp)
+			}
+			if r.Seq != uint64(i+1) {
+				t.Fatalf("client call %d: seq %d echoed as %d", i, i+1, r.Seq)
+			}
+			if r.OK {
+				if r.Owner.ID != want.ID {
+					t.Fatalf("lookup %q resolved to %v, ground truth %v", name, r.Owner, want)
+				}
+				// Queries may be 0: keys inside the serving node's own
+				// successor window resolve locally (§4.3).
+				t.Logf("lookup %q verified: owner %s, %d queries + %d dummies, %dµs (+%dµs queued)",
+					name, r.Owner.ID, r.Queries, r.Dummies, r.LatencyMicros, r.WaitMicros)
+				break
+			}
+			// Cold ring or transient failure: retry until the deadline.
+			if time.Now().After(deadline) {
+				t.Fatalf("lookup %q never verified (last: %+v)", name, r)
+			}
+			time.Sleep(time.Second)
+		}
 	}
 }
 

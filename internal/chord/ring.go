@@ -39,6 +39,18 @@ func BuildRing(tr transport.Transport, cfg Config, n int, identFor IdentityFacto
 // other processes over the shared transport. A nil local starts everything.
 func BuildRingLocal(tr transport.Transport, cfg Config, n int, identFor IdentityFactory,
 	local func(transport.Addr) bool) *Ring {
+	r := BuildRingPaused(tr, cfg, n, identFor)
+	r.StartLocal(local)
+	return r
+}
+
+// BuildRingPaused derives the same deterministic topology as BuildRingLocal
+// but starts nothing: no node is bound, no timer runs. Higher layers
+// (internal/core) wire themselves onto the Node structs first — mutating an
+// unstarted node is race-free on concurrent transports, whereas a started
+// node may already be serving RPCs from its serialization context — and
+// then start the nodes via StartLocal.
+func BuildRingPaused(tr transport.Transport, cfg Config, n int, identFor IdentityFactory) *Ring {
 	rng := tr.Rand()
 	ids := make([]id.ID, 0, n)
 	seen := make(map[id.ID]bool, n)
@@ -67,12 +79,17 @@ func BuildRingLocal(tr transport.Transport, cfg Config, n int, identFor Identity
 	for i := range peers {
 		r.installState(r.byAddr[peers[i].Addr], peers, i)
 	}
+	return r
+}
+
+// StartLocal binds and starts every node for which local reports true (all
+// of them when local is nil). It completes a BuildRingPaused build.
+func (r *Ring) StartLocal(local func(transport.Addr) bool) {
 	for _, node := range r.byAddr {
 		if local == nil || local(node.Self.Addr) {
 			node.Start()
 		}
 	}
-	return r
 }
 
 // Peers returns every peer of the deployment's initial topology, sorted by

@@ -196,6 +196,26 @@ func TestCoreMessagesRoundTrip(t *testing.T) {
 	}
 }
 
+// TestClientMessagesRoundTrip covers the 0x05xx client-serving registry.
+func TestClientMessagesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 200; i++ {
+		roundTripCore(t, ClientLookupReq{Seq: rng.Uint64(), Key: id.ID(rng.Uint64())})
+		roundTripCore(t, ClientLookupResp{
+			Seq:           rng.Uint64(),
+			OK:            rng.Intn(2) == 0,
+			Busy:          rng.Intn(2) == 0,
+			Owner:         randPeerC(rng),
+			Queries:       uint16(rng.Intn(1 << 16)),
+			Dummies:       uint16(rng.Intn(1 << 16)),
+			PairsUsed:     uint16(rng.Intn(1 << 16)),
+			Rejected:      uint16(rng.Intn(1 << 16)),
+			LatencyMicros: rng.Uint64(),
+			WaitMicros:    rng.Uint64(),
+		})
+	}
+}
+
 // randCertC builds a random certificate for the membership messages.
 func randCertC(rng *rand.Rand) xcrypto.Certificate {
 	c := xcrypto.Certificate{

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport"
+	"github.com/octopus-dht/octopus/internal/transport/chantransport"
+)
+
+// TestSeededIndexWalkerVerifierAgree pins the phase-2 derivation contract:
+// the delegated walker (runPhaseTwo) and the initiator's verifier
+// (verifyPhaseTwo) must derive the identical hop choice for every (seed,
+// step, width) — the walk protocol is exactly this agreement.
+func TestSeededIndexWalkerVerifierAgree(t *testing.T) {
+	seeds := []int64{0, 1, -1, 424242, math.MaxInt64, math.MinInt64, 0x9e3779b9}
+	for _, seed := range seeds {
+		for step := 1; step <= 8; step++ {
+			for _, width := range []int{1, 2, 3, 7, 16, 101} {
+				a := seededIndex(seed, step, width)
+				b := seededIndex(seed, step, width)
+				if a != b {
+					t.Fatalf("seededIndex(%d, %d, %d) unstable: %d vs %d", seed, step, width, a, b)
+				}
+				if a < 0 || a >= width {
+					t.Fatalf("seededIndex(%d, %d, %d) = %d out of range", seed, step, width, a)
+				}
+			}
+		}
+	}
+	if seededIndex(1, 1, 0) != 0 || seededIndex(1, 1, -3) != 0 {
+		t.Error("degenerate widths must yield 0")
+	}
+}
+
+// TestSeededIndexDecorrelated demonstrates the bug the splitmix64 mix
+// fixes: across many seeds, the choices at adjacent steps must be
+// statistically independent. The old additive derivation (seed +
+// step*0x9e3779b9) made adjacent steps collide far more often than chance.
+func TestSeededIndexDecorrelated(t *testing.T) {
+	const width = 16
+	const trials = 4000
+	for gap := 1; gap <= 2; gap++ {
+		same := 0
+		for s := 0; s < trials; s++ {
+			if seededIndex(int64(s), 1, width) == seededIndex(int64(s), 1+gap, width) {
+				same++
+			}
+		}
+		// Expected collision rate 1/width = 6.25%; allow generous noise.
+		rate := float64(same) / trials
+		if rate > 2.5/width {
+			t.Errorf("steps 1 and %d collide at %.1f%% (want ~%.1f%%): correlated streams", 1+gap, rate*100, 100.0/width)
+		}
+	}
+}
+
+// TestNodeStatsRaceOverlappingLookups is the -race regression test for the
+// stats counters: several anonymous lookups (and one walk cadence) overlap
+// on a single node over the concurrent channel transport while the test
+// goroutine reads Stats() and PoolSize() — exactly the daemon's
+// status-loop access pattern. Before the counters became atomics this
+// raced the moment a lookup and a reader (or two transports' timers)
+// overlapped.
+func TestNodeStatsRaceOverlappingLookups(t *testing.T) {
+	const n = 24
+	tr := chantransport.New(n+1, 11)
+	defer tr.Close()
+	cfg := DefaultConfig()
+	cfg.EstimatedSize = n
+	cfg.WalkEvery = 50 * time.Millisecond
+	cfg.Chord.StabilizeEvery = 50 * time.Millisecond
+	cfg.SurveilEvery = 200 * time.Millisecond
+	cfg.Chord.FixFingersEvery = 200 * time.Millisecond
+	cfg.Chord.RPCTimeout = time.Second
+	cfg.QueryTimeout = 2 * time.Second
+	nw, err := BuildNetwork(tr, n, cfg)
+	if err != nil {
+		t.Fatalf("BuildNetwork: %v", err)
+	}
+	node := nw.Node(0)
+
+	const lookups = 8
+	done := make(chan error, lookups)
+	// All lookups start back-to-back in the node's context, so their
+	// query windows overlap.
+	tr.After(node.Self().Addr, 0, func() {
+		for i := 0; i < lookups; i++ {
+			key := id.ID(uint64(i)*0x9e3779b97f4a7c15 + 7)
+			node.AnonLookup(key, func(_ chord.Peer, _ LookupStats, err error) {
+				done <- err
+			})
+		}
+	})
+
+	// Concurrent readers: the exact access Stats()/PoolSize() must make
+	// safe without entering the node's serialization context.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = node.Stats()
+				_ = node.PoolSize()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	for i := 0; i < lookups; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("lookup %d never completed", i)
+		}
+	}
+	close(stop)
+	st := node.Stats()
+	if st.LookupsStarted != lookups {
+		t.Errorf("LookupsStarted = %d, want %d", st.LookupsStarted, lookups)
+	}
+	if st.LookupsCompleted+st.LookupsFailed != lookups {
+		t.Errorf("completed %d + failed %d != %d", st.LookupsCompleted, st.LookupsFailed, lookups)
+	}
+}
+
+// TestManagedPoolNeverHandsOutEvictedPair pins the managed pool's vetting:
+// once a relay is stopped (left/died) or revoked (evicted by the CA), no
+// pre-built pair containing it may ever be handed to a lookup — and stale
+// pairs age out instead of being served.
+func TestManagedPoolNeverHandsOutEvictedPair(t *testing.T) {
+	sim := simnet.New(21)
+	cfg := DefaultConfig()
+	const n = 50
+	cfg.EstimatedSize = n
+	cfg.WalkEvery = 5 * time.Second
+	cfg.PairPoolTarget = 12
+	net := simnet.NewNetwork(sim, simnet.ConstantLatency{D: 10 * time.Millisecond}, n+1)
+	nw, err := BuildNetwork(net, n, cfg)
+	if err != nil {
+		t.Fatalf("BuildNetwork: %v", err)
+	}
+	node := nw.Node(0)
+	sim.Run(2 * time.Minute)
+	if node.PoolSize() < 4 {
+		t.Fatalf("managed pool stocked only %d pairs", node.PoolSize())
+	}
+
+	// Evict one member of a pooled pair via revocation and stop another
+	// (as a graceful leave / crash would).
+	revoked := node.pool[0].pair.First
+	stopped := node.pool[len(node.pool)-1].pair.Second
+	nw.Dir.Revoke(revoked.ID)
+	if other := nw.Node(stopped.Addr); other != nil && other.Self().ID == stopped.ID {
+		other.Stop()
+	} else {
+		net.SetAlive(stopped.Addr, false)
+	}
+
+	banned := func(p RelayPair) bool {
+		return p.contains(revoked) || p.contains(stopped)
+	}
+	drained := 0
+	for node.PoolSize() > 0 {
+		before := node.PoolSize()
+		pair, err := node.takePair()
+		if err != nil {
+			break
+		}
+		if banned(pair) {
+			t.Fatalf("takePair handed out a pair with an evicted/left member: %+v", pair)
+		}
+		drained++
+		if node.PoolSize() >= before {
+			break // refills outpace the drain; vetting held for a full pass
+		}
+	}
+	if drained == 0 {
+		t.Fatal("drained no pairs at all")
+	}
+
+	// Staleness: age the remaining stock past PairMaxAge without letting
+	// refill walks run, then demand a pair — every aged entry must be
+	// discarded, not served.
+	node.Stop()
+	if len(node.pool) == 0 {
+		node.pool = append(node.pool, pooledPair{
+			pair:  RelayPair{First: nw.Node(2).Self(), Second: nw.Node(3).Self()},
+			added: net.Now(),
+		})
+	}
+	aged := make([]pooledPair, len(node.pool))
+	copy(aged, node.pool)
+	sim.Run(sim.Now() + cfg.PairMaxAge + time.Minute)
+	before := node.Stats().PairsDiscarded
+	if _, err := node.takePair(); err == nil {
+		// Whatever was returned must be freshly synthesized from
+		// fingers, not one of the aged entries.
+		if node.Stats().PairsDiscarded < before+uint64(len(aged)) {
+			t.Errorf("aged pairs not discarded: %d -> %d (had %d)",
+				before, node.Stats().PairsDiscarded, len(aged))
+		}
+	}
+}
+
+var _ = transport.NoAddr

@@ -58,6 +58,27 @@ type Config struct {
 	RelayDelayMax time.Duration
 	// MaxLookupQueries aborts anonymous lookups that stop converging.
 	MaxLookupQueries int
+	// LookupParallelism is α, the number of table queries one lookup keeps
+	// in flight (Kademlia-style iterative parallelism). At α = 1 the
+	// engine degenerates to the paper's strictly sequential lookup — the
+	// experiments pin 1 to stay faithful to §6's one-query-at-a-time
+	// measurements — while a serving deployment overlaps queries to hide
+	// per-hop latency. Zero means 1.
+	LookupParallelism int
+	// PairPoolTarget, when positive, turns the relay-pair pool into a
+	// managed stock: background walks are launched on demand to keep at
+	// least this many pre-built pairs ready, and pairs are vetted for
+	// freshness and member liveness before being handed out. Zero keeps
+	// the paper's passive pool (stocked only by the WalkEvery timer, no
+	// vetting) — required for bit-identical seeded experiment runs.
+	PairPoolTarget int
+	// PairMaxAge bounds how stale a pooled pair may be before a managed
+	// pool (PairPoolTarget > 0) discards it instead of handing it out: a
+	// relay selected long ago may have churned away. Zero means 5 minutes.
+	PairMaxAge time.Duration
+	// PairRefillParallel caps the walks a managed pool keeps in flight
+	// while refilling. Zero means 4.
+	PairRefillParallel int
 	// DoSDefense arms the Appendix II dropped-query reporting: a query
 	// that times out while all four path relays answer pings is reported
 	// to the CA for a receipt-trail investigation.
@@ -72,19 +93,22 @@ type Config struct {
 // DefaultConfig returns the paper's §5.1 parameters.
 func DefaultConfig() Config {
 	return Config{
-		Chord:            defaultChordConfig(),
-		WalkLength:       3,
-		WalkEvery:        15 * time.Second,
-		SurveilEvery:     60 * time.Second,
-		Dummies:          6,
-		ProofQueue:       6,
-		TableBuffer:      16,
-		RelayPoolMax:     32,
-		QueryTimeout:     4 * time.Second,
-		RelayDelayMax:    100 * time.Millisecond,
-		MaxLookupQueries: 64,
-		EstimatedSize:    1000,
-		BoundFactor:      8,
+		Chord:             defaultChordConfig(),
+		WalkLength:        3,
+		WalkEvery:         15 * time.Second,
+		SurveilEvery:      60 * time.Second,
+		Dummies:           6,
+		ProofQueue:        6,
+		TableBuffer:       16,
+		RelayPoolMax:      32,
+		QueryTimeout:      4 * time.Second,
+		RelayDelayMax:     100 * time.Millisecond,
+		MaxLookupQueries:  64,
+		LookupParallelism: 3,
+		PairPoolTarget:    16,
+		PairMaxAge:        5 * time.Minute,
+		EstimatedSize:     1000,
+		BoundFactor:       8,
 	}
 }
 

@@ -69,7 +69,10 @@ func TestAnonQueryRoundTrip(t *testing.T) {
 }
 
 func TestAnonQueryHidesInitiator(t *testing.T) {
-	nw := buildTestNet(t, 2, 40, nil)
+	// Passive pool: managed walk-ahead refills contact their first hop
+	// directly (Appendix I), which would show up as initiator traffic in
+	// the observation below.
+	nw := buildTestNet(t, 2, 40, func(cfg *Config) { cfg.PairPoolTarget = 0 })
 	initiator := nw.Node(0)
 	head := RelayPair{First: nw.Node(1).Self(), Second: nw.Node(2).Self()}
 	pair := RelayPair{First: nw.Node(3).Self(), Second: nw.Node(4).Self()}
@@ -205,9 +208,9 @@ func TestWalkPhaseTwoHonestRoundTrip(t *testing.T) {
 	// filter must reject such pairs (and degenerate ones).
 	node.addPair(RelayPair{First: node.Self(), Second: nw.Node(1).Self()})
 	node.addPair(RelayPair{First: nw.Node(2).Self(), Second: nw.Node(2).Self()})
-	for _, p := range node.pool {
-		if p.contains(node.Self()) || p.First.ID == p.Second.ID {
-			t.Errorf("pool accepted a degenerate pair: %+v", p)
+	for _, e := range node.pool {
+		if e.pair.contains(node.Self()) || e.pair.First.ID == e.pair.Second.ID {
+			t.Errorf("pool accepted a degenerate pair: %+v", e.pair)
 		}
 	}
 }
@@ -253,6 +256,7 @@ func TestAnonLookupNeverRevealsKeyOrInitiator(t *testing.T) {
 		cfg.WalkEvery = time.Hour
 		cfg.SurveilEvery = time.Hour
 		cfg.Chord.FixFingersEvery = time.Hour
+		cfg.PairPoolTarget = 0 // demand refills would walk (and thus query) directly
 	})
 	nw.Sim.Run(10 * time.Second)
 	node := nw.Node(0)

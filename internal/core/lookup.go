@@ -55,9 +55,19 @@ type DirectLookupResult struct {
 // Octopus the tables additionally carry the successor list (§4.3), which
 // both speeds up the final hops and makes every answer a signed, verifiable
 // claim.
+//
+// The engine keeps up to alpha queries in flight (Kademlia-style iterative
+// parallelism): each response re-fills the window from the best unqueried
+// candidates, late responses arriving after the lookup finished are
+// discarded, and a node is never queried twice. At alpha = 1 the schedule
+// is exactly the paper's sequential lookup — one query, absorb, next query
+// — so seeded simulator runs are unchanged.
 type tableLookup struct {
 	n              *Node
 	key            id.ID
+	alpha          int
+	inFlight       int
+	finished       bool
 	known          map[id.ID]chord.Peer
 	source         map[id.ID]chord.RoutingTable
 	queried        map[id.ID]bool
@@ -82,9 +92,14 @@ type tableLookup struct {
 func (n *Node) newTableLookup(key id.ID,
 	send func(chord.Peer, func(transport.Message, error)) bool,
 	finish func(chord.Peer, DirectLookupResult, error)) *tableLookup {
+	alpha := n.cfg.LookupParallelism
+	if alpha < 1 {
+		alpha = 1
+	}
 	tl := &tableLookup{
 		n:              n,
 		key:            key,
+		alpha:          alpha,
 		known:          make(map[id.ID]chord.Peer),
 		source:         make(map[id.ID]chord.RoutingTable),
 		queried:        make(map[id.ID]bool),
@@ -170,7 +185,13 @@ func (tl *tableLookup) absorb(from chord.Peer, t chord.RoutingTable) {
 	}
 }
 
+// step fills the query window up to alpha and decides termination. It runs
+// once at launch and once after every response; with alpha = 1 each call
+// issues at most one query, reproducing the sequential schedule exactly.
 func (tl *tableLookup) step() {
+	if tl.finished {
+		return
+	}
 	if tl.stats.Queries == 0 {
 		// Keys within the local successor window resolve without any
 		// queries — essential for low finger slots, whose ideal
@@ -180,49 +201,86 @@ func (tl *tableLookup) step() {
 			return
 		}
 	}
-	if tl.stats.Queries >= tl.n.cfg.MaxLookupQueries {
-		tl.done(chord.NoPeer, ErrLookupExhausted)
-		return
-	}
-	next, ok := tl.bestUnqueried()
-	if !ok {
-		if !tl.ownerFound {
-			tl.done(chord.NoPeer, ErrLookupNoRoute)
+	for tl.inFlight < tl.alpha {
+		if tl.stats.Queries >= tl.n.cfg.MaxLookupQueries {
+			if tl.inFlight == 0 {
+				tl.done(chord.NoPeer, ErrLookupExhausted)
+			}
 			return
 		}
-		tl.done(tl.ownerBest, nil)
-		return
+		next, ok := tl.bestUnqueried()
+		if !ok {
+			if tl.inFlight > 0 {
+				// Outstanding queries may still widen the candidate
+				// set; re-evaluate when they answer.
+				return
+			}
+			if !tl.ownerFound {
+				tl.done(chord.NoPeer, ErrLookupNoRoute)
+				return
+			}
+			tl.done(tl.ownerBest, nil)
+			return
+		}
+		if !tl.issue(next) {
+			if tl.inFlight == 0 {
+				tl.done(chord.NoPeer, ErrNoRelays)
+			}
+			return
+		}
 	}
+}
+
+// issue sends one query to next and wires its response back into the
+// engine. It reports whether the query could be sent at all.
+func (tl *tableLookup) issue(next chord.Peer) bool {
 	tl.queried[next.ID] = true
 	tl.stats.Queries++
 	tl.stats.Queried = append(tl.stats.Queried, next)
+	tl.inFlight++
 	sent := tl.send(next, func(resp transport.Message, err error) {
+		tl.inFlight--
+		if tl.finished {
+			return // late response: the lookup already concluded
+		}
 		if err == nil {
-			if r, ok := resp.(chord.GetTableResp); ok {
-				table := r.Table
-				if table.Owner.ID != next.ID ||
-					(tl.n.dir != nil && !tl.n.dir.VerifyTable(table)) {
-					// Wrong responder (address reuse after churn)
-					// or bad signature: discard.
-					tl.stats.Rejected++
-				} else {
-					if id.StrictBetween(next.ID, tl.closestQueried.ID, tl.key) {
-						tl.closestQueried = next
-					}
-					tl.absorb(next, table)
-					tl.recordOwnerCandidate(table)
-					tl.n.bufferTable(table)
-				}
-			}
+			tl.handleResponse(next, resp)
 		}
 		tl.step()
 	})
 	if !sent {
-		tl.done(chord.NoPeer, ErrNoRelays)
+		tl.inFlight--
 	}
+	return sent
+}
+
+// handleResponse verifies and absorbs one queried node's signed table.
+func (tl *tableLookup) handleResponse(next chord.Peer, resp transport.Message) {
+	r, ok := resp.(chord.GetTableResp)
+	if !ok {
+		return
+	}
+	table := r.Table
+	if table.Owner.ID != next.ID ||
+		(tl.n.dir != nil && !tl.n.dir.VerifyTable(table)) {
+		// Wrong responder (address reuse after churn) or bad
+		// signature: discard.
+		tl.stats.Rejected++
+		return
+	}
+	if id.StrictBetween(next.ID, tl.closestQueried.ID, tl.key) {
+		tl.closestQueried = next
+	}
+	tl.absorb(next, table)
+	tl.recordOwnerCandidate(table)
+	tl.n.bufferTable(table)
 }
 
 func (tl *tableLookup) done(owner chord.Peer, err error) {
+	if tl.finished {
+		return
+	}
+	tl.finished = true
 	tl.stats.Finished = tl.n.tr.Now()
 	res := DirectLookupResult{Owner: owner}
 	if owner.Valid() {
@@ -246,7 +304,7 @@ func (tl *tableLookup) done(owner chord.Peer, err error) {
 // GetTableReq (the key never leaves the initiator), and dummy queries are
 // interleaved to blunt range estimation. cb is invoked exactly once.
 func (n *Node) AnonLookup(key id.ID, cb func(chord.Peer, LookupStats, error)) {
-	n.stats.LookupsStarted++
+	n.stats.lookupsStarted.Add(1)
 	head, err := n.takePair()
 	for tries := 0; err == nil && head.contains(n.Chord.Self) && tries < 4; tries++ {
 		head, err = n.takePair()
@@ -255,7 +313,7 @@ func (n *Node) AnonLookup(key id.ID, cb func(chord.Peer, LookupStats, error)) {
 		err = ErrNoRelays
 	}
 	if err != nil {
-		n.stats.LookupsFailed++
+		n.stats.lookupsFailed.Add(1)
 		cb(chord.NoPeer, LookupStats{Started: n.tr.Now(), Finished: n.tr.Now()}, err)
 		return
 	}
@@ -285,9 +343,9 @@ func (n *Node) AnonLookup(key id.ID, cb func(chord.Peer, LookupStats, error)) {
 		}
 		tl.stats.PairsUsed++ // the head pair
 		if err != nil {
-			n.stats.LookupsFailed++
+			n.stats.lookupsFailed.Add(1)
 		} else {
-			n.stats.LookupsCompleted++
+			n.stats.lookupsCompleted.Add(1)
 		}
 		cb(owner, tl.stats, err)
 	})
@@ -314,7 +372,7 @@ func (n *Node) sendDummy(head RelayPair, tl *tableLookup) {
 	target := candidates[n.tr.Rand().Intn(len(candidates))]
 	tl.stats.Dummies++
 	tl.stats.PairsUsed++
-	n.stats.DummiesSent++
+	n.stats.dummiesSent.Add(1)
 	n.anonQuery(head, pair, target, chord.GetTableReq{IncludeSuccessors: true},
 		func(transport.Message, error) {}) // dummy answers are discarded
 }

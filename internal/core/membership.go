@@ -687,8 +687,8 @@ func (n *Node) handleAnnounce(m EndpointAnnounce) {
 // grant with the CA's address and a live bootstrap peer. The handler runs
 // on a connection read goroutine and blocks for at most timeout.
 func NewAdmissionRelay(tr transport.Transport, caller, caAddr transport.Addr,
-	bootstrap chord.Peer, timeout time.Duration) func(transport.Message) (transport.Message, bool) {
-	return func(req transport.Message) (transport.Message, bool) {
+	bootstrap chord.Peer, timeout time.Duration) func(string, transport.Message) (transport.Message, bool) {
+	return func(_ string, req transport.Message) (transport.Message, bool) {
 		m, ok := req.(RingAdmitReq)
 		if !ok {
 			return nil, false

@@ -62,7 +62,11 @@ func BuildNetworkLocal(tr transport.Transport, n int, cfg Config,
 	chordCfg.SignTables = true
 	chordCfg.DisableFingerUpdates = true
 	identFor := NewIdentityFactory(dir, auth, tr.Rand())
-	ring := chord.BuildRingLocal(tr, chordCfg, n, identFor, local)
+	// The ring is built paused: on a concurrent transport a started node
+	// is already serving RPCs from its serialization context, so the core
+	// wrap below (which mutates the chord node) must happen before any
+	// node goes live.
+	ring := chord.BuildRingPaused(tr, chordCfg, n, identFor)
 
 	caAddr := transport.Addr(n)
 	ca := NewCA(tr, caAddr, dir, auth)
@@ -79,11 +83,21 @@ func BuildNetworkLocal(tr transport.Transport, n int, cfg Config,
 		if local != nil && !local(cn.Self.Addr) {
 			continue
 		}
-		node := New(cn, cfg, caAddr, dir)
-		node.StartProtocols()
-		nw.Nodes[i] = node
+		nw.Nodes[i] = New(cn, cfg, caAddr, dir)
 	}
 	ca.OnRevoke = func(p chord.Peer, _ ReportKind) { nw.Eject(p) }
+	ring.StartLocal(local)
+	for _, node := range nw.Nodes {
+		if node == nil {
+			continue
+		}
+		node := node
+		// Octopus timers start from inside the host's serialization
+		// context: the chord layer is live by now, so a plain
+		// StartProtocols call from the builder goroutine would race
+		// with traffic already being served.
+		tr.After(node.Chord.Self.Addr, 0, node.StartProtocols)
+	}
 	return nw, nil
 }
 

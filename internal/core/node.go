@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/chord"
@@ -18,7 +19,17 @@ type RelayPair struct {
 // Valid reports whether both relays are set.
 func (p RelayPair) Valid() bool { return p.First.Valid() && p.Second.Valid() }
 
-// NodeStats counts protocol activity for the experiment harness.
+// pooledPair is one stocked relay pair plus the time its walk completed,
+// so a managed pool can refuse to hand out stale selections.
+type pooledPair struct {
+	pair  RelayPair
+	added time.Duration
+}
+
+// NodeStats counts protocol activity for the experiment harness. It is a
+// plain snapshot; the live counters are atomics (see nodeCounters) so
+// Stats() may be called from any goroutine while lookups, walks, and relay
+// traffic run in the node's serialization context.
 type NodeStats struct {
 	LookupsStarted   uint64
 	LookupsCompleted uint64
@@ -33,6 +44,54 @@ type NodeStats struct {
 	ChecksRun        uint64
 	RelayedForwards  uint64
 	RelayedReplies   uint64
+	// RefillWalks counts walks launched by the managed pool's walk-ahead
+	// refill (on top of the WalkEvery timer's).
+	RefillWalks uint64
+	// PairsDiscarded counts pooled pairs dropped by the managed pool's
+	// freshness/liveness vetting instead of being handed out.
+	PairsDiscarded uint64
+}
+
+// nodeCounters is the live, concurrency-safe form of NodeStats. Counters
+// are bumped from the node's serialization context but read by daemons,
+// services, and tests from arbitrary goroutines; atomics make that safe
+// without dragging a lock into the protocol hot path.
+type nodeCounters struct {
+	lookupsStarted   atomic.Uint64
+	lookupsCompleted atomic.Uint64
+	lookupsFailed    atomic.Uint64
+	queriesSent      atomic.Uint64
+	dummiesSent      atomic.Uint64
+	walksStarted     atomic.Uint64
+	walksCompleted   atomic.Uint64
+	walksFailed      atomic.Uint64
+	reportsSent      atomic.Uint64
+	fallbackPairs    atomic.Uint64
+	checksRun        atomic.Uint64
+	relayedForwards  atomic.Uint64
+	relayedReplies   atomic.Uint64
+	refillWalks      atomic.Uint64
+	pairsDiscarded   atomic.Uint64
+}
+
+func (c *nodeCounters) snapshot() NodeStats {
+	return NodeStats{
+		LookupsStarted:   c.lookupsStarted.Load(),
+		LookupsCompleted: c.lookupsCompleted.Load(),
+		LookupsFailed:    c.lookupsFailed.Load(),
+		QueriesSent:      c.queriesSent.Load(),
+		DummiesSent:      c.dummiesSent.Load(),
+		WalksStarted:     c.walksStarted.Load(),
+		WalksCompleted:   c.walksCompleted.Load(),
+		WalksFailed:      c.walksFailed.Load(),
+		ReportsSent:      c.reportsSent.Load(),
+		FallbackPairs:    c.fallbackPairs.Load(),
+		ChecksRun:        c.checksRun.Load(),
+		RelayedForwards:  c.relayedForwards.Load(),
+		RelayedReplies:   c.relayedReplies.Load(),
+		RefillWalks:      c.refillWalks.Load(),
+		PairsDiscarded:   c.pairsDiscarded.Load(),
+	}
 }
 
 // backRoute is per-relay reverse-path state for one query.
@@ -74,7 +133,14 @@ type Node struct {
 	receipts   map[uint64]Receipt
 	statements map[uint64][]WitnessResp
 
-	pool        []RelayPair
+	// pool stocks unused relay pairs (host-context only; poolGauge
+	// mirrors its size for cross-goroutine observers). refills and
+	// refillWait drive the managed pool's walk-ahead restocking.
+	pool       []pooledPair
+	poolGauge  atomic.Int64
+	refills    int
+	refillWait bool
+
 	proofQueue  []chord.RoutingTable
 	tableBuffer []chord.RoutingTable
 	// fingerProv records, keyed by the installed finger's identifier,
@@ -84,7 +150,7 @@ type Node struct {
 	// the deceiver.
 	fingerProv map[id.ID]chord.RoutingTable
 
-	stats NodeStats
+	stats nodeCounters
 	stops []func()
 
 	// DropFilter, when set, makes this node a selective-DoS relay: any
@@ -138,14 +204,16 @@ func New(cn *chord.Node, cfg Config, caAddr transport.Addr, dir *Directory) *Nod
 // Self returns the node's peer identity.
 func (n *Node) Self() chord.Peer { return n.Chord.Self }
 
-// Stats returns a copy of the activity counters.
-func (n *Node) Stats() NodeStats { return n.stats }
+// Stats returns a snapshot of the activity counters. Safe from any
+// goroutine.
+func (n *Node) Stats() NodeStats { return n.stats.snapshot() }
 
 // Config returns the node's configuration.
 func (n *Node) Config() Config { return n.cfg }
 
-// PoolSize reports the number of unused relay pairs.
-func (n *Node) PoolSize() int { return len(n.pool) }
+// PoolSize reports the number of unused relay pairs. Safe from any
+// goroutine (it reads a gauge mirroring the host-context pool).
+func (n *Node) PoolSize() int { return int(n.poolGauge.Load()) }
 
 // Start launches the Chord layer plus Octopus's periodic machinery.
 func (n *Node) Start() {
@@ -156,14 +224,21 @@ func (n *Node) Start() {
 // StartProtocols launches only the Octopus-level timers (relay-selection
 // walks, both surveillance checks, secured finger updates); the Chord layer
 // must already be running. Builders that start the Chord ring first use
-// this entry point.
+// this entry point. On a node whose Chord layer has already been stopped
+// (ejected before its deferred start fired) it is a no-op.
 func (n *Node) StartProtocols() {
+	if !n.Chord.Running() {
+		return
+	}
 	n.stops = append(n.stops,
 		n.tr.Every(n.Chord.Self.Addr, n.cfg.WalkEvery, n.startWalk),
 		n.tr.Every(n.Chord.Self.Addr, n.cfg.SurveilEvery, n.neighborSurveillance),
 		n.tr.Every(n.Chord.Self.Addr, n.cfg.SurveilEvery, n.fingerSurveillance),
 		n.tr.Every(n.Chord.Self.Addr, n.cfg.Chord.FixFingersEvery, n.secureFingerUpdate),
 	)
+	// A managed pool starts stocking immediately instead of waiting for
+	// the first WalkEvery tick.
+	n.maintainPool()
 }
 
 // Stop halts all timers and the Chord layer.
@@ -217,14 +292,122 @@ func (n *Node) bufferTable(t chord.RoutingTable) {
 
 // addPair stocks a freshly selected relay pair. Pairs containing the node
 // itself are useless as anonymization relays (a walk can circle back) and
-// are discarded.
-func (n *Node) addPair(p RelayPair) {
+// are discarded. It reports whether the pool grew.
+func (n *Node) addPair(p RelayPair) bool {
 	if !p.Valid() || p.contains(n.Chord.Self) || p.First.ID == p.Second.ID {
+		return false
+	}
+	if len(n.pool) >= n.cfg.RelayPoolMax {
+		return false
+	}
+	n.pool = append(n.pool, pooledPair{pair: p, added: n.tr.Now()})
+	n.poolGauge.Store(int64(len(n.pool)))
+	return true
+}
+
+// popPair removes and returns the most recently stocked pair.
+func (n *Node) popPair() pooledPair {
+	e := n.pool[len(n.pool)-1]
+	n.pool = n.pool[:len(n.pool)-1]
+	n.poolGauge.Store(int64(len(n.pool)))
+	return e
+}
+
+// restock returns rejected-but-usable pairs to the pool unchanged (their
+// original selection times survive the round trip).
+func (n *Node) restock(es []pooledPair) {
+	n.pool = append(n.pool, es...)
+	n.poolGauge.Store(int64(len(n.pool)))
+}
+
+// pairUsable vets a pooled pair before it is handed out. The paper's
+// passive pool (PairPoolTarget == 0) hands out every stocked pair, which
+// keeps seeded experiment runs bit-identical; a managed pool additionally
+// refuses pairs that are stale, contain a dead/stopped member, or contain
+// a member whose certificate has been revoked — a pre-built pair must
+// never resurrect an evicted or departed relay.
+func (n *Node) pairUsable(e pooledPair) bool {
+	if n.cfg.PairPoolTarget <= 0 {
+		return true
+	}
+	maxAge := n.cfg.PairMaxAge
+	if maxAge <= 0 {
+		maxAge = 5 * time.Minute
+	}
+	if n.tr.Now()-e.added > maxAge {
+		return false
+	}
+	for _, p := range [2]chord.Peer{e.pair.First, e.pair.Second} {
+		if !n.tr.Alive(p.Addr) {
+			return false
+		}
+		if n.dir != nil && n.dir.Revoked(p.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+// maintainPool is the managed pool's walk-ahead restocking (Appendix I run
+// on demand): whenever the stock plus the walks already in flight fall
+// short of PairPoolTarget, launch more relay-selection walks immediately
+// instead of waiting for the next WalkEvery tick. Anonymous lookups then
+// draw pre-built pairs rather than paying a 2l-hop walk (or degrading to
+// fallback pairs) under load. Runs in the host's serialization context.
+func (n *Node) maintainPool() {
+	target := n.cfg.PairPoolTarget
+	if target <= 0 || !n.Chord.Running() {
 		return
 	}
-	if len(n.pool) < n.cfg.RelayPoolMax {
-		n.pool = append(n.pool, p)
+	limit := n.cfg.PairRefillParallel
+	if limit <= 0 {
+		limit = 4
 	}
+	// refillWait gates the loop itself, not just re-entry: runWalk fails
+	// SYNCHRONOUSLY when the finger table is empty (a just-admitted
+	// joiner, or a node whose fingers all churned away), and without the
+	// gate the loop would relaunch the failed walk forever inside the
+	// host's serialization context — wedging the actor so the very
+	// repairs that would refill the fingers could never run.
+	for !n.refillWait && len(n.pool)+n.refills < target && n.refills < limit {
+		n.refills++
+		n.stats.refillWalks.Add(1)
+		n.stats.walksStarted.Add(1)
+		n.runWalk(func(res walkResult, err error) {
+			n.refills--
+			for _, t := range res.tables {
+				n.bufferTable(t)
+			}
+			grew := false
+			if err != nil {
+				n.stats.walksFailed.Add(1)
+			} else {
+				n.stats.walksCompleted.Add(1)
+				grew = n.addPair(res.pair)
+			}
+			if grew {
+				n.maintainPool()
+				return
+			}
+			// A failed walk (or one whose pair was rejected) must not
+			// relaunch back-to-back — an unstocked bootstrap ring would
+			// spin. Retry after one walk period.
+			n.pauseRefill()
+		})
+	}
+}
+
+// pauseRefill schedules one delayed maintainPool retry, coalescing
+// concurrent failures into a single timer.
+func (n *Node) pauseRefill() {
+	if n.refillWait {
+		return
+	}
+	n.refillWait = true
+	n.tr.After(n.Chord.Self.Addr, n.cfg.WalkEvery, func() {
+		n.refillWait = false
+		n.maintainPool()
+	})
 }
 
 // overlaps reports whether two relay pairs (or a pair and the initiator)
@@ -241,40 +424,68 @@ func (p RelayPair) contains(id0 chord.Peer) bool {
 }
 
 // takePairDisjoint pops a relay pair disjoint from `head` and from the
-// initiator itself. Pool pairs are preferred (rejected ones go back);
-// when the pool runs dry a pair is synthesized from the node's distinct
-// fingers, explicitly excluding the head's members.
+// initiator itself. Pool pairs are preferred (rejected ones go back,
+// unusable ones are dropped); when the pool runs dry a pair is synthesized
+// from the node's distinct fingers, explicitly excluding the head's
+// members.
 func (n *Node) takePairDisjoint(head RelayPair) (RelayPair, error) {
 	if head.contains(n.Chord.Self) {
 		return RelayPair{}, ErrNoRelays
 	}
-	var rejected []RelayPair
-	defer func() { n.pool = append(n.pool, rejected...) }()
+	var rejected []pooledPair
+	defer func() {
+		n.restock(rejected)
+		n.maintainPool()
+	}()
 	for tries := 0; tries < 8 && len(n.pool) > 0; tries++ {
-		p := n.pool[len(n.pool)-1]
-		n.pool = n.pool[:len(n.pool)-1]
-		if !p.overlaps(head) && !p.contains(n.Chord.Self) {
-			return p, nil
+		e := n.popPair()
+		if !n.pairUsable(e) {
+			n.stats.pairsDiscarded.Add(1)
+			continue
 		}
-		rejected = append(rejected, p)
+		if !e.pair.overlaps(head) && !e.pair.contains(n.Chord.Self) {
+			return e.pair, nil
+		}
+		rejected = append(rejected, e)
 	}
 	return n.synthPair(head)
 }
 
 // synthPair builds a fallback pair from the node's distinct fingers,
 // excluding the given pair's members. It sacrifices relay independence and
-// is counted in stats (used only when the walk-fed pool runs dry).
+// is counted in stats (used only when the walk-fed pool runs dry). A
+// managed pool (PairPoolTarget > 0) additionally draws on the successor
+// and predecessor lists: a small ring has only a handful of distinct
+// fingers, and a serving node must degrade to weaker relays rather than
+// fail lookups outright while its refill walks catch up. (The passive
+// paper-mode candidate set is untouched so seeded experiment runs replay
+// exactly.)
 func (n *Node) synthPair(exclude RelayPair) (RelayPair, error) {
 	seen := map[id.ID]bool{
 		n.Chord.Self.ID:  true,
 		exclude.First.ID: true, exclude.Second.ID: true,
 	}
+	managed := n.cfg.PairPoolTarget > 0
 	var candidates []chord.Peer
-	for _, f := range n.Chord.Fingers() {
-		if f.Valid() && !seen[f.ID] {
+	add := func(ps []chord.Peer) {
+		for _, f := range ps {
+			if !f.Valid() || seen[f.ID] {
+				continue
+			}
 			seen[f.ID] = true
+			// The same vetting the pool applies: a fallback relay must
+			// not be a stopped or revoked node either. (Managed mode
+			// only, like all vetting, to keep paper-mode runs exact.)
+			if managed && (!n.tr.Alive(f.Addr) || (n.dir != nil && n.dir.Revoked(f.ID))) {
+				continue
+			}
 			candidates = append(candidates, f)
 		}
+	}
+	add(n.Chord.Fingers())
+	if managed {
+		add(n.Chord.Successors())
+		add(n.Chord.Predecessors())
 	}
 	if len(candidates) < 2 {
 		return RelayPair{}, ErrNoRelays
@@ -285,7 +496,7 @@ func (n *Node) synthPair(exclude RelayPair) (RelayPair, error) {
 	if j >= i {
 		j++
 	}
-	n.stats.FallbackPairs++
+	n.stats.fallbackPairs.Add(1)
 	return RelayPair{First: candidates[i], Second: candidates[j]}, nil
 }
 
@@ -308,19 +519,34 @@ func (n *Node) peekPairDisjoint(head RelayPair) (RelayPair, error) {
 // across queries, so reusing walk-produced pairs is safe and keeps the pool
 // from starving (real lookups still consume single-use pairs via takePair).
 func (n *Node) peekPair() (RelayPair, error) {
-	if len(n.pool) > 0 {
-		return n.pool[n.tr.Rand().Intn(len(n.pool))], nil
+	for len(n.pool) > 0 {
+		i := n.tr.Rand().Intn(len(n.pool))
+		e := n.pool[i]
+		if n.pairUsable(e) {
+			return e.pair, nil
+		}
+		// Vetting failed: remove the dead entry (order is irrelevant for
+		// random peeks) and redraw.
+		n.stats.pairsDiscarded.Add(1)
+		n.pool[i] = n.pool[len(n.pool)-1]
+		n.pool = n.pool[:len(n.pool)-1]
+		n.poolGauge.Store(int64(len(n.pool)))
 	}
 	return n.takePair() // fallback synthesizes from fingers
 }
 
 // takePair pops a relay pair from the pool; when the pool is dry it falls
-// back to synthesizing one from the node's own fingers.
+// back to synthesizing one from the node's own fingers. In managed mode
+// (PairPoolTarget > 0) every consumed pair triggers walk-ahead restocking.
 func (n *Node) takePair() (RelayPair, error) {
-	if len(n.pool) > 0 {
-		p := n.pool[len(n.pool)-1]
-		n.pool = n.pool[:len(n.pool)-1]
-		return p, nil
+	defer n.maintainPool()
+	for len(n.pool) > 0 {
+		e := n.popPair()
+		if !n.pairUsable(e) {
+			n.stats.pairsDiscarded.Add(1)
+			continue
+		}
+		return e.pair, nil
 	}
 	return n.synthPair(RelayPair{First: chord.NoPeer, Second: chord.NoPeer})
 }
@@ -364,7 +590,7 @@ func (n *Node) handleForward(from transport.Addr, m RelayForward) {
 	if n.DropFilter != nil && n.DropFilter(m, from) {
 		return // selective-DoS adversary
 	}
-	n.stats.RelayedForwards++
+	n.stats.relayedForwards.Add(1)
 	if !n.DisableReceipts {
 		n.sendReceipt(from, m.QID)
 	}
@@ -430,7 +656,7 @@ func (n *Node) handleReply(from transport.Addr, m RelayReply) {
 		p.cb(m.Resp, nil)
 		return
 	}
-	n.stats.RelayedReplies++
+	n.stats.relayedReplies.Add(1)
 	m.Depth++
 	n.routeReplyBack(m.QID, m)
 }
@@ -506,7 +732,7 @@ func (n *Node) chainQuery(route []chord.Peer, target chord.Peer, req transport.M
 // Relay B (route index 1) adds the anti-timing-analysis delay (§4.7). With
 // DoSDefense on, a silent loss triggers the Appendix II reporting path.
 func (n *Node) anonQuery(head, pair RelayPair, target chord.Peer, req transport.Message, cb func(transport.Message, error)) {
-	n.stats.QueriesSent++
+	n.stats.queriesSent.Add(1)
 	route := []chord.Peer{head.First, head.Second, pair.First, pair.Second}
 	var qid uint64
 	qid = n.chainQuery(route, target, req, n.cfg.QueryTimeout, 1,

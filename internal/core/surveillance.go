@@ -53,7 +53,7 @@ func (n *Node) neighborSurveillance() {
 	if err != nil {
 		return
 	}
-	n.stats.ChecksRun++
+	n.stats.checksRun.Add(1)
 	n.anonQuery(head, pair, target, chord.GetTableReq{IncludeSuccessors: true},
 		func(resp transport.Message, err error) {
 			if err != nil {
@@ -127,7 +127,7 @@ func (n *Node) fingerSurveillance() {
 		// fall back to the tightest matching ideal.
 		ideal = matchIdealFinger(table.Owner.ID, claimed.ID)
 	}
-	n.stats.ChecksRun++
+	n.stats.checksRun.Add(1)
 	n.consistencyCheck(ideal, claimed, func(closer chord.Peer, evidence []chord.RoutingTable, err error) {
 		if n.OnFingerCheck != nil {
 			n.OnFingerCheck(table.Owner, claimed, err == nil && closer.Valid(), err)
@@ -305,7 +305,7 @@ func (n *Node) updateFingerSlot(slot int) {
 
 // report submits a surveillance report to the CA.
 func (n *Node) report(msg ReportMsg) {
-	n.stats.ReportsSent++
+	n.stats.reportsSent.Add(1)
 	n.tr.Call(n.Chord.Self.Addr, n.caAddr, msg, n.cfg.Chord.RPCTimeout,
 		func(transport.Message, error) {})
 }

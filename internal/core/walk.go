@@ -39,16 +39,16 @@ type walkResult struct {
 
 // startWalk launches one relay-selection walk; it runs every cfg.WalkEvery.
 func (n *Node) startWalk() {
-	n.stats.WalksStarted++
+	n.stats.walksStarted.Add(1)
 	n.runWalk(func(res walkResult, err error) {
 		for _, t := range res.tables {
 			n.bufferTable(t)
 		}
 		if err != nil {
-			n.stats.WalksFailed++
+			n.stats.walksFailed.Add(1)
 			return
 		}
-		n.stats.WalksCompleted++
+		n.stats.walksCompleted.Add(1)
 		n.addPair(res.pair)
 	})
 }
@@ -222,11 +222,29 @@ func clonePeers(ps []chord.Peer) []chord.Peer {
 }
 
 // seededIndex derives the phase-2 hop choice for step i from the walk seed,
-// reproducible by the initiator during verification.
+// reproducible by the initiator during verification. (seed, step) is run
+// through a splitmix64 finalizer before seeding the PRNG: the previous
+// additive derivation (seed + step*0x9e3779b9) handed math/rand sources
+// whose low-order state differed by a small constant across adjacent
+// steps, producing correlated streams — consecutive hop choices were not
+// independent, which a malicious U_l could exploit to nudge the walk
+// toward colluders. Walker (runPhaseTwo) and verifier (verifyPhaseTwo)
+// share this one derivation, so honest walks still verify.
 func seededIndex(seed int64, step, n int) int {
 	if n <= 0 {
 		return 0
 	}
-	r := rand.New(rand.NewSource(seed + int64(step)*0x9e3779b9))
+	mixed := splitmix64(uint64(seed) + uint64(step)*0x9e3779b97f4a7c15)
+	r := rand.New(rand.NewSource(int64(mixed)))
 	return r.Intn(n)
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea, Flood): a cheap
+// full-avalanche 64-bit mixer — every input bit flips each output bit with
+// probability ~1/2, so nearby (seed, step) combinations yield unrelated
+// PRNG seeds.
+func splitmix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

@@ -105,6 +105,19 @@ func (cfg EfficiencyConfig) latencyModel() simnet.LatencyModel {
 	}
 }
 
+// paperCoreConfig is core.DefaultConfig restricted to the paper's §6
+// measurement semantics: one table query in flight per lookup and a purely
+// walk-timer-fed relay pool. The serving path (LookupService, octopusd,
+// the load experiment) layers α-parallelism and the managed pool on top;
+// the paper's tables and figures must stay bit-identical under a fixed
+// seed, so the experiments pin the sequential schedule explicitly.
+func paperCoreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.LookupParallelism = 1
+	cfg.PairPoolTarget = 0
+	return cfg
+}
+
 // patientChordConfig waits out PlanetLab stragglers instead of timing out:
 // the paper's measurements run to completion ("a lookup is not completed
 // until all redundant lookups' results are returned").
@@ -232,7 +245,7 @@ func haloBandwidth(cfg EfficiencyConfig, lookupEvery time.Duration) float64 {
 func RunOctopusEfficiency(cfg EfficiencyConfig) SchemeEfficiency {
 	out := SchemeEfficiency{Name: "Octopus", BandwidthKbps: map[time.Duration]float64{}}
 	sim := simnet.New(cfg.Seed + 4)
-	coreCfg := core.DefaultConfig()
+	coreCfg := paperCoreConfig()
 	coreCfg.EstimatedSize = cfg.Nodes
 	// Octopus abandons straggling queries quickly and re-routes around
 	// them (its table-based convergence is redundant across answers);
@@ -273,7 +286,7 @@ func RunOctopusEfficiency(cfg EfficiencyConfig) SchemeEfficiency {
 
 func octopusBandwidth(cfg EfficiencyConfig, lookupEvery time.Duration) float64 {
 	sim := simnet.New(cfg.Seed + 11)
-	coreCfg := core.DefaultConfig()
+	coreCfg := paperCoreConfig()
 	coreCfg.EstimatedSize = 1_000_000 // bound checker sized for the big net
 	coreCfg.Chord.Fingers = cfg.BigNetFingers
 	net := simnet.NewNetwork(sim, cfg.latencyModel(), cfg.Nodes+1)

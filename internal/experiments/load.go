@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/core"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/king"
+	"github.com/octopus-dht/octopus/internal/metrics"
+	"github.com/octopus-dht/octopus/internal/simnet"
+)
+
+// The load experiment goes beyond the paper's evaluation (§6 measures one
+// lookup at a time): it drives a serving deployment — LookupService nodes
+// answering client lookups — with an open-loop Poisson arrival process and
+// measures the throughput ceiling and client-observed latency percentiles
+// as a function of α (Config.LookupParallelism) and the managed relay-pair
+// pool. Arrivals are open-loop on purpose: a closed loop would slow its
+// own offered load down when the system saturates, hiding the ceiling.
+// Everything runs on the deterministic simulator, so a (seed, config) pair
+// always reproduces the same numbers — which is what lets the benchmark
+// gate pin them.
+
+// LoadConfig parameterizes one load run.
+type LoadConfig struct {
+	// N is the ring size (+1 slot for the CA).
+	N int
+	// ServingNodes is how many nodes host a LookupService; arrivals are
+	// spread across them uniformly.
+	ServingNodes int
+	// Clients is the number of distinct client labels (per-client quotas
+	// apply per label).
+	Clients int
+	// Rate is the offered load in lookups per second across the whole
+	// deployment. Open loop: arrivals do not wait for completions.
+	Rate float64
+	// Duration is the measured arrival window; completions are drained
+	// afterwards.
+	Duration time.Duration
+	// WarmUp precedes the window so walks can stock relay pools.
+	WarmUp time.Duration
+
+	// Alpha is Config.LookupParallelism; Pool is Config.PairPoolTarget.
+	Alpha, Pool int
+	// Workers/Queue/PerClient bound each node's LookupService.
+	Workers, Queue, PerClient int
+
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultLoadConfig is the serving-path configuration: α = 3, managed
+// pool, 8 workers per serving node.
+func DefaultLoadConfig() LoadConfig {
+	return LoadConfig{
+		N:            150,
+		ServingNodes: 4,
+		Clients:      16,
+		Rate:         24,
+		Duration:     2 * time.Minute,
+		WarmUp:       time.Minute,
+		Alpha:        3,
+		Pool:         16,
+		Workers:      8,
+		Queue:        64,
+		PerClient:    64,
+		Seed:         1,
+	}
+}
+
+// SequentialLoadConfig is the same offered load served the way the paper's
+// evaluation runs lookups: one at a time (one worker, α = 1) with the
+// passive walk-timer pool — the pre-concurrency baseline.
+func SequentialLoadConfig() LoadConfig {
+	cfg := DefaultLoadConfig()
+	cfg.Alpha = 1
+	cfg.Pool = 0
+	cfg.Workers = 1
+	return cfg
+}
+
+// LoadResult summarizes one load run.
+type LoadResult struct {
+	// Offered counts arrivals; Completed/Failed/Rejected partition their
+	// outcomes (Rejected = backpressure, queue or per-client).
+	Offered, Completed, Failed, Rejected int
+	// Throughput is completed lookups per second of the arrival window.
+	Throughput float64
+	// P50/P95/P99 are client-observed latency percentiles (queue wait +
+	// lookup) over completed lookups.
+	P50, P95, P99 time.Duration
+	// MeanWait is the mean queue wait of completed lookups.
+	MeanWait time.Duration
+	// FallbackPairs counts degraded (finger-synthesized) relay pairs used
+	// by the serving nodes — the anonymity cost of an understocked pool.
+	FallbackPairs uint64
+	// RefillWalks counts walk-ahead refills the managed pools launched.
+	RefillWalks uint64
+}
+
+// RunLoad executes one load experiment.
+func RunLoad(cfg LoadConfig) LoadResult {
+	sim := simnet.New(cfg.Seed)
+	net := simnet.NewNetwork(sim, king.New(cfg.Seed), cfg.N+1)
+	coreCfg := core.DefaultConfig()
+	coreCfg.EstimatedSize = cfg.N
+	coreCfg.LookupParallelism = cfg.Alpha
+	coreCfg.PairPoolTarget = cfg.Pool
+	nw, err := core.BuildNetwork(net, cfg.N, coreCfg)
+	if err != nil {
+		// A build failure is harness misconfiguration, not a measurable
+		// outcome: a silent zero result would flow NaN speedups into the
+		// benchmark gate instead of failing visibly.
+		panic(fmt.Sprintf("experiments: load harness build failed: %v", err))
+	}
+	sim.Run(cfg.WarmUp)
+
+	services := make([]*core.LookupService, cfg.ServingNodes)
+	for i := range services {
+		services[i] = core.NewLookupService(nw.Node(simnet.Address(i)), core.ServiceConfig{
+			Workers:   cfg.Workers,
+			Queue:     cfg.Queue,
+			PerClient: cfg.PerClient,
+		})
+	}
+
+	var res LoadResult
+	lat := &metrics.Sample{}
+	var waitTotal time.Duration
+	record := func(sr core.ServiceResult) {
+		switch sr.Err {
+		case nil:
+			res.Completed++
+			lat.AddDuration(sr.Wait + sr.Stats.Latency())
+			waitTotal += sr.Wait
+		case core.ErrServiceBusy, core.ErrClientBusy:
+			res.Rejected++
+		default:
+			res.Failed++
+		}
+	}
+
+	// Open-loop Poisson arrivals: exponential inter-arrival times at the
+	// configured aggregate rate, routed to a uniformly random serving
+	// node under a uniformly random client label.
+	arrivals := rand.New(rand.NewSource(cfg.Seed + 101))
+	end := sim.Now() + cfg.Duration
+	var schedule func()
+	schedule = func() {
+		dt := time.Duration(arrivals.ExpFloat64() / cfg.Rate * float64(time.Second))
+		sim.After(dt, func() {
+			if sim.Now() >= end {
+				return
+			}
+			res.Offered++
+			svc := services[arrivals.Intn(len(services))]
+			client := fmt.Sprintf("c%02d", arrivals.Intn(cfg.Clients))
+			svc.Enqueue(client, id.ID(arrivals.Uint64()), record)
+			schedule()
+		})
+	}
+	schedule()
+	sim.Run(end)
+	// Drain: everything queued or in flight completes or times out.
+	sim.Run(end + 2*time.Minute)
+
+	res.Throughput = float64(res.Completed) / cfg.Duration.Seconds()
+	res.P50 = time.Duration(lat.Percentile(50) * float64(time.Second))
+	res.P95 = time.Duration(lat.Percentile(95) * float64(time.Second))
+	res.P99 = time.Duration(lat.Percentile(99) * float64(time.Second))
+	if res.Completed > 0 {
+		res.MeanWait = waitTotal / time.Duration(res.Completed)
+	}
+	for i := 0; i < cfg.ServingNodes; i++ {
+		st := nw.Node(simnet.Address(i)).Stats()
+		res.FallbackPairs += st.FallbackPairs
+		res.RefillWalks += st.RefillWalks
+	}
+	return res
+}

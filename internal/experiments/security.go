@@ -98,7 +98,7 @@ func RunSecurity(cfg SecurityConfig) SecurityResult {
 	sim := simnet.New(cfg.Seed)
 	lat := king.New(cfg.Seed)
 	net := simnet.NewNetwork(sim, lat, cfg.N+1) // +1: the CA's address slot
-	coreCfg := core.DefaultConfig()
+	coreCfg := paperCoreConfig()
 	coreCfg.EstimatedSize = cfg.N
 	coreCfg.DoSDefense = cfg.DoSDefense
 	nw, err := core.BuildNetwork(net, cfg.N, coreCfg)

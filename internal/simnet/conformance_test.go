@@ -21,6 +21,20 @@ func TestSimnetConformance(t *testing.T) {
 	})
 }
 
+// TestSimnetLookupConformance runs the concurrent-lookup suite on the
+// simulator: the submissions interleave in virtual time, pinning the
+// α-parallel engine and the managed pool deterministically.
+func TestSimnetLookupConformance(t *testing.T) {
+	transporttest.RunLookupConformance(t, func(t *testing.T, hosts int) transporttest.Harness {
+		sim := simnet.New(13)
+		net := simnet.NewNetwork(sim, simnet.ConstantLatency{D: time.Millisecond}, hosts)
+		return transporttest.Harness{
+			Tr:      net,
+			Advance: func(d time.Duration) { sim.Run(sim.Now() + d) },
+		}
+	})
+}
+
 // TestSimnetChurnConformance runs the dynamic-membership suite — online
 // join, simultaneous joins, graceful leave, failure suspicion — on the
 // simulator backend.

@@ -39,6 +39,21 @@ func TestChanTransportChurnConformance(t *testing.T) {
 	})
 }
 
+// TestChanTransportLookupConformance runs the concurrent-lookup suite with
+// real client goroutines: overlapping α-parallel anonymous lookups, pool
+// refills, and service queueing race under the race detector.
+func TestChanTransportLookupConformance(t *testing.T) {
+	transporttest.RunLookupConformance(t, func(t *testing.T, hosts int) transporttest.Harness {
+		net := chantransport.New(hosts, 13)
+		return transporttest.Harness{
+			Tr:         net,
+			Advance:    func(d time.Duration) { time.Sleep(d) },
+			Close:      net.Close,
+			Concurrent: true,
+		}
+	})
+}
+
 // TestConformanceWithLatency reruns the suite with a delivery delay, which
 // shakes out ordering assumptions hidden by instant delivery.
 func TestConformanceWithLatency(t *testing.T) {

@@ -150,7 +150,7 @@ type Transport struct {
 	hosts     []*host
 
 	bootstrapMu sync.RWMutex
-	bootstrap   func(req transport.Message) (transport.Message, bool)
+	bootstrap   func(remote string, req transport.Message) (transport.Message, bool)
 
 	mu      sync.Mutex
 	links   map[string]*link
@@ -318,11 +318,14 @@ func (t *Transport) AddEndpoint(endpoint string) transport.Addr {
 
 // SetBootstrapHandler installs the handler for bootstrap requests: frames
 // addressed to NoAddr from processes that hold no slot yet (an octopusd
-// -join admission). The response is written back on the inbound connection
-// — the only frame path that does so — because a slotless caller has no
-// endpoint-table entry to dial. The handler runs on the connection's read
-// goroutine; it must not block indefinitely.
-func (t *Transport) SetBootstrapHandler(h func(req transport.Message) (transport.Message, bool)) {
+// -join admission, or a 0x05xx lookup client). The response is written
+// back on the inbound connection — the only frame path that does so —
+// because a slotless caller has no endpoint-table entry to dial. remote is
+// the connection's remote address ("ip:port"), for per-client accounting.
+// The handler runs on the connection's read goroutine; blocking it
+// serializes that one connection's requests without affecting others, but
+// it must not block indefinitely.
+func (t *Transport) SetBootstrapHandler(h func(remote string, req transport.Message) (transport.Message, bool)) {
 	t.bootstrapMu.Lock()
 	t.bootstrap = h
 	t.bootstrapMu.Unlock()
@@ -353,7 +356,11 @@ func (t *Transport) Frames() (in, out uint64) {
 }
 
 // Close shuts down the listener, all connections, all host loops, and all
-// outstanding RPC timers, and waits for every goroutine to drain.
+// outstanding RPC timers, and waits for every goroutine to drain. RPCs
+// still in flight fail fast with transport.ErrClosed: their callbacks are
+// posted to the host mailboxes before those mailboxes close (a closed
+// mailbox still drains what was already queued), so no caller is left
+// waiting on an answer that can never arrive and no pending entry leaks.
 func (t *Transport) Close() {
 	if !t.closed.CompareAndSwap(false, true) {
 		return
@@ -364,11 +371,17 @@ func (t *Transport) Close() {
 	for c := range t.conns {
 		c.Close()
 	}
+	inFlight := make([]*pendingCall, 0, len(t.pending))
 	for id, pc := range t.pending {
 		pc.timer.Stop()
 		delete(t.pending, id)
+		inFlight = append(inFlight, pc)
 	}
 	t.mu.Unlock()
+	for _, pc := range inFlight {
+		cb := pc.cb
+		t.post(pc.from, func() { cb(nil, transport.ErrClosed) })
+	}
 	// Snapshot under tableMu: a concurrent SetEndpoint/AddEndpoint either
 	// ordered before this lock (its host is in the snapshot and gets
 	// closed) or after (it observes closed and creates no host).
@@ -493,6 +506,12 @@ func (t *Transport) Send(from, to transport.Addr, msg transport.Message) {
 // ErrUnreachable} reaches cb, on the caller's actor loop.
 func (t *Transport) Call(from, to transport.Addr, req transport.Message,
 	timeout time.Duration, cb func(transport.Message, error)) {
+	if t.closed.Load() {
+		// Fail fast without registering: a pending entry created here
+		// would never be drained by Close (it already ran).
+		t.post(from, func() { cb(nil, transport.ErrClosed) })
+		return
+	}
 	if !t.inTable(to) {
 		t.post(from, func() { cb(nil, transport.ErrUnreachable) })
 		return
@@ -510,6 +529,13 @@ func (t *Transport) Call(from, to transport.Addr, req transport.Message,
 	// timer would break Close and the response path. The timer callback
 	// itself serializes on the same mutex via takePending.
 	t.mu.Lock()
+	if t.closed.Load() {
+		// Close has run (or is running) its pending drain; an entry
+		// inserted now would leak until its timer fired.
+		t.mu.Unlock()
+		t.post(from, func() { cb(nil, transport.ErrClosed) })
+		return
+	}
 	t.pending[id] = pc
 	pc.timer = time.AfterFunc(timeout, func() {
 		if got := t.takePending(id, nil); got != nil {
@@ -548,14 +574,14 @@ func (t *Transport) enqueue(kind uint8, from, to transport.Addr, reqID uint64, p
 	ep := t.Endpoint(to)
 	if ep == "" {
 		// Slot exists but its endpoint is not known yet (an announce is
-		// still in flight); the drop surfaces as an RPC timeout.
-		t.sendDrops.Add(1)
+		// still in flight).
+		t.dropRequest(kind, reqID)
 		return
 	}
 	frame := appendFrame(kind, from, to, reqID, payload)
 	l := t.linkTo(ep)
 	if l == nil {
-		t.sendDrops.Add(1)
+		t.dropRequest(kind, reqID)
 		return
 	}
 	select {
@@ -567,8 +593,42 @@ func (t *Transport) enqueue(kind uint8, from, to transport.Addr, reqID uint64, p
 			}
 		}
 	default:
-		t.sendDrops.Add(1)
+		t.dropRequest(kind, reqID)
 	}
+}
+
+// dropRequest accounts one outbound frame dropped before reaching the wire
+// and, for request frames, fails the pending RPC immediately with
+// ErrTimeout rather than leaving the caller to wait out its full deadline
+// — the transport KNOWS the request never left, so the timeout is already
+// certain. (Response and one-way drops have no local pending state; the
+// remote caller observes its own timeout.)
+func (t *Transport) dropRequest(kind uint8, reqID uint64) {
+	t.sendDrops.Add(1)
+	if kind != frameRequest {
+		return
+	}
+	if pc := t.takePending(reqID, nil); pc != nil {
+		pc.timer.Stop()
+		t.post(pc.from, func() { pc.cb(nil, transport.ErrTimeout) })
+	}
+}
+
+// dropFrame is dropRequest for an already-framed message (the link writer's
+// failure paths); it recovers kind and reqID from the frame bytes.
+func (t *Transport) dropFrame(frame []byte) {
+	// Layout per appendFrame: u32 length, u8 kind, 6-byte from, 6-byte
+	// to, u64 reqID.
+	if len(frame) < 4+frameHeaderSize {
+		t.sendDrops.Add(1)
+		return
+	}
+	r := transport.NewReader(frame[4:])
+	kind := r.U8()
+	r.Addr()
+	r.Addr()
+	reqID := r.U64()
+	t.dropRequest(kind, reqID)
 }
 
 // dispatch routes one inbound frame.
@@ -724,7 +784,7 @@ func (t *Transport) serveBootstrap(c net.Conn, h frameHeader, payload []byte) er
 		t.codecErrors.Add(1)
 		return nil
 	}
-	resp, ok := handler(req)
+	resp, ok := handler(c.RemoteAddr().String(), req)
 	if !ok {
 		t.dropped.Add(1)
 		return nil
@@ -838,12 +898,12 @@ func (l *link) run() {
 		case frame := <-l.ch:
 			if conn == nil {
 				if time.Since(lastFail) < l.t.cfg.RedialBackoff {
-					l.t.sendDrops.Add(1)
+					l.t.dropFrame(frame)
 					continue
 				}
 				if conn = l.dial(); conn == nil {
 					lastFail = time.Now()
-					l.t.sendDrops.Add(1)
+					l.t.dropFrame(frame)
 					continue
 				}
 			}
@@ -851,14 +911,14 @@ func (l *link) run() {
 				conn.Close()
 				if conn = l.dial(); conn == nil {
 					lastFail = time.Now()
-					l.t.sendDrops.Add(1)
+					l.t.dropFrame(frame)
 					continue
 				}
 				if err := l.write(conn, frame); err != nil {
 					conn.Close()
 					conn = nil
 					lastFail = time.Now()
-					l.t.sendDrops.Add(1)
+					l.t.dropFrame(frame)
 				}
 			}
 		}

@@ -69,6 +69,23 @@ func TestNetTransportChurnConformance(t *testing.T) {
 	})
 }
 
+// TestNetTransportLookupConformance runs the concurrent-lookup suite with
+// every query of every overlapping anonymous lookup crossing real TCP.
+func TestNetTransportLookupConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time lookup convergence over TCP")
+	}
+	transporttest.RunLookupConformance(t, func(t *testing.T, hosts int) transporttest.Harness {
+		tr := newLoopback(t, hosts)
+		return transporttest.Harness{
+			Tr:         tr,
+			Advance:    func(d time.Duration) { time.Sleep(d) },
+			Close:      tr.Close,
+			Concurrent: true,
+		}
+	})
+}
+
 // twoProcs builds two Transport instances sharing one endpoint table — the
 // in-test stand-in for two OS processes (distinct listeners, distinct
 // sockets; only the address space is shared). Slot 0 lives on a, slot 1 on
@@ -184,6 +201,56 @@ func TestConnectionDropMidRPC(t *testing.T) {
 	r := waitRPC(t, ch, 10*time.Second)
 	if !errors.Is(r.err, transport.ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", r.err)
+	}
+}
+
+// TestClosePendingRPCFailFast pins the shutdown contract: an RPC still in
+// flight when its own transport closes must fail immediately with
+// transport.ErrClosed — not leak its pending entry and leave the caller
+// waiting out a long timeout.
+func TestClosePendingRPCFailFast(t *testing.T) {
+	a, b, _ := twoProcs(t)
+	defer b.Close()
+	b.Bind(1, func(transport.Addr, transport.Message) (transport.Message, bool) {
+		return nil, false // never answers: the RPC stays pending
+	})
+	a.Bind(0, func(transport.Addr, transport.Message) (transport.Message, bool) { return nil, false })
+
+	ch := callFrom(a, 0, 1, transporttest.Echo{N: 1}, time.Minute)
+	time.Sleep(200 * time.Millisecond) // let the request frame fly
+	start := time.Now()
+	a.Close()
+	r := waitRPC(t, ch, 10*time.Second)
+	if !errors.Is(r.err, transport.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", r.err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("pending RPC took %v to fail after Close", took)
+	}
+
+	// New calls after Close also fail fast (no leaked pending entries,
+	// no timers): the callback simply cannot be delivered to a closed
+	// mailbox, but the transport must not panic or hang.
+	a.Call(0, 1, transporttest.Echo{N: 2}, time.Minute, func(transport.Message, error) {})
+}
+
+// TestDroppedRequestFailsFast pins the reconnect/drop contract: when the
+// transport KNOWS an outbound request never reached the wire (peer
+// unreachable, queue full), the caller fails with ErrTimeout right away
+// instead of waiting out its full deadline.
+func TestDroppedRequestFailsFast(t *testing.T) {
+	a, b, _ := twoProcs(t)
+	defer a.Close()
+	a.Bind(0, func(transport.Addr, transport.Message) (transport.Message, bool) { return nil, false })
+	b.Close() // peer gone: dials will fail
+
+	start := time.Now()
+	r := waitRPC(t, callFrom(a, 0, 1, transporttest.Echo{N: 1}, time.Minute), 30*time.Second)
+	if !errors.Is(r.err, transport.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", r.err)
+	}
+	if took := time.Since(start); took > 15*time.Second {
+		t.Errorf("dropped request took %v to fail (timeout was 1m)", took)
 	}
 }
 

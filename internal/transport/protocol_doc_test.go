@@ -30,6 +30,8 @@ func TestProtocolDocFixedSizes(t *testing.T) {
 		{"LeaveResp", chord.LeaveResp{}, 3},
 		{"SuspectReq", chord.SuspectReq{}, 2},
 		{"SuspectResp", chord.SuspectResp{}, 16},
+		{"ClientLookupReq", core.ClientLookupReq{}, 18},
+		{"ClientLookupResp", core.ClientLookupResp{}, 49},
 	}
 	for _, c := range cases {
 		if got := c.m.Size(); got != c.want {

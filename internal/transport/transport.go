@@ -69,6 +69,10 @@ var (
 	// ErrUnreachable is reported when the destination address does not
 	// exist on the transport (out of range; never allocated).
 	ErrUnreachable = errors.New("transport: unreachable address")
+	// ErrClosed is reported to RPC callbacks still in flight when their
+	// transport shuts down: the answer can never arrive, so callers fail
+	// fast instead of waiting out their timeout.
+	ErrClosed = errors.New("transport: closed")
 )
 
 // TrafficStats accumulates per-host bandwidth counters. Byte counts follow

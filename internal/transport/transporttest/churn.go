@@ -1,6 +1,7 @@
 package transporttest
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -28,6 +29,7 @@ const churnRingSize = 8
 
 // RunChurnConformance runs the dynamic-membership suite against the factory.
 func RunChurnConformance(t *testing.T, mk Factory) {
+	defer CheckGoroutineLeak(t, runtime.NumGoroutine())
 	t.Run("JoinBecomesRoutable", func(t *testing.T) { testJoinBecomesRoutable(t, mk) })
 	t.Run("SimultaneousJoinsSamePair", func(t *testing.T) { testSimultaneousJoins(t, mk) })
 	t.Run("GracefulLeaveSplices", func(t *testing.T) { testGracefulLeave(t, mk) })

@@ -9,6 +9,7 @@ package transporttest
 import (
 	"bytes"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -50,6 +51,12 @@ type Harness struct {
 	Advance func(d time.Duration)
 	// Close releases the transport (may be nil).
 	Close func()
+	// Concurrent reports that the transport may be driven from multiple
+	// test goroutines at once (chantransport, nettransport). The
+	// single-goroutine simulator is pumped from the test goroutine only,
+	// so suites that model concurrent clients fall back to interleaved
+	// submission when this is false.
+	Concurrent bool
 }
 
 // Factory builds a fresh harness with the given number of host slots.
@@ -59,8 +66,34 @@ type Factory func(t *testing.T, hosts int) Harness
 // real-time transports finish each case in tens of milliseconds.
 const tick = 20 * time.Millisecond
 
+// CheckGoroutineLeak fails t when, after a settle window, the process runs
+// materially more goroutines than before the suite: a transport whose
+// Close leaves actor loops, link writers, or RPC timers behind leaks a
+// goroutine per instance, and the conformance suites create dozens of
+// instances. Call it with runtime.NumGoroutine() captured BEFORE the first
+// harness is built (typically via defer at the top of the suite).
+func CheckGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	// A small tolerance absorbs runtime-internal goroutines (GC, timer
+	// wheels) that come and go independently of the code under test.
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	now := runtime.NumGoroutine()
+	for now > before+slack && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		now = runtime.NumGoroutine()
+	}
+	if now > before+slack {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before the suite, %d after Close of every harness\n%s",
+			before, now, buf[:n])
+	}
+}
+
 // RunConformance runs the full suite against the factory.
 func RunConformance(t *testing.T, mk Factory) {
+	defer CheckGoroutineLeak(t, runtime.NumGoroutine())
 	t.Run("RPCEchoAndStats", func(t *testing.T) { testRPCEchoAndStats(t, mk) })
 	t.Run("RPCTimeoutUnboundHost", func(t *testing.T) { testRPCTimeoutUnbound(t, mk) })
 	t.Run("RPCTimeoutDeadHostAndRevival", func(t *testing.T) { testDeadHostRevival(t, mk) })
