@@ -198,6 +198,25 @@ func BenchmarkLoadAnonLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkStorageWorkload is the storage headline: a read/write mix on the
+// replicated key-value store under mid-run churn (internal/experiments
+// RunStorage). Hit rate and the client-observed latency percentiles are
+// deterministic under the fixed seed, so the benchmark gate pins them.
+func BenchmarkStorageWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultStorageConfig()
+		cfg.N = 80
+		cfg.Keys = 24
+		cfg.Duration = time.Minute
+		cfg.WarmUp = 30 * time.Second
+		cfg.Kills = 2
+		res := experiments.RunStorage(cfg)
+		b.ReportMetric(res.HitRate*100, "hit%")
+		b.ReportMetric(res.GetP95.Seconds(), "get-p95-s")
+		b.ReportMetric(res.PutP95.Seconds(), "put-p95-s")
+	}
+}
+
 // --- Ablations ---
 
 // BenchmarkAblationDummyPlacement compares target-anonymity leak with and

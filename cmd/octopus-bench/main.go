@@ -8,12 +8,16 @@
 //	octopus-bench [flags] <experiment>
 //
 // Experiments: table1 table2 table3 fig3a fig3b fig3c fig4 fig5a fig5b
-// fig5c fig6 fig7a fig7b fig9 load all
+// fig5c fig6 fig7a fig7b fig9 load storage all
 //
 // `load` goes beyond the paper: it drives a serving deployment with an
 // open-loop arrival process and reports the throughput ceiling and latency
 // percentiles as a function of α (lookup parallelism) and the managed
 // relay-pair pool (see internal/experiments/load.go).
+//
+// `storage` drives the replicated key-value store (internal/store) with an
+// open-loop read/write mix under churn and reports hit rate and latency
+// percentiles per mix (see internal/experiments/storage.go).
 //
 // The -scale flag shrinks every experiment for quick runs (0.1 ≈ seconds,
 // 1.0 = paper scale).
@@ -59,11 +63,13 @@ func run(w io.Writer, args []string) error {
 		"fig3a": fig3a, "fig3b": fig3b, "fig3c": fig3c, "fig4": fig4,
 		"fig5a": fig5a, "fig5b": fig5b, "fig5c": fig5c, "fig6": fig6,
 		"fig7a": fig7a, "fig7b": fig7b, "fig9": fig9, "load": load,
+		"storage": storage,
 	}
 	name := fs.Arg(0)
 	if name == "all" {
 		order := []string{"table1", "table2", "table3", "fig3a", "fig3b", "fig3c",
-			"fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "fig9", "load"}
+			"fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "fig9", "load",
+			"storage"}
 		for _, n := range order {
 			if err := all[n](w, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
@@ -326,6 +332,42 @@ func load(w io.Writer, opt options) error {
 			r.P50.Round(10*time.Millisecond), r.P95.Round(10*time.Millisecond),
 			r.P99.Round(10*time.Millisecond), r.MeanWait.Round(10*time.Millisecond),
 			r.FallbackPairs)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// storage drives the replicated key-value store with a read/write mix under
+// churn and reports hit rate and latency percentiles per mix.
+func storage(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Storage: replicated KV over anonymous lookups (open-loop mix, churn) ==")
+	base := experiments.DefaultStorageConfig()
+	base.N = scaled(base.N, opt.scale, 80)
+	base.Duration = scaledDur(base.Duration, opt.scale, 45*time.Second)
+	base.Seed = opt.seed
+	rows := []struct {
+		name  string
+		reads float64
+		kills int
+	}{
+		{"read-heavy", 0.75, 0},
+		{"write-heavy", 0.25, 0},
+		{"read-heavy +churn", 0.75, base.Kills},
+		{"write-heavy +churn", 0.25, base.Kills},
+	}
+	fmt.Fprintf(w, "offered %.0f ops/s over %v, %d nodes, %d gateways, %d keys, %d replicas\n",
+		base.Rate, base.Duration, base.N, base.ServingNodes, base.Keys, base.Replicas)
+	fmt.Fprintf(w, "%-20s %-7s %-9s %-9s %-9s %-9s %-9s %-8s %s\n",
+		"config", "hit%", "get-p50", "get-p95", "put-p50", "put-p95", "misses", "kills", "pulled")
+	for _, row := range rows {
+		cfg := base
+		cfg.ReadFraction, cfg.Kills = row.reads, row.kills
+		r := experiments.RunStorage(cfg)
+		fmt.Fprintf(w, "%-20s %-7.2f %-9s %-9s %-9s %-9s %-9d %-8d %d\n",
+			row.name, r.HitRate*100,
+			r.GetP50.Round(10*time.Millisecond), r.GetP95.Round(10*time.Millisecond),
+			r.PutP50.Round(10*time.Millisecond), r.PutP95.Round(10*time.Millisecond),
+			r.Misses, r.Kills, r.Pulled)
 	}
 	fmt.Fprintln(w)
 	return nil

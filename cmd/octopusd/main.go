@@ -37,6 +37,7 @@ import (
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/core"
 	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/store"
 	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/transport/nettransport"
 	"github.com/octopus-dht/octopus/internal/xcrypto"
@@ -103,6 +104,10 @@ func main() {
 		serveQueue   = flag.Int("serve-queue", 64, "lookup-service queue depth before clients see backpressure")
 		servePer     = flag.Int("serve-per-client", 16, "queued+running lookups allowed per client IP")
 		serveTO      = flag.Duration("serve-timeout", 60*time.Second, "per-client-lookup service deadline")
+
+		serveStore    = flag.Bool("serve-store", true, "run the replicated key-value store (0x06xx) and serve client Put/Get on the bootstrap channel")
+		storeReplicas = flag.Int("store-replicas", 3, "total copies per stored entry (owner + successors)")
+		storeSync     = flag.Duration("store-sync-every", 5*time.Second, "re-replication sweep period")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -126,6 +131,7 @@ func main() {
 		alpha: *alpha, poolTarget: *poolTarget,
 		serveLookups: *serveLookups, serveWorkers: *serveWorkers,
 		serveQueue: *serveQueue, servePer: *servePer, serveTO: *serveTO,
+		serveStore: *serveStore, storeReplicas: *storeReplicas, storeSync: *storeSync,
 	}
 	var err error
 	if *joinVia != "" {
@@ -164,6 +170,10 @@ type daemonOpts struct {
 	serveQueue   int
 	servePer     int
 	serveTO      time.Duration
+
+	serveStore    bool
+	storeReplicas int
+	storeSync     time.Duration
 }
 
 // coreConfig assembles the Octopus configuration shared by both modes.
@@ -181,7 +191,33 @@ func (opts daemonOpts) coreConfig(n int) core.Config {
 	cfg.Chord.RPCTimeout = opts.rpcTimeout
 	cfg.LookupParallelism = opts.alpha
 	cfg.PairPoolTarget = opts.poolTarget
+	cfg.StoreReplicas = opts.storeReplicas
 	return cfg
+}
+
+// attachStores gives every local node its slice of the replicated key-value
+// store (replicas land wherever the ring places them, so every ring member
+// must hold data). Attachment happens inside each node's serialization
+// context: the nodes are already live, and the store chains onto the node's
+// message handler. It returns the gateway store — the first local node's —
+// that client Put/Get requests are served through.
+func (opts daemonOpts) attachStores(tr transport.Transport, local []*core.Node) *store.Store {
+	if !opts.serveStore {
+		return nil
+	}
+	var gateway *store.Store
+	for _, node := range local {
+		node := node
+		var st *store.Store
+		inContext(tr, node.Self().Addr, func() {
+			st = store.New(node, store.Config{SyncEvery: opts.storeSync})
+			st.Start()
+		})
+		if gateway == nil {
+			gateway = st
+		}
+	}
+	return gateway
 }
 
 // newLookupService builds the client-serving lookup service over the
@@ -199,14 +235,16 @@ func (opts daemonOpts) newLookupService(local []*core.Node) *core.LookupService 
 }
 
 // bootstrapDispatcher routes bootstrap-channel frames: ClientLookupReq to
-// the lookup service (blocking this client connection's read goroutine,
-// which is exactly the per-client queue), everything else to the admission
-// relay. A nil service drops lookup requests silently — the client
-// observes a timeout, the transport's universal failure signal.
-func bootstrapDispatcher(svc *core.LookupService, serveTO time.Duration,
+// the lookup service, ClientPutReq/ClientGetReq to the gateway store (both
+// blocking this client connection's read goroutine, which is exactly the
+// per-client queue), everything else to the admission relay. A nil service
+// or store drops its requests silently — the client observes a timeout,
+// the transport's universal failure signal.
+func bootstrapDispatcher(svc *core.LookupService, gw *store.Store, serveTO time.Duration,
 	admission func(string, transport.Message) (transport.Message, bool)) func(string, transport.Message) (transport.Message, bool) {
 	return func(remote string, req transport.Message) (transport.Message, bool) {
-		if m, ok := req.(core.ClientLookupReq); ok {
+		switch m := req.(type) {
+		case core.ClientLookupReq:
 			if svc == nil {
 				return nil, false
 			}
@@ -215,6 +253,16 @@ func bootstrapDispatcher(svc *core.LookupService, serveTO time.Duration,
 				client = host // per-IP quota: ports churn per connection
 			}
 			return svc.ServeClientLookup(client, m, serveTO), true
+		case store.ClientPutReq:
+			if gw == nil {
+				return nil, false
+			}
+			return gw.ServeClientPut(m, serveTO), true
+		case store.ClientGetReq:
+			if gw == nil {
+				return nil, false
+			}
+			return gw.ServeClientGet(m, serveTO), true
 		}
 		return admission(remote, req)
 	}
@@ -264,10 +312,15 @@ func run(configPath, listen string, opts daemonOpts) error {
 	}
 
 	svc := opts.newLookupService(local)
-	enableDynamicMembership(tr, nw, local, svc, opts)
+	gw := opts.attachStores(tr, local)
+	enableDynamicMembership(tr, nw, local, svc, gw, opts)
 	if svc != nil {
 		log.Printf("serving client lookups (α=%d, pool target %d, %d workers, queue %d)",
 			opts.alpha, opts.poolTarget, opts.serveWorkers, opts.serveQueue)
+	}
+	if gw != nil {
+		log.Printf("serving key-value storage (%d replicas, sync every %v)",
+			opts.storeReplicas, opts.storeSync)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -290,7 +343,7 @@ func run(configPath, listen string, opts daemonOpts) error {
 	for {
 		select {
 		case <-ticker.C:
-			logStatus(tr, local, svc)
+			logStatus(tr, local, svc, gw)
 		case s := <-sig:
 			log.Printf("received %v, shutting down", s)
 			return nil
@@ -304,7 +357,7 @@ func run(configPath, listen string, opts daemonOpts) error {
 // CA's admission hooks to the transport's dynamic endpoint table and the
 // announce broadcast.
 func enableDynamicMembership(tr *nettransport.Transport, nw *core.Network, local []*core.Node,
-	svc *core.LookupService, opts daemonOpts) {
+	svc *core.LookupService, gw *store.Store, opts daemonOpts) {
 	caAddr := nw.CA.Addr()
 	caller := caAddr
 	bootstrap := chord.NoPeer
@@ -314,7 +367,7 @@ func enableDynamicMembership(tr *nettransport.Transport, nw *core.Network, local
 	} else if peers := nw.Ring.Peers(); len(peers) > 0 {
 		bootstrap = peers[0] // served by another process; still a valid contact
 	}
-	tr.SetBootstrapHandler(bootstrapDispatcher(svc, opts.serveTO,
+	tr.SetBootstrapHandler(bootstrapDispatcher(svc, gw, opts.serveTO,
 		core.NewAdmissionRelay(tr, caller, caAddr, bootstrap, opts.rpcTimeout)))
 
 	// CA admission hooks — only on the process that actually serves the
@@ -513,7 +566,15 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 	cn := chord.NewNode(tr, chordCfg, self,
 		&chord.Identity{Scheme: scheme, Key: kp, Cert: grant.Cert})
 	node := core.New(cn, cfg, adm.CAAddr, dir)
-	inContext(tr, self.Addr, cn.Start)
+	var st *store.Store
+	inContext(tr, self.Addr, func() {
+		// The store attaches before the node joins, so replica batches
+		// arriving the moment neighbors learn of us already land.
+		if opts.serveStore {
+			st = store.New(node, store.Config{SyncEvery: opts.storeSync})
+		}
+		cn.Start()
+	})
 
 	// The announce that teaches other processes our endpoint races with
 	// our first join RPCs, so retry until the ring answers.
@@ -533,27 +594,66 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 	}
 	inContext(tr, self.Addr, node.StartProtocols)
 	log.Printf("joined the ring as %s @ slot %d", self.ID, self.Addr)
+	if st != nil {
+		// Churn re-replication, joining half: pull the key range this node
+		// now owns from its successor (the previous owner).
+		tr.After(self.Addr, 0, func() {
+			st.Start()
+			st.PullOwnedRange(func(n int, err error) {
+				if err != nil {
+					log.Printf("store range pull failed: %v (the sync sweep will repair)", err)
+					return
+				}
+				log.Printf("pulled %d stored entries for the joined key range", n)
+			})
+		})
+	}
 
 	// A joined daemon serves future joiners — and, like a static daemon,
-	// client lookups.
+	// client lookups and storage.
 	svc := opts.newLookupService([]*core.Node{node})
-	tr.SetBootstrapHandler(bootstrapDispatcher(svc, opts.serveTO,
+	tr.SetBootstrapHandler(bootstrapDispatcher(svc, st, opts.serveTO,
 		core.NewAdmissionRelay(tr, self.Addr, adm.CAAddr, self, opts.rpcTimeout)))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	leave := func() error {
-		// Ring-level leave FIRST: retiring releases this slot for
+		// Storage handover FIRST: the successor must hold this node's
+		// entries before the ring splices us out, or the departed range
+		// would serve misses until the next sync sweep.
+		if st != nil {
+			handed := make(chan struct{}, 1)
+			tr.After(self.Addr, 0, func() {
+				st.Handover(func(n int, err error) {
+					if err != nil {
+						log.Printf("store handover incomplete: %v (replicas still cover the range)", err)
+					} else {
+						log.Printf("handed %d stored entries to the successor", n)
+					}
+					handed <- struct{}{}
+				})
+			})
+			handTO := time.NewTimer(15 * time.Second)
+			select {
+			case <-handed:
+			case <-handTO.C:
+			}
+			handTO.Stop()
+		}
+
+		// Ring-level leave next: retiring releases this slot for
 		// immediate reuse, so it must not happen while the leave
 		// handshake (whose acks are addressed to this slot) is still in
 		// flight.
 		var leaveErr error
 		errc := make(chan error, 1)
 		tr.After(self.Addr, 0, func() { node.Leave(func(err error) { errc <- err }) })
+		leaveTO := time.NewTimer(15 * time.Second)
 		select {
 		case leaveErr = <-errc:
-		case <-time.After(15 * time.Second):
+			leaveTO.Stop()
+		case <-leaveTO.C:
 			return fmt.Errorf("leave handshake stalled")
 		}
 
@@ -566,10 +666,12 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 			tr.Call(self.Addr, adm.CAAddr, core.CertRetireReq{Who: self, Sig: retireSig}, opts.rpcTimeout,
 				func(transport.Message, error) { retired <- struct{}{} })
 		})
+		retireTO := time.NewTimer(opts.rpcTimeout + time.Second)
 		select {
 		case <-retired:
-		case <-time.After(opts.rpcTimeout + time.Second):
+		case <-retireTO.C:
 		}
+		retireTO.Stop()
 
 		if leaveErr != nil {
 			return fmt.Errorf("left the ring with unacknowledged neighbors: %w", leaveErr)
@@ -592,7 +694,7 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 	for {
 		select {
 		case <-ticker.C:
-			logStatus(tr, []*core.Node{node}, svc)
+			logStatus(tr, []*core.Node{node}, svc, st)
 		case s := <-sig:
 			log.Printf("received %v, leaving the ring", s)
 			return leave()
@@ -711,15 +813,19 @@ func oneLookup(tr transport.Transport, node *core.Node, key id.ID) (chord.Peer, 
 			ch <- outcome{owner, stats, err}
 		})
 	})
+	// NewTimer + Stop, not time.After: -expect-id retries call oneLookup in
+	// a loop, and each unstopped timer would stay live for two minutes.
+	deadline := time.NewTimer(2 * time.Minute)
+	defer deadline.Stop()
 	select {
 	case out := <-ch:
 		return out.owner, out.stats, out.err
-	case <-time.After(2 * time.Minute):
+	case <-deadline.C:
 		return chord.NoPeer, core.LookupStats{}, fmt.Errorf("lookup never completed")
 	}
 }
 
-func logStatus(tr transport.Transport, local []*core.Node, svc *core.LookupService) {
+func logStatus(tr transport.Transport, local []*core.Node, svc *core.LookupService, gw *store.Store) {
 	var pool int
 	var walks, lookups, queries uint64
 	var sent, recv uint64
@@ -742,6 +848,11 @@ func logStatus(tr transport.Transport, local []*core.Node, svc *core.LookupServi
 		ss := svc.Stats()
 		line += fmt.Sprintf(" | served=%d failed=%d busy=%d active=%d queued=%d",
 			ss.Completed, ss.Failed, ss.RejectedQueue+ss.RejectedClient, ss.Active, ss.Queued)
+	}
+	if gw != nil {
+		st := gw.Stats()
+		line += fmt.Sprintf(" | store: keys=%d puts=%d gets=%d hits=%d",
+			st.Keys, st.Puts, st.Gets, st.Hits)
 	}
 	log.Print(line)
 }

@@ -18,6 +18,8 @@ import (
 	"github.com/octopus-dht/octopus/internal/core"
 	"github.com/octopus-dht/octopus/internal/id"
 	"github.com/octopus-dht/octopus/internal/simnet"
+	storepkg "github.com/octopus-dht/octopus/internal/store"
+	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/transport/nettransport"
 )
 
@@ -284,6 +286,167 @@ func TestClientLookupService(t *testing.T) {
 			}
 			time.Sleep(time.Second)
 		}
+	}
+}
+
+// TestStorageFailover is the acceptance test for the replicated key-value
+// store (0x06xx): three octopusd processes split a TCP ring, an external
+// client stores a value through process B, process C — which serves the
+// key's OWNER — is killed outright (no handover), and the client's Get
+// still returns the value from a surviving replica once the ring heals and
+// re-replication has run.
+func TestStorageFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildOctopusd(t, dir)
+
+	eps := freePorts(t, 3)
+	const n = 12
+	const seed = 42
+	rc := ringConfig{Seed: seed, CA: eps[0]}
+	for i := 0; i < n; i++ {
+		rc.Nodes = append(rc.Nodes, eps[i%3])
+	}
+	cfgPath := filepath.Join(dir, "ring.json")
+	raw, _ := json.Marshal(rc)
+	if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
+		t.Fatalf("write config: %v", err)
+	}
+
+	// Ground truth by deterministic replay: pick a key whose owner lives in
+	// process C (slot % 3 == 2) while at least one of the owner's next two
+	// ring successors — the put-time replicas — lives in A or B, so killing
+	// C removes the owner but not every copy.
+	sim := simnet.New(seed)
+	net0 := simnet.NewNetwork(sim, simnet.ConstantLatency{D: time.Millisecond}, n+1)
+	truth, err := core.BuildNetwork(net0, n, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("ground-truth build: %v", err)
+	}
+	peers := truth.Ring.Peers() // sorted by identifier
+	inC := func(a transport.Addr) bool { return int(a)%3 == 2 }
+	var keyName string
+	var key id.ID
+	for i := 0; i < 1000 && keyName == ""; i++ {
+		name := fmt.Sprintf("failover-key-%d", i)
+		cand := id.FromBytes([]byte(name))
+		owner := truth.Ring.OwnerAmong(cand)
+		at := -1
+		for j, p := range peers {
+			if p.ID == owner.ID {
+				at = j
+				break
+			}
+		}
+		succ1, succ2 := peers[(at+1)%len(peers)], peers[(at+2)%len(peers)]
+		if inC(owner.Addr) && (!inC(succ1.Addr) || !inC(succ2.Addr)) {
+			keyName, key = name, cand
+			t.Logf("chose %q: owner slot %d (C), replicas at slots %d/%d", name, owner.Addr, succ1.Addr, succ2.Addr)
+		}
+	}
+	if keyName == "" {
+		t.Fatal("no candidate key places its owner in process C with a surviving replica")
+	}
+
+	start := func(name string, args ...string) (*exec.Cmd, *logSink) {
+		cmd := exec.Command(bin, args...)
+		sink := &logSink{}
+		sink.attach(t, name, cmd)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start process %s: %v", name, err)
+		}
+		return cmd, sink
+	}
+	common := []string{"-config", cfgPath,
+		"-walk-every", "300ms", "-stabilize-every", "500ms", "-store-sync-every", "2s"}
+	procA, _ := start("A", append(append([]string{}, common...), "-listen", eps[0])...)
+	defer func() {
+		procA.Process.Kill()
+		procA.Wait()
+	}()
+	procB, sinkB := start("B", append(append([]string{}, common...), "-listen", eps[1])...)
+	defer func() {
+		procB.Process.Kill()
+		procB.Wait()
+	}()
+	procC, _ := start("C", append(append([]string{}, common...), "-listen", eps[2])...)
+	defer func() {
+		procC.Process.Kill()
+		procC.Wait()
+	}()
+	waitForLog(t, sinkB, "serving key-value storage", time.Minute, "store start")
+
+	cc, err := nettransport.DialClient(eps[1], 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial client: %v", err)
+	}
+	defer cc.Close()
+
+	value := []byte("replicated-across-processes")
+	putDeadline := time.Now().Add(2 * time.Minute)
+	for seq := uint64(1); ; seq++ {
+		resp, err := cc.Call(storepkg.ClientPutReq{Seq: seq, Key: key, Value: value}, 90*time.Second)
+		if err != nil {
+			t.Fatalf("client put: %v", err)
+		}
+		r, ok := resp.(storepkg.ClientPutResp)
+		if !ok {
+			t.Fatalf("client put: response type %T", resp)
+		}
+		if r.OK {
+			if r.Replicas < 2 {
+				t.Fatalf("put acknowledged with %d replicas, want >= 2", r.Replicas)
+			}
+			t.Logf("put %q acknowledged: %d replicas, %dµs", keyName, r.Replicas, r.LatencyMicros)
+			break
+		}
+		if time.Now().After(putDeadline) {
+			t.Fatalf("put never acknowledged (last: %+v)", r)
+		}
+		time.Sleep(time.Second) // cold ring: pools still stocking
+	}
+
+	// Give the put-time fan-out a moment to land on the replicas, then
+	// remove the owner's whole process without any handover.
+	time.Sleep(3 * time.Second)
+	if err := procC.Process.Kill(); err != nil {
+		t.Fatalf("kill C: %v", err)
+	}
+	procC.Wait()
+	t.Log("killed process C (the key owner's process)")
+
+	getDeadline := time.Now().Add(3 * time.Minute)
+	for seq := uint64(1000); ; seq++ {
+		resp, err := cc.Call(storepkg.ClientGetReq{Seq: seq, Key: key}, 90*time.Second)
+		if err != nil {
+			if time.Now().After(getDeadline) {
+				t.Fatalf("get never found the value after owner death (last call error: %v)", err)
+			}
+			// The connection may have been poisoned by a slow serve; redial.
+			t.Logf("client get: %v (redialing)", err)
+			cc.Close()
+			if cc, err = nettransport.DialClient(eps[1], 5*time.Second); err != nil {
+				t.Fatalf("redial: %v", err)
+			}
+			continue
+		}
+		r, ok := resp.(storepkg.ClientGetResp)
+		if !ok {
+			t.Fatalf("client get: response type %T", resp)
+		}
+		if r.Found {
+			if !bytes.Equal(r.Value, value) {
+				t.Fatalf("failover get returned %q, want %q", r.Value, value)
+			}
+			t.Logf("get %q verified after owner death: %d replicas tried, %dµs", keyName, r.Tried, r.LatencyMicros)
+			break
+		}
+		if time.Now().After(getDeadline) {
+			t.Fatalf("get never found the value after owner death (last: %+v)", r)
+		}
+		time.Sleep(2 * time.Second) // ring still healing around the corpse
 	}
 }
 

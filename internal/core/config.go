@@ -79,6 +79,11 @@ type Config struct {
 	// PairRefillParallel caps the walks a managed pool keeps in flight
 	// while refilling. Zero means 4.
 	PairRefillParallel int
+	// StoreReplicas is the total number of copies the key-value store
+	// (internal/store) keeps of every entry: the owner plus StoreReplicas-1
+	// successors. Zero means 3. The lookup layer itself never reads it; it
+	// lives here so one Config describes a whole deployment.
+	StoreReplicas int
 	// DoSDefense arms the Appendix II dropped-query reporting: a query
 	// that times out while all four path relays answer pings is reported
 	// to the CA for a receipt-trail investigation.
@@ -107,6 +112,7 @@ func DefaultConfig() Config {
 		LookupParallelism: 3,
 		PairPoolTarget:    16,
 		PairMaxAge:        5 * time.Minute,
+		StoreReplicas:     3,
 		EstimatedSize:     1000,
 		BoundFactor:       8,
 	}

@@ -168,10 +168,18 @@ func (d *Directory) VerifyTable(t chord.RoutingTable) bool {
 
 // NewIdentityFactory returns a chord.IdentityFactory that mints a key pair
 // per node, registers it in the directory, and has the CA issue the
-// certificate.
+// certificate. The factory serializes its draws from rng: a *rand.Rand is
+// not safe for concurrent use, and two joins minting identities at once
+// (concurrent transports run each join in its own host context) would
+// otherwise race on the shared source. Directory and CA are already
+// concurrency-safe; the lock covers only the key draw, so the seeded
+// single-goroutine simulator draws in exactly the order it always did.
 func NewIdentityFactory(dir *Directory, ca *xcrypto.CA, rng *rand.Rand) chord.IdentityFactory {
+	var mu sync.Mutex
 	return func(self chord.Peer) *chord.Identity {
+		mu.Lock()
 		kp, err := dir.scheme.GenerateKey(rng)
+		mu.Unlock()
 		if err != nil {
 			return nil
 		}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
+	"github.com/octopus-dht/octopus/internal/xcrypto"
+)
+
+// TestIdentityFactoryParallelJoins minted identities concurrently used to
+// race on the factory's shared *rand.Rand (run with -race to enforce the
+// fix): concurrent transports run each join in its own host goroutine, so
+// the factory must serialize its key draws. Every identity must still come
+// out valid and distinct.
+func TestIdentityFactoryParallelJoins(t *testing.T) {
+	dir := NewDirectory(xcrypto.SimScheme{})
+	auth, err := xcrypto.NewCA(dir.Scheme(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	factory := NewIdentityFactory(dir, auth, rand.New(rand.NewSource(2)))
+
+	const joins = 64
+	idents := make([]*chord.Identity, joins)
+	var wg sync.WaitGroup
+	for i := 0; i < joins; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idents[i] = factory(chord.Peer{ID: id.ID(i + 1), Addr: transport.Addr(i)})
+		}()
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool, joins)
+	for i, ident := range idents {
+		if ident == nil {
+			t.Fatalf("join %d minted no identity", i)
+		}
+		if seen[string(ident.Key.Public)] {
+			t.Fatalf("join %d drew a duplicate key (torn read of the shared source)", i)
+		}
+		seen[string(ident.Key.Public)] = true
+		key, ok := dir.Key(id.ID(i + 1))
+		if !ok || !bytes.Equal(key, ident.Key.Public) {
+			t.Errorf("join %d not registered in the directory", i)
+		}
+		if !dir.VerifyCert(ident.Cert) && len(dir.CAKey()) > 0 {
+			t.Errorf("join %d certificate does not verify", i)
+		}
+	}
+}

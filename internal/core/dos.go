@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
 	"github.com/octopus-dht/octopus/internal/transport"
 )
 
@@ -62,7 +63,7 @@ func (n *Node) watchReceipt(qid uint64, next transport.Addr, payload *RelayForwa
 			n.tr.After(n.Chord.Self.Addr, retention, func() { delete(n.receipts, qid) })
 			return
 		}
-		witnesses := n.pickWitnesses(2)
+		witnesses := n.pickWitnesses(2, next)
 		for _, w := range witnesses {
 			n.tr.Send(n.Chord.Self.Addr, w.Addr,
 				WitnessReq{QID: qid, Deliver: next, Payload: payload})
@@ -74,22 +75,30 @@ func (n *Node) watchReceipt(qid uint64, next transport.Addr, payload *RelayForwa
 	})
 }
 
-// pickWitnesses draws witnesses from the node's neighbor lists (the
+// pickWitnesses draws up to k witnesses from the node's neighbor lists (the
 // "pre-defined set of witnesses, e.g. its successors and predecessors").
-func (n *Node) pickWitnesses(k int) []chord.Peer {
+// The witnesses must be INDEPENDENT retriers: in a small ring the successor
+// and predecessor lists overlap heavily, so entries are deduplicated by
+// identifier, and the accused next hop — whose delivery is being
+// re-attempted — is excluded outright (a dropper must never witness its own
+// investigation).
+func (n *Node) pickWitnesses(k int, accused transport.Addr) []chord.Peer {
 	out := make([]chord.Peer, 0, k)
-	for _, p := range n.Chord.Successors() {
-		if len(out) >= k {
-			return out
+	seen := map[id.ID]bool{n.Chord.Self.ID: true}
+	add := func(ps []chord.Peer) {
+		for _, p := range ps {
+			if len(out) >= k {
+				return
+			}
+			if !p.Valid() || seen[p.ID] || p.Addr == accused {
+				continue
+			}
+			seen[p.ID] = true
+			out = append(out, p)
 		}
-		out = append(out, p)
 	}
-	for _, p := range n.Chord.Predecessors() {
-		if len(out) >= k {
-			return out
-		}
-		out = append(out, p)
-	}
+	add(n.Chord.Successors())
+	add(n.Chord.Predecessors())
 	return out
 }
 
@@ -136,6 +145,13 @@ func (n *Node) reportDroppedQuery(qid uint64, head, pair RelayPair) {
 				total--
 				if err == nil {
 					alive++
+				}
+				if n.timedOut[qid] {
+					// The reply surfaced while we were pinging: late,
+					// not lost. Every relay demonstrably did its job —
+					// reporting would hand the CA a fully receipted
+					// chain ending in an honest exit.
+					return
 				}
 				if total == 0 && alive == len(relays) {
 					// All four relays alive: the loss was malicious.

@@ -304,17 +304,21 @@ func (tl *tableLookup) done(owner chord.Peer, err error) {
 // GetTableReq (the key never leaves the initiator), and dummy queries are
 // interleaved to blunt range estimation. cb is invoked exactly once.
 func (n *Node) AnonLookup(key id.ID, cb func(chord.Peer, LookupStats, error)) {
+	n.AnonLookupFull(key, func(owner chord.Peer, _ DirectLookupResult, stats LookupStats, err error) {
+		cb(owner, stats, err)
+	})
+}
+
+// AnonLookupFull is AnonLookup additionally returning the DirectLookupResult
+// evidence: the signed routing table that vouched for the owner. Its
+// successor list names the nodes immediately after the owner — the replica
+// set internal/store fans reads out to when the owner itself is gone.
+func (n *Node) AnonLookupFull(key id.ID, cb func(chord.Peer, DirectLookupResult, LookupStats, error)) {
 	n.stats.lookupsStarted.Add(1)
-	head, err := n.takePair()
-	for tries := 0; err == nil && head.contains(n.Chord.Self) && tries < 4; tries++ {
-		head, err = n.takePair()
-	}
-	if err == nil && head.contains(n.Chord.Self) {
-		err = ErrNoRelays
-	}
+	head, err := n.takeHeadPair()
 	if err != nil {
 		n.stats.lookupsFailed.Add(1)
-		cb(chord.NoPeer, LookupStats{Started: n.tr.Now(), Finished: n.tr.Now()}, err)
+		cb(chord.NoPeer, DirectLookupResult{}, LookupStats{Started: n.tr.Now(), Finished: n.tr.Now()}, err)
 		return
 	}
 	dummiesLeft := n.cfg.Dummies
@@ -335,7 +339,7 @@ func (n *Node) AnonLookup(key id.ID, cb func(chord.Peer, LookupStats, error)) {
 		}
 		return true
 	}
-	tl = n.newTableLookup(key, send, func(owner chord.Peer, _ DirectLookupResult, err error) {
+	tl = n.newTableLookup(key, send, func(owner chord.Peer, res DirectLookupResult, err error) {
 		// Flush any dummies the probabilistic interleaving left over.
 		for dummiesLeft > 0 {
 			dummiesLeft--
@@ -347,7 +351,7 @@ func (n *Node) AnonLookup(key id.ID, cb func(chord.Peer, LookupStats, error)) {
 		} else {
 			n.stats.lookupsCompleted.Add(1)
 		}
-		cb(owner, tl.stats, err)
+		cb(owner, res, tl.stats, err)
 	})
 	tl.step()
 }

@@ -709,6 +709,11 @@ func NewAdmissionRelay(tr transport.Transport, caller, caAddr transport.Addr,
 			r, _ := resp.(CertIssueResp)
 			ch <- outcome{grant: r, err: err}
 		})
+		// NewTimer + Stop, not time.After: the handler runs once per
+		// admission attempt, and an unstopped timer would outlive every
+		// fast CA round trip by 1.5 timeouts.
+		deadline := time.NewTimer(timeout + timeout/2)
+		defer deadline.Stop()
 		select {
 		case out := <-ch:
 			if out.err != nil {
@@ -722,7 +727,7 @@ func NewAdmissionRelay(tr transport.Transport, caller, caAddr transport.Addr,
 				return RingAdmitResp{}, true
 			}
 			return RingAdmitResp{OK: true, Grant: out.grant, CAAddr: caAddr, Bootstrap: bootstrap}, true
-		case <-time.After(timeout + timeout/2):
+		case <-deadline.C:
 			return nil, false
 		}
 	}

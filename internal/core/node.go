@@ -132,6 +132,15 @@ type Node struct {
 	pending    map[uint64]*pendingQuery
 	receipts   map[uint64]Receipt
 	statements map[uint64][]WitnessResp
+	// timedOut tombstones the initiator's own queries whose deadline fired
+	// while the reply could still be in flight; the value flips to true
+	// when the reply then does arrive. A LATE reply — even a failed one —
+	// proves every relay did its job, so it must cancel the pending
+	// selective-DoS report: without this, a slow exit round trip (the
+	// exit's own RPC timeout plus tail latency can exceed QueryTimeout)
+	// ends with the CA walking a fully receipted chain and blaming the
+	// honest exit for a query that was answered, just slowly.
+	timedOut map[uint64]bool
 
 	// pool stocks unused relay pairs (host-context only; poolGauge
 	// mirrors its size for cross-goroutine observers). refills and
@@ -172,6 +181,10 @@ type Node struct {
 	// the table owner under test, the claimed finger that was checked,
 	// and whether a closer node was found.
 	OnFingerCheck func(owner, claimed chord.Peer, detected bool, err error)
+	// Extra handles message types unknown to the Octopus layer, exactly as
+	// chord.Node.Extra forwards what the routing layer does not understand.
+	// internal/store installs its 0x06xx handlers here.
+	Extra transport.Handler
 }
 
 // New builds an Octopus node over an existing Chord node (whose tables must
@@ -191,6 +204,7 @@ func New(cn *chord.Node, cfg Config, caAddr transport.Addr, dir *Directory) *Nod
 		pending:    make(map[uint64]*pendingQuery),
 		receipts:   make(map[uint64]Receipt),
 		statements: make(map[uint64][]WitnessResp),
+		timedOut:   make(map[uint64]bool),
 		fingerProv: make(map[id.ID]chord.RoutingTable),
 	}
 	cn.Cfg.DisableFingerUpdates = true
@@ -579,6 +593,9 @@ func (n *Node) handleExtra(from transport.Addr, req transport.Message) (transpor
 		n.handleRevocation(m)
 		return nil, false
 	default:
+		if n.Extra != nil {
+			return n.Extra(from, req)
+		}
 		return nil, false
 	}
 }
@@ -656,6 +673,12 @@ func (n *Node) handleReply(from transport.Addr, m RelayReply) {
 		p.cb(m.Resp, nil)
 		return
 	}
+	if _, mine := n.timedOut[m.QID]; mine {
+		// Our own query's reply arriving after the deadline: record it so
+		// the dropped-query report (still pinging the relays) stands down.
+		n.timedOut[m.QID] = true
+		return
+	}
 	n.stats.relayedReplies.Add(1)
 	m.Depth++
 	n.routeReplyBack(m.QID, m)
@@ -718,12 +741,52 @@ func (n *Node) chainQuery(route []chord.Peer, target chord.Peer, req transport.M
 	timer := n.tr.After(n.Chord.Self.Addr, timeout, func() {
 		if p, ok := n.pending[qid]; ok {
 			delete(n.pending, qid)
+			// Tombstone the query so a reply still in flight is
+			// recognized as late (not relayed traffic) and can veto the
+			// DoS report; retention outlives the report's ping round.
+			n.timedOut[qid] = false
+			n.tr.After(n.Chord.Self.Addr, 4*n.cfg.QueryTimeout, func() { delete(n.timedOut, qid) })
 			p.cb(nil, ErrQueryTimeout)
 		}
 	})
 	n.pending[qid] = &pendingQuery{cb: cb, timer: timer}
 	n.tr.Send(n.Chord.Self.Addr, route[0].Addr, *inner)
 	return qid
+}
+
+// takeHeadPair draws a head relay pair that does not contain the node
+// itself, the shared precondition of every anonymous operation.
+func (n *Node) takeHeadPair() (RelayPair, error) {
+	head, err := n.takePair()
+	for tries := 0; err == nil && head.contains(n.Chord.Self) && tries < 4; tries++ {
+		head, err = n.takePair()
+	}
+	if err == nil && head.contains(n.Chord.Self) {
+		err = ErrNoRelays
+	}
+	return head, err
+}
+
+// AnonRPC sends one request to target over a fresh 4-relay anonymous path —
+// a head pair plus a disjoint per-query pair drawn exactly as a lookup's
+// queries draw theirs — and invokes cb exactly once with the target's
+// response. The target never learns the initiator: it sees only the exit
+// relay. internal/store rides its reads and writes on this so a stored key
+// is never linkable to the node that put or fetched it. Must be called from
+// the node's serialization context; cb may run synchronously when no relay
+// pair can be assembled (ErrNoRelays).
+func (n *Node) AnonRPC(target chord.Peer, req transport.Message, cb func(transport.Message, error)) {
+	head, err := n.takeHeadPair()
+	if err != nil {
+		cb(nil, err)
+		return
+	}
+	pair, err := n.takePairDisjoint(head)
+	if err != nil {
+		cb(nil, err)
+		return
+	}
+	n.anonQuery(head, pair, target, req, cb)
 }
 
 // anonQuery sends req to target through the 4-relay anonymous path

@@ -1,0 +1,396 @@
+// Package store layers a replicated key-value subsystem over Octopus's
+// secure and anonymous lookups — the workload the paper's lookup primitive
+// exists to serve. A write resolves the key's owner with an anonymous
+// lookup and delivers the value over an anonymous path (core.AnonRPC), so
+// the ring never links a key to the node storing it; the owner then
+// replicates to its successor list (core.Config.StoreReplicas copies in
+// total). A read resolves the owner the same way and tries the owner and
+// its successors in order, each attempt bounded by the anonymous-query
+// timeout, so a freshly dead owner degrades to one extra round instead of a
+// miss. Churn re-replication rides the membership machinery: a joining node
+// pulls the key range it now owns from its successor, a gracefully leaving
+// node hands its keys over, and the periodic sync re-spreads owned keys
+// after unplanned deaths.
+package store
+
+import (
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
+)
+
+// Wire type codes of the storage registry (0x06xx block,
+// docs/PROTOCOL.md §8). 0x060x are the ring-internal messages; 0x061x are
+// the client-facing messages served on the bootstrap channel.
+const (
+	wireStoreReq      = 0x0601
+	wireStoreResp     = 0x0602
+	wireFetchReq      = 0x0603
+	wireFetchResp     = 0x0604
+	wireReplicateReq  = 0x0605
+	wireReplicateResp = 0x0606
+	wirePullReq       = 0x0607
+	wirePullResp      = 0x0608
+	wireClientPutReq  = 0x0611
+	wireClientPutResp = 0x0612
+	wireClientGetReq  = 0x0613
+	wireClientGetResp = 0x0614
+)
+
+// MaxValueSize bounds one stored value. The wire format length-prefixes
+// values with a uint16, so anything larger could not round-trip; the bound
+// is enforced at every write entry point rather than discovered as a
+// corrupt frame.
+const MaxValueSize = 60000
+
+// KV is one replicated entry as it travels in replication and handover
+// batches. Version orders writes (last writer wins): owners stamp it from
+// the transport clock, strictly above any version they already hold.
+type KV struct {
+	Key     id.ID
+	Version uint64
+	Value   []byte
+}
+
+func encodeKV(w *transport.Writer, e KV) {
+	w.U64(uint64(e.Key))
+	w.U64(e.Version)
+	w.Bytes16(e.Value)
+}
+
+func decodeKV(r *transport.Reader) KV {
+	return KV{Key: id.ID(r.U64()), Version: r.U64(), Value: r.Bytes16()}
+}
+
+// minKVWireSize bounds up-front allocation for entry lists: key + version +
+// value length prefix.
+const minKVWireSize = 8 + 8 + 2
+
+func encodeKVs(w *transport.Writer, es []KV) {
+	w.U16(uint16(len(es)))
+	for _, e := range es {
+		encodeKV(w, e)
+	}
+}
+
+func decodeKVs(r *transport.Reader) []KV {
+	n := int(r.U16())
+	if n == 0 {
+		return nil
+	}
+	if r.Err() != nil || r.Remaining() < n*minKVWireSize {
+		r.Fail()
+		return nil
+	}
+	es := make([]KV, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		es = append(es, decodeKV(r))
+	}
+	return es
+}
+
+// StoreReq asks the key's owner to store a value. It arrives over an
+// anonymous path (the owner sees only the exit relay), so it carries no
+// writer identity; the owner stamps the version and fans the entry out to
+// its successor list.
+type StoreReq struct {
+	Key   id.ID
+	Value []byte
+}
+
+// Size implements transport.Message.
+func (m StoreReq) Size() int { return transport.EncodedSize(m) }
+
+// StoreResp acknowledges a store. Replicas is the number of copies the
+// owner targeted (itself plus the successors it fanned out to).
+type StoreResp struct {
+	OK       bool
+	Replicas uint16
+}
+
+// Size implements transport.Message.
+func (m StoreResp) Size() int { return transport.EncodedSize(m) }
+
+// FetchReq asks any replica for its copy of a key. Like StoreReq it travels
+// anonymously, so a reader is never linkable to the keys it consumes.
+type FetchReq struct {
+	Key id.ID
+}
+
+// Size implements transport.Message.
+func (m FetchReq) Size() int { return transport.EncodedSize(m) }
+
+// FetchResp returns a replica's copy, when it holds one.
+type FetchResp struct {
+	Found   bool
+	Version uint64
+	Value   []byte
+}
+
+// Size implements transport.Message.
+func (m FetchResp) Size() int { return transport.EncodedSize(m) }
+
+// ReplicateReq copies entries between ring members: owner → successor
+// fan-out after a write, the periodic re-replication sync, and a leaving
+// node's handover all use it. Receivers keep the higher version per key, so
+// replication is idempotent and late batches cannot roll an entry back.
+type ReplicateReq struct {
+	Entries []KV
+}
+
+// Size implements transport.Message.
+func (m ReplicateReq) Size() int { return transport.EncodedSize(m) }
+
+// ReplicateResp acknowledges a replication batch. Stored counts the entries
+// that were new (or newer) to the receiver.
+type ReplicateResp struct {
+	OK     bool
+	Stored uint16
+}
+
+// Size implements transport.Message.
+func (m ReplicateResp) Size() int { return transport.EncodedSize(m) }
+
+// PullReq asks a successor for every entry in the clockwise key range
+// (From, To] — the range a joining node now owns and must serve.
+type PullReq struct {
+	From, To id.ID
+}
+
+// Size implements transport.Message.
+func (m PullReq) Size() int { return transport.EncodedSize(m) }
+
+// PullResp returns the requested range.
+type PullResp struct {
+	Entries []KV
+}
+
+// Size implements transport.Message.
+func (m PullResp) Size() int { return transport.EncodedSize(m) }
+
+// ClientPutReq is the client-facing write: an external process that holds
+// no ring slot stores a value through a serving daemon over the bootstrap
+// channel (docs/PROTOCOL.md §6), exactly as ClientLookupReq serves lookups.
+// Seq is echoed so clients may pipeline requests on one connection.
+type ClientPutReq struct {
+	Seq   uint64
+	Key   id.ID
+	Value []byte
+}
+
+// Size implements transport.Message.
+func (m ClientPutReq) Size() int { return transport.EncodedSize(m) }
+
+// ClientPutResp reports one served write. Busy distinguishes backpressure
+// (retry later) from a failed write.
+type ClientPutResp struct {
+	Seq  uint64
+	OK   bool
+	Busy bool
+	// Replicas is the number of copies the owner targeted.
+	Replicas uint16
+	// LatencyMicros is the daemon-observed duration of the whole write
+	// (lookup + anonymous store + fan-out acknowledgement).
+	LatencyMicros uint64
+}
+
+// Size implements transport.Message.
+func (m ClientPutResp) Size() int { return transport.EncodedSize(m) }
+
+// ClientGetReq is the client-facing read.
+type ClientGetReq struct {
+	Seq uint64
+	Key id.ID
+}
+
+// Size implements transport.Message.
+func (m ClientGetReq) Size() int { return transport.EncodedSize(m) }
+
+// ClientGetResp reports one served read. Found=false with Busy=false means
+// no replica holds the key.
+type ClientGetResp struct {
+	Seq     uint64
+	Found   bool
+	Busy    bool
+	Version uint64
+	Value   []byte
+	// Tried is the number of replicas contacted before the answer.
+	Tried         uint16
+	LatencyMicros uint64
+}
+
+// Size implements transport.Message.
+func (m ClientGetResp) Size() int { return transport.EncodedSize(m) }
+
+func init() {
+	transport.RegisterType(wireStoreReq, func(r *transport.Reader) transport.Wire {
+		return StoreReq{Key: id.ID(r.U64()), Value: r.Bytes16()}
+	})
+	transport.RegisterType(wireStoreResp, func(r *transport.Reader) transport.Wire {
+		return StoreResp{OK: r.Bool(), Replicas: r.U16()}
+	})
+	transport.RegisterType(wireFetchReq, func(r *transport.Reader) transport.Wire {
+		return FetchReq{Key: id.ID(r.U64())}
+	})
+	transport.RegisterType(wireFetchResp, func(r *transport.Reader) transport.Wire {
+		return FetchResp{Found: r.Bool(), Version: r.U64(), Value: r.Bytes16()}
+	})
+	transport.RegisterType(wireReplicateReq, func(r *transport.Reader) transport.Wire {
+		return ReplicateReq{Entries: decodeKVs(r)}
+	})
+	transport.RegisterType(wireReplicateResp, func(r *transport.Reader) transport.Wire {
+		return ReplicateResp{OK: r.Bool(), Stored: r.U16()}
+	})
+	transport.RegisterType(wirePullReq, func(r *transport.Reader) transport.Wire {
+		return PullReq{From: id.ID(r.U64()), To: id.ID(r.U64())}
+	})
+	transport.RegisterType(wirePullResp, func(r *transport.Reader) transport.Wire {
+		return PullResp{Entries: decodeKVs(r)}
+	})
+	transport.RegisterType(wireClientPutReq, func(r *transport.Reader) transport.Wire {
+		return ClientPutReq{Seq: r.U64(), Key: id.ID(r.U64()), Value: r.Bytes16()}
+	})
+	transport.RegisterType(wireClientPutResp, func(r *transport.Reader) transport.Wire {
+		m := ClientPutResp{Seq: r.U64()}
+		flags := r.U8()
+		m.OK = flags&1 != 0
+		m.Busy = flags&2 != 0
+		m.Replicas = r.U16()
+		m.LatencyMicros = r.U64()
+		return m
+	})
+	transport.RegisterType(wireClientGetReq, func(r *transport.Reader) transport.Wire {
+		return ClientGetReq{Seq: r.U64(), Key: id.ID(r.U64())}
+	})
+	transport.RegisterType(wireClientGetResp, func(r *transport.Reader) transport.Wire {
+		m := ClientGetResp{Seq: r.U64()}
+		flags := r.U8()
+		m.Found = flags&1 != 0
+		m.Busy = flags&2 != 0
+		m.Version = r.U64()
+		m.Value = r.Bytes16()
+		m.Tried = r.U16()
+		m.LatencyMicros = r.U64()
+		return m
+	})
+}
+
+// WireType implements transport.Wire.
+func (StoreReq) WireType() uint16 { return wireStoreReq }
+
+// EncodePayload implements transport.Wire.
+func (m StoreReq) EncodePayload(w *transport.Writer) {
+	w.U64(uint64(m.Key))
+	w.Bytes16(m.Value)
+}
+
+// WireType implements transport.Wire.
+func (StoreResp) WireType() uint16 { return wireStoreResp }
+
+// EncodePayload implements transport.Wire.
+func (m StoreResp) EncodePayload(w *transport.Writer) {
+	w.Bool(m.OK)
+	w.U16(m.Replicas)
+}
+
+// WireType implements transport.Wire.
+func (FetchReq) WireType() uint16 { return wireFetchReq }
+
+// EncodePayload implements transport.Wire.
+func (m FetchReq) EncodePayload(w *transport.Writer) { w.U64(uint64(m.Key)) }
+
+// WireType implements transport.Wire.
+func (FetchResp) WireType() uint16 { return wireFetchResp }
+
+// EncodePayload implements transport.Wire.
+func (m FetchResp) EncodePayload(w *transport.Writer) {
+	w.Bool(m.Found)
+	w.U64(m.Version)
+	w.Bytes16(m.Value)
+}
+
+// WireType implements transport.Wire.
+func (ReplicateReq) WireType() uint16 { return wireReplicateReq }
+
+// EncodePayload implements transport.Wire.
+func (m ReplicateReq) EncodePayload(w *transport.Writer) { encodeKVs(w, m.Entries) }
+
+// WireType implements transport.Wire.
+func (ReplicateResp) WireType() uint16 { return wireReplicateResp }
+
+// EncodePayload implements transport.Wire.
+func (m ReplicateResp) EncodePayload(w *transport.Writer) {
+	w.Bool(m.OK)
+	w.U16(m.Stored)
+}
+
+// WireType implements transport.Wire.
+func (PullReq) WireType() uint16 { return wirePullReq }
+
+// EncodePayload implements transport.Wire.
+func (m PullReq) EncodePayload(w *transport.Writer) {
+	w.U64(uint64(m.From))
+	w.U64(uint64(m.To))
+}
+
+// WireType implements transport.Wire.
+func (PullResp) WireType() uint16 { return wirePullResp }
+
+// EncodePayload implements transport.Wire.
+func (m PullResp) EncodePayload(w *transport.Writer) { encodeKVs(w, m.Entries) }
+
+// WireType implements transport.Wire.
+func (ClientPutReq) WireType() uint16 { return wireClientPutReq }
+
+// EncodePayload implements transport.Wire.
+func (m ClientPutReq) EncodePayload(w *transport.Writer) {
+	w.U64(m.Seq)
+	w.U64(uint64(m.Key))
+	w.Bytes16(m.Value)
+}
+
+// WireType implements transport.Wire.
+func (ClientPutResp) WireType() uint16 { return wireClientPutResp }
+
+// EncodePayload implements transport.Wire.
+func (m ClientPutResp) EncodePayload(w *transport.Writer) {
+	w.U64(m.Seq)
+	var flags uint8
+	if m.OK {
+		flags |= 1
+	}
+	if m.Busy {
+		flags |= 2
+	}
+	w.U8(flags)
+	w.U16(m.Replicas)
+	w.U64(m.LatencyMicros)
+}
+
+// WireType implements transport.Wire.
+func (ClientGetReq) WireType() uint16 { return wireClientGetReq }
+
+// EncodePayload implements transport.Wire.
+func (m ClientGetReq) EncodePayload(w *transport.Writer) {
+	w.U64(m.Seq)
+	w.U64(uint64(m.Key))
+}
+
+// WireType implements transport.Wire.
+func (ClientGetResp) WireType() uint16 { return wireClientGetResp }
+
+// EncodePayload implements transport.Wire.
+func (m ClientGetResp) EncodePayload(w *transport.Writer) {
+	w.U64(m.Seq)
+	var flags uint8
+	if m.Found {
+		flags |= 1
+	}
+	if m.Busy {
+		flags |= 2
+	}
+	w.U8(flags)
+	w.U64(m.Version)
+	w.Bytes16(m.Value)
+	w.U16(m.Tried)
+	w.U64(m.LatencyMicros)
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/core"
+	"github.com/octopus-dht/octopus/internal/store"
 	"github.com/octopus-dht/octopus/internal/transport"
 )
 
@@ -32,6 +33,18 @@ func TestProtocolDocFixedSizes(t *testing.T) {
 		{"SuspectResp", chord.SuspectResp{}, 16},
 		{"ClientLookupReq", core.ClientLookupReq{}, 18},
 		{"ClientLookupResp", core.ClientLookupResp{}, 49},
+		{"StoreReq", store.StoreReq{}, 12},
+		{"StoreResp", store.StoreResp{}, 5},
+		{"FetchReq", store.FetchReq{}, 10},
+		{"FetchResp", store.FetchResp{}, 13},
+		{"ReplicateReq", store.ReplicateReq{}, 4},
+		{"ReplicateResp", store.ReplicateResp{}, 5},
+		{"PullReq", store.PullReq{}, 18},
+		{"PullResp", store.PullResp{}, 4},
+		{"ClientPutReq", store.ClientPutReq{}, 20},
+		{"ClientPutResp", store.ClientPutResp{}, 21},
+		{"ClientGetReq", store.ClientGetReq{}, 18},
+		{"ClientGetResp", store.ClientGetResp{}, 31},
 	}
 	for _, c := range cases {
 		if got := c.m.Size(); got != c.want {
