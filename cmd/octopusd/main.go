@@ -99,6 +99,10 @@ func main() {
 
 		alpha        = flag.Int("alpha", 3, "α: concurrent table queries per lookup (1 = the paper's sequential schedule)")
 		poolTarget   = flag.Int("pool-target", 16, "relay pairs the managed pool keeps pre-built (0 = passive WalkEvery-only pool)")
+		cacheSize    = flag.Int("cache-size", 256, "lookup-result cache entries per node (0 disables; membership events flush it)")
+		cacheTTL     = flag.Duration("cache-ttl", 60*time.Second, "lookup-result cache entry lifetime")
+		batchBytes   = flag.Int("batch-bytes", 64<<10, "max bytes coalesced into one socket write per TCP link")
+		batchLinger  = flag.Duration("batch-linger", 0, "extra wait for more frames before flushing a non-full batch (0 = flush as soon as the link queue drains)")
 		serveLookups = flag.Bool("serve-lookups", true, "serve ClientLookupReq (0x05xx) from external clients on the bootstrap channel")
 		serveWorkers = flag.Int("serve-workers", 8, "lookup-service worker slots (concurrent client lookups)")
 		serveQueue   = flag.Int("serve-queue", 64, "lookup-service queue depth before clients see backpressure")
@@ -129,6 +133,8 @@ func main() {
 		fixFingers: *fixFingers, rpcTimeout: *rpcTimeout, queryTO: *queryTO,
 		dummies: *dummies, relayDelay: *relayDelay,
 		alpha: *alpha, poolTarget: *poolTarget,
+		cacheSize: *cacheSize, cacheTTL: *cacheTTL,
+		batchBytes: *batchBytes, batchLinger: *batchLinger,
 		serveLookups: *serveLookups, serveWorkers: *serveWorkers,
 		serveQueue: *serveQueue, servePer: *servePer, serveTO: *serveTO,
 		serveStore: *serveStore, storeReplicas: *storeReplicas, storeSync: *storeSync,
@@ -165,6 +171,10 @@ type daemonOpts struct {
 
 	alpha        int
 	poolTarget   int
+	cacheSize    int
+	cacheTTL     time.Duration
+	batchBytes   int
+	batchLinger  time.Duration
 	serveLookups bool
 	serveWorkers int
 	serveQueue   int
@@ -191,6 +201,8 @@ func (opts daemonOpts) coreConfig(n int) core.Config {
 	cfg.Chord.RPCTimeout = opts.rpcTimeout
 	cfg.LookupParallelism = opts.alpha
 	cfg.PairPoolTarget = opts.poolTarget
+	cfg.LookupCacheSize = opts.cacheSize
+	cfg.LookupCacheTTL = opts.cacheTTL
 	cfg.StoreReplicas = opts.storeReplicas
 	return cfg
 }
@@ -277,10 +289,12 @@ func run(configPath, listen string, opts daemonOpts) error {
 	endpoints := append(append([]string{}, rc.Nodes...), rc.CA)
 
 	tr, err := nettransport.New(nettransport.Config{
-		Listen:    listen,
-		Self:      listen,
-		Endpoints: endpoints,
-		Seed:      rc.Seed,
+		Listen:      listen,
+		Self:        listen,
+		Endpoints:   endpoints,
+		Seed:        rc.Seed,
+		BatchBytes:  opts.batchBytes,
+		BatchLinger: opts.batchLinger,
 	})
 	if err != nil {
 		return err
@@ -534,10 +548,12 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 	}
 
 	tr, err := nettransport.New(nettransport.Config{
-		Listen:    listen,
-		Self:      listen,
-		Endpoints: grant.Endpoints,
-		Seed:      seed, // private randomness: the joiner shares no deterministic state
+		Listen:      listen,
+		Self:        listen,
+		Endpoints:   grant.Endpoints,
+		Seed:        seed, // private randomness: the joiner shares no deterministic state
+		BatchBytes:  opts.batchBytes,
+		BatchLinger: opts.batchLinger,
 	})
 	if err != nil {
 		return err

@@ -25,9 +25,25 @@ const (
 	wireNotifyResp    = 0x010A
 )
 
+// Pre-boxed singletons for the field-free and two-bool message types: their
+// decoders return shared interface values instead of heap-boxing a fresh
+// struct per frame. Receivers get value copies on type assertion, so sharing
+// is invisible.
+var (
+	pingReqBoxed     transport.Wire = PingReq{}
+	pingRespBoxed    transport.Wire = PingResp{}
+	notifyRespBoxed  transport.Wire = NotifyResp{}
+	getTableReqBoxed [2][2]transport.Wire
+)
+
 func init() {
-	transport.RegisterType(wirePingReq, func(r *transport.Reader) transport.Wire { return PingReq{} })
-	transport.RegisterType(wirePingResp, func(r *transport.Reader) transport.Wire { return PingResp{} })
+	for _, s := range []bool{false, true} {
+		for _, p := range []bool{false, true} {
+			getTableReqBoxed[b2i(s)][b2i(p)] = GetTableReq{IncludeSuccessors: s, IncludePredecessors: p}
+		}
+	}
+	transport.RegisterType(wirePingReq, func(r *transport.Reader) transport.Wire { return pingReqBoxed })
+	transport.RegisterType(wirePingResp, func(r *transport.Reader) transport.Wire { return pingRespBoxed })
 	transport.RegisterType(wireFindNextReq, func(r *transport.Reader) transport.Wire {
 		return FindNextReq{Key: id.ID(r.U64())}
 	})
@@ -35,7 +51,7 @@ func init() {
 		return FindNextResp{Done: r.Bool(), Owner: DecodePeer(r), Next: DecodePeer(r)}
 	})
 	transport.RegisterType(wireGetTableReq, func(r *transport.Reader) transport.Wire {
-		return GetTableReq{IncludeSuccessors: r.Bool(), IncludePredecessors: r.Bool()}
+		return getTableReqBoxed[b2i(r.Bool())][b2i(r.Bool())]
 	})
 	transport.RegisterType(wireGetTableResp, func(r *transport.Reader) transport.Wire {
 		return GetTableResp{Table: DecodeTable(r)}
@@ -49,7 +65,61 @@ func init() {
 	transport.RegisterType(wireNotifyReq, func(r *transport.Reader) transport.Wire {
 		return NotifyReq{Clockwise: r.Bool(), Who: DecodePeer(r)}
 	})
-	transport.RegisterType(wireNotifyResp, func(r *transport.Reader) transport.Wire { return NotifyResp{} })
+	transport.RegisterType(wireNotifyResp, func(r *transport.Reader) transport.Wire { return notifyRespBoxed })
+	// Table-carrying responses decode through the slab/alias paths below, so
+	// a caller that owns the buffer lifetime may decode them borrowed.
+	transport.MarkBorrowSafe(wireGetTableResp)
+	transport.MarkBorrowSafe(wireStabilizeResp)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// tableScratch is the reusable peer slab behind borrow-mode table decodes.
+// It lives in the pooled Reader's scratch slot; AcquireReader calls Reset.
+type tableScratch struct {
+	peers []Peer
+	used  int
+}
+
+// Reset recycles the slab for the Reader's next acquisition.
+func (s *tableScratch) Reset() { s.used = 0 }
+
+// peerSlab returns an n-peer slice: heap-allocated normally, carved from the
+// reader's reusable scratch in borrow mode (valid until the reader is
+// released or reused, like every borrow-mode result).
+func peerSlab(r *transport.Reader, n int) []Peer {
+	if n == 0 {
+		return make([]Peer, 0)
+	}
+	if !r.Borrowing() {
+		return make([]Peer, n)
+	}
+	s, _ := r.Scratch().(*tableScratch)
+	if s == nil {
+		s = &tableScratch{}
+		r.SetScratch(s)
+	}
+	if len(s.peers)-s.used < n {
+		c := 2 * cap(s.peers)
+		if c < n {
+			c = n
+		}
+		if c < 64 {
+			c = 64
+		}
+		// Slices carved earlier keep the old backing array; only future
+		// carves use the new slab.
+		s.peers = make([]Peer, c)
+		s.used = 0
+	}
+	ps := s.peers[s.used : s.used+n : s.used+n]
+	s.used += n
+	return ps
 }
 
 // EncodePeer writes a routing item: ring identifier (8 bytes) plus endpoint
@@ -88,7 +158,7 @@ func DecodePeers(r *transport.Reader) []Peer {
 		r.Fail()
 		return nil
 	}
-	ps := make([]Peer, n)
+	ps := peerSlab(r, n)
 	for i := range ps {
 		ps[i] = DecodePeer(r)
 	}
@@ -123,9 +193,10 @@ func DecodeTable(r *transport.Reader) RoutingTable {
 			r.Fail()
 			return RoutingTable{}
 		}
-		rt.FingerExps = make([]uint8, n)
-		for i := range rt.FingerExps {
-			rt.FingerExps[i] = r.U8()
+		if n == 0 {
+			rt.FingerExps = []uint8{} // presence flag: empty, not nil
+		} else {
+			rt.FingerExps = r.Raw(n)
 		}
 	}
 	rt.Successors = DecodePeers(r)

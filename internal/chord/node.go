@@ -108,6 +108,12 @@ type Node struct {
 	// OnNeighborTable fires whenever a stabilization exchange delivers a
 	// neighbor's signed table (Octopus proof queue, §4.3).
 	OnNeighborTable func(src Peer, table RoutingTable)
+	// OnNeighborDropped fires whenever a neighbor is spliced out of the
+	// successor/predecessor lists — leave notices, failed stabilization
+	// probes, and identity mismatches all funnel through it. Octopus uses
+	// it to invalidate cached lookup results: any membership shift can
+	// move key ownership.
+	OnNeighborDropped func(p Peer)
 	// OnLookupDone fires after each locally-initiated lookup completes.
 	OnLookupDone func(key id.ID, owner Peer, err error)
 }
@@ -552,6 +558,9 @@ func (n *Node) dropNeighbor(p Peer, clockwise bool) {
 		if f.Valid() && f.ID == p.ID {
 			n.fingers[i] = NoPeer
 		}
+	}
+	if n.OnNeighborDropped != nil {
+		n.OnNeighborDropped(p)
 	}
 }
 

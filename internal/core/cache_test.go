@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
+)
+
+// cacheRes builds a minimal valid result for slot a.
+func cacheRes(a int) DirectLookupResult {
+	return DirectLookupResult{Owner: chord.Peer{ID: id.ID(a + 1), Addr: transport.Addr(a)}}
+}
+
+// TestLookupCacheBasics drives the cache's whole lifecycle on a manual
+// clock: hit, miss, TTL expiry, point invalidation, and full flush.
+func TestLookupCacheBasics(t *testing.T) {
+	now := time.Duration(0)
+	c := newLookupCache(4, 10*time.Second, func() time.Duration { return now })
+
+	key := id.ID(42)
+	if _, ok := c.get(key); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.put(key, cacheRes(3))
+	if res, ok := c.get(key); !ok || res.Owner.Addr != 3 {
+		t.Fatalf("get after put: ok=%v res=%+v", ok, res)
+	}
+
+	// An entry refreshed just before expiry lives a full TTL from the
+	// refresh, not from first insertion.
+	now = 9 * time.Second
+	c.put(key, cacheRes(5))
+	now = 15 * time.Second
+	if res, ok := c.get(key); !ok || res.Owner.Addr != 5 {
+		t.Fatalf("refreshed entry expired early: ok=%v res=%+v", ok, res)
+	}
+	now = 20 * time.Second
+	if _, ok := c.get(key); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	// Expiry deletes: a later clock rollback (never happens live, but pins
+	// that the miss was a delete, not a comparison).
+	now = 0
+	if _, ok := c.get(key); ok {
+		t.Fatal("expired entry was not deleted on the missing read")
+	}
+
+	c.put(key, cacheRes(1))
+	c.invalidate(key)
+	if _, ok := c.get(key); ok {
+		t.Fatal("hit after invalidate")
+	}
+
+	c.put(id.ID(1), cacheRes(1))
+	c.put(id.ID(2), cacheRes(2))
+	if !c.flush() {
+		t.Fatal("flush of a populated cache reported nothing dropped")
+	}
+	if c.flush() {
+		t.Fatal("flush of an empty cache reported entries dropped")
+	}
+	if _, ok := c.get(id.ID(1)); ok {
+		t.Fatal("hit after flush")
+	}
+}
+
+// TestLookupCacheEviction: at capacity the OLDEST insertion is evicted
+// (FIFO), and order entries orphaned by invalidation don't consume the
+// eviction of a live entry.
+func TestLookupCacheEviction(t *testing.T) {
+	now := time.Duration(0)
+	c := newLookupCache(2, time.Hour, func() time.Duration { return now })
+
+	c.put(id.ID(1), cacheRes(1))
+	c.put(id.ID(2), cacheRes(2))
+	c.put(id.ID(3), cacheRes(3)) // evicts key 1
+	if _, ok := c.get(id.ID(1)); ok {
+		t.Fatal("oldest entry survived eviction at capacity")
+	}
+	for _, k := range []id.ID{2, 3} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("live entry %d evicted", k)
+		}
+	}
+
+	// Invalidate the older live entry, then insert: the orphaned order slot
+	// must be skipped and both remaining entries kept.
+	c.invalidate(id.ID(2))
+	c.put(id.ID(4), cacheRes(4))
+	for _, k := range []id.ID{3, 4} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %d lost after orphan-skipping eviction", k)
+		}
+	}
+	if len(c.entries) > c.cap {
+		t.Fatalf("cache grew past capacity: %d > %d", len(c.entries), c.cap)
+	}
+}
+
+// TestLookupCacheRejectsInvalidOwner: a result without a valid owner is
+// never cached (nothing useful to serve), and size zero disables caching
+// entirely.
+func TestLookupCacheRejectsInvalidOwner(t *testing.T) {
+	c := newLookupCache(2, time.Hour, func() time.Duration { return 0 })
+	c.put(id.ID(1), DirectLookupResult{Owner: chord.NoPeer})
+	if _, ok := c.get(id.ID(1)); ok {
+		t.Fatal("cached a result with an invalid owner")
+	}
+	if newLookupCache(0, time.Hour, nil) != nil {
+		t.Fatal("capacity 0 must return a nil (disabled) cache")
+	}
+}

@@ -88,6 +88,16 @@ type Config struct {
 	// that times out while all four path relays answer pings is reported
 	// to the CA for a receipt-trail investigation.
 	DoSDefense bool
+	// LookupCacheSize bounds the cache of successful anonymous-lookup
+	// results (owner + successor-list evidence, keyed by target ID) that
+	// AnonLookupFull consults before spending relay pairs. Zero disables
+	// caching entirely — required for bit-identical seeded paper runs,
+	// which must issue every query (see paperCoreConfig).
+	LookupCacheSize int
+	// LookupCacheTTL bounds how long a cached lookup result may be served.
+	// Zero means 60 s (when the cache is enabled at all). The cache is
+	// additionally flushed on every membership event the node observes.
+	LookupCacheTTL time.Duration
 	// EstimatedSize is the node's estimate of the network size, feeding
 	// the NISAN-style bound checker used on walk and lookup tables.
 	EstimatedSize int
@@ -112,6 +122,8 @@ func DefaultConfig() Config {
 		LookupParallelism: 3,
 		PairPoolTarget:    16,
 		PairMaxAge:        5 * time.Minute,
+		LookupCacheSize:   256,
+		LookupCacheTTL:    60 * time.Second,
 		StoreReplicas:     3,
 		EstimatedSize:     1000,
 		BoundFactor:       8,

@@ -315,6 +315,18 @@ func (n *Node) AnonLookup(key id.ID, cb func(chord.Peer, LookupStats, error)) {
 // set internal/store fans reads out to when the owner itself is gone.
 func (n *Node) AnonLookupFull(key id.ID, cb func(chord.Peer, DirectLookupResult, LookupStats, error)) {
 	n.stats.lookupsStarted.Add(1)
+	if n.lcache != nil {
+		if res, ok := n.lcache.get(key); ok {
+			// Served from the cache: no queries, no relay pairs. cb runs
+			// synchronously, like the ErrNoRelays path.
+			n.stats.cacheHits.Add(1)
+			n.stats.lookupsCompleted.Add(1)
+			now := n.tr.Now()
+			cb(res.Owner, res, LookupStats{Started: now, Finished: now}, nil)
+			return
+		}
+		n.stats.cacheMisses.Add(1)
+	}
 	head, err := n.takeHeadPair()
 	if err != nil {
 		n.stats.lookupsFailed.Add(1)
@@ -350,6 +362,7 @@ func (n *Node) AnonLookupFull(key id.ID, cb func(chord.Peer, DirectLookupResult,
 			n.stats.lookupsFailed.Add(1)
 		} else {
 			n.stats.lookupsCompleted.Add(1)
+			n.cacheLookupResult(key, owner, res)
 		}
 		cb(owner, res, tl.stats, err)
 	})

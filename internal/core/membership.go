@@ -584,6 +584,9 @@ func (n *Node) handleRevocation(m RevocationAnnounce) {
 		return
 	}
 	n.dir.Revoke(m.Node)
+	// The evicted identity may be a cached owner or live in cached
+	// successor-list evidence.
+	n.flushLookupCache()
 }
 
 // grantResp assembles the admission response for a (possibly re-issued)
@@ -678,6 +681,9 @@ func (n *Node) handleAnnounce(m EndpointAnnounce) {
 			reg.SetEndpoint(m.Who.Addr, m.Endpoint)
 		}
 	}
+	// A verified announce means membership shifted: a joiner may now own
+	// keys that cached lookups still attribute to its successor.
+	n.flushLookupCache()
 }
 
 // NewAdmissionRelay returns the bootstrap-request handler an octopusd
@@ -742,6 +748,7 @@ func (n *Node) Leave(done func(error)) {
 		stop()
 	}
 	n.stops = nil
+	n.flushLookupCache()
 	n.Chord.Leave(done)
 }
 

@@ -50,6 +50,13 @@ type NodeStats struct {
 	// PairsDiscarded counts pooled pairs dropped by the managed pool's
 	// freshness/liveness vetting instead of being handed out.
 	PairsDiscarded uint64
+	// CacheHits/CacheMisses count AnonLookupFull consultations of the
+	// lookup-result cache (both zero when caching is disabled).
+	CacheHits   uint64
+	CacheMisses uint64
+	// CacheFlushes counts whole-cache invalidations driven by membership
+	// events (neighbor drops, announces, revocations, own departure).
+	CacheFlushes uint64
 }
 
 // nodeCounters is the live, concurrency-safe form of NodeStats. Counters
@@ -72,6 +79,9 @@ type nodeCounters struct {
 	relayedReplies   atomic.Uint64
 	refillWalks      atomic.Uint64
 	pairsDiscarded   atomic.Uint64
+	cacheHits        atomic.Uint64
+	cacheMisses      atomic.Uint64
+	cacheFlushes     atomic.Uint64
 }
 
 func (c *nodeCounters) snapshot() NodeStats {
@@ -91,6 +101,9 @@ func (c *nodeCounters) snapshot() NodeStats {
 		RelayedReplies:   c.relayedReplies.Load(),
 		RefillWalks:      c.refillWalks.Load(),
 		PairsDiscarded:   c.pairsDiscarded.Load(),
+		CacheHits:        c.cacheHits.Load(),
+		CacheMisses:      c.cacheMisses.Load(),
+		CacheFlushes:     c.cacheFlushes.Load(),
 	}
 }
 
@@ -141,6 +154,10 @@ type Node struct {
 	// ends with the CA walking a fully receipted chain and blaming the
 	// honest exit for a query that was answered, just slowly.
 	timedOut map[uint64]bool
+
+	// lcache caches successful anonymous-lookup results (host-context
+	// only); nil when Config.LookupCacheSize is zero.
+	lcache *lookupCache
 
 	// pool stocks unused relay pairs (host-context only; poolGauge
 	// mirrors its size for cross-goroutine observers). refills and
@@ -207,9 +224,11 @@ func New(cn *chord.Node, cfg Config, caAddr transport.Addr, dir *Directory) *Nod
 		timedOut:   make(map[uint64]bool),
 		fingerProv: make(map[id.ID]chord.RoutingTable),
 	}
+	n.lcache = newLookupCache(cfg.LookupCacheSize, cfg.LookupCacheTTL, n.tr.Now)
 	cn.Cfg.DisableFingerUpdates = true
 	cn.Extra = n.handleExtra
 	cn.OnNeighborTable = n.recordProof
+	cn.OnNeighborDropped = func(chord.Peer) { n.flushLookupCache() }
 	cn.AdmitJoin = n.admitJoin
 	cn.VetLeave = n.vetLeave
 	return n

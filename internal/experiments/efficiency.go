@@ -115,6 +115,9 @@ func paperCoreConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.LookupParallelism = 1
 	cfg.PairPoolTarget = 0
+	// Every measured lookup must actually issue its queries: a cache hit
+	// would skip the traffic the figures exist to measure.
+	cfg.LookupCacheSize = 0
 	return cfg
 }
 

@@ -44,8 +44,21 @@ type LoadConfig struct {
 
 	// Alpha is Config.LookupParallelism; Pool is Config.PairPoolTarget.
 	Alpha, Pool int
+	// CacheSize/CacheTTL are Config.LookupCacheSize/LookupCacheTTL on the
+	// serving nodes; CacheSize zero runs every lookup end to end.
+	CacheSize int
+	CacheTTL  time.Duration
 	// Workers/Queue/PerClient bound each node's LookupService.
 	Workers, Queue, PerClient int
+
+	// HotKeys and HotFraction shape the key popularity: each arrival
+	// targets one of HotKeys fixed keys with probability HotFraction and a
+	// uniformly random key otherwise. Client workloads are never uniform —
+	// popular content dominates — and the skew is what lookup-result
+	// caching converts into throughput. HotKeys zero keeps the old fully
+	// uniform draw.
+	HotKeys     int
+	HotFraction float64
 
 	// Seed drives all randomness.
 	Seed int64
@@ -63,20 +76,27 @@ func DefaultLoadConfig() LoadConfig {
 		WarmUp:       time.Minute,
 		Alpha:        3,
 		Pool:         16,
+		CacheSize:    256,
+		CacheTTL:     60 * time.Second,
 		Workers:      8,
 		Queue:        64,
 		PerClient:    64,
+		HotKeys:      16,
+		HotFraction:  0.8,
 		Seed:         1,
 	}
 }
 
 // SequentialLoadConfig is the same offered load served the way the paper's
 // evaluation runs lookups: one at a time (one worker, α = 1) with the
-// passive walk-timer pool — the pre-concurrency baseline.
+// passive walk-timer pool and no result caching — the pre-concurrency
+// baseline. The key popularity is identical to DefaultLoadConfig so the two
+// runs are comparable.
 func SequentialLoadConfig() LoadConfig {
 	cfg := DefaultLoadConfig()
 	cfg.Alpha = 1
 	cfg.Pool = 0
+	cfg.CacheSize = 0
 	cfg.Workers = 1
 	return cfg
 }
@@ -98,6 +118,9 @@ type LoadResult struct {
 	FallbackPairs uint64
 	// RefillWalks counts walk-ahead refills the managed pools launched.
 	RefillWalks uint64
+	// CacheHits counts lookups the serving nodes answered from the
+	// lookup-result cache (zero when CacheSize is zero).
+	CacheHits uint64
 }
 
 // RunLoad executes one load experiment.
@@ -108,6 +131,8 @@ func RunLoad(cfg LoadConfig) LoadResult {
 	coreCfg.EstimatedSize = cfg.N
 	coreCfg.LookupParallelism = cfg.Alpha
 	coreCfg.PairPoolTarget = cfg.Pool
+	coreCfg.LookupCacheSize = cfg.CacheSize
+	coreCfg.LookupCacheTTL = cfg.CacheTTL
 	nw, err := core.BuildNetwork(net, cfg.N, coreCfg)
 	if err != nil {
 		// A build failure is harness misconfiguration, not a measurable
@@ -142,9 +167,18 @@ func RunLoad(cfg LoadConfig) LoadResult {
 		}
 	}
 
+	// The popular-content key set, fixed for the whole run (its own source
+	// so changing HotKeys does not perturb the arrival stream's draws).
+	hot := make([]id.ID, cfg.HotKeys)
+	hotRng := rand.New(rand.NewSource(cfg.Seed + 404))
+	for i := range hot {
+		hot[i] = id.ID(hotRng.Uint64())
+	}
+
 	// Open-loop Poisson arrivals: exponential inter-arrival times at the
 	// configured aggregate rate, routed to a uniformly random serving
-	// node under a uniformly random client label.
+	// node under a uniformly random client label. Keys follow the
+	// HotKeys/HotFraction popularity skew.
 	arrivals := rand.New(rand.NewSource(cfg.Seed + 101))
 	end := sim.Now() + cfg.Duration
 	var schedule func()
@@ -157,7 +191,11 @@ func RunLoad(cfg LoadConfig) LoadResult {
 			res.Offered++
 			svc := services[arrivals.Intn(len(services))]
 			client := fmt.Sprintf("c%02d", arrivals.Intn(cfg.Clients))
-			svc.Enqueue(client, id.ID(arrivals.Uint64()), record)
+			key := id.ID(arrivals.Uint64())
+			if len(hot) > 0 && arrivals.Float64() < cfg.HotFraction {
+				key = hot[arrivals.Intn(len(hot))]
+			}
+			svc.Enqueue(client, key, record)
 			schedule()
 		})
 	}
@@ -177,6 +215,7 @@ func RunLoad(cfg LoadConfig) LoadResult {
 		st := nw.Node(simnet.Address(i)).Stats()
 		res.FallbackPairs += st.FallbackPairs
 		res.RefillWalks += st.RefillWalks
+		res.CacheHits += st.CacheHits
 	}
 	return res
 }

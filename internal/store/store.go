@@ -500,6 +500,10 @@ func (s *Store) Put(key id.ID, value []byte, cb func(PutResult)) {
 				}
 				if res.Err != nil {
 					s.stats.putFailures.Add(1)
+					// The resolved owner did not take the write — if it
+					// came from the lookup cache it may be long gone, so
+					// the retry must re-resolve.
+					s.n.InvalidateLookup(key)
 				}
 				cb(res)
 			})
@@ -569,6 +573,9 @@ func (s *Store) tryFetch(key id.ID, owner chord.Peer, cands []chord.Peer, i int,
 	stats core.LookupStats, cb func(GetResult)) {
 	if i >= len(cands) {
 		s.stats.misses.Add(1)
+		// Every candidate derived from this owner resolution failed; a
+		// cached resolution this stale must not shape the next attempt.
+		s.n.InvalidateLookup(key)
 		cb(GetResult{Owner: owner, Tried: len(cands), Stats: stats})
 		return
 	}

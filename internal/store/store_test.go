@@ -282,6 +282,97 @@ func TestLeaveHandover(t *testing.T) {
 	}
 }
 
+// TestChurnNeverServesStaleCachedOwner pins the lookup-result cache's
+// safety property under churn: a node that cached the key's owner keeps
+// answering correctly after that owner dies. The TTL is set to an hour so
+// only the event-driven invalidation (the neighbor-drop flush hook plus the
+// store's failed-fetch/failed-put point invalidation) can explain recovery.
+func TestChurnNeverServesStaleCachedOwner(t *testing.T) {
+	tn := buildStoreNet(t, 7, 40, func(cfg *core.Config) {
+		cfg.LookupCacheSize = 256
+		cfg.LookupCacheTTL = time.Hour // expiry must not mask invalidation
+	})
+	// Pick a key whose owner is not the gateway (node 0 must survive to
+	// drive reads after the kill).
+	var key id.ID
+	for i := 0; ; i++ {
+		key = id.FromBytes([]byte(fmt.Sprintf("stale-owner-%d", i)))
+		if tn.Ring.Owner(key).Addr != 0 {
+			break
+		}
+	}
+	value := []byte("pre-churn value")
+	if res := tn.put(t, 0, key, value); res.Err != nil {
+		t.Fatalf("put: %v", res.Err)
+	}
+
+	owner := tn.Ring.Owner(key)
+	// The reader is the owner's first successor: close enough on the ring
+	// that the owner sits in its neighbor tables, so the suspicion-driven
+	// drop fires its cache-flush hook.
+	reader := tn.Node(owner.Addr).Chord.Successors()[0].Addr
+	if reader == 0 {
+		reader = tn.Node(owner.Addr).Chord.Predecessors()[0].Addr
+	}
+
+	// Warm the reader's cache and prove it is actually serving hits.
+	for i := 0; i < 2; i++ {
+		got := tn.get(t, reader, key)
+		if got.Err != nil || !got.Found || !bytes.Equal(got.Value, value) {
+			t.Fatalf("pre-churn get %d: found=%v err=%v value=%q", i, got.Found, got.Err, got.Value)
+		}
+	}
+	if st := tn.Node(reader).Stats(); st.CacheHits == 0 {
+		t.Fatalf("reader served no cache hits after repeat gets: %+v", st)
+	}
+
+	tn.Ring.Kill(owner.Addr)
+
+	// Every post-churn read that reports Found must carry the true value:
+	// the cached (now dead) owner may cost a fetch fallback to the
+	// successor-list evidence, but it must never surface wrong data.
+	var healed bool
+	deadline := tn.Sim.Now() + 5*time.Minute
+	for !healed {
+		tn.Sim.Run(tn.Sim.Now() + 20*time.Second)
+		got := tn.get(t, reader, key)
+		if got.Found {
+			if !bytes.Equal(got.Value, value) {
+				t.Fatalf("stale read after owner death: %q, want %q", got.Value, value)
+			}
+			healed = true
+		}
+		if tn.Sim.Now() > deadline {
+			t.Fatalf("get never succeeded after owner death (last: %+v)", got)
+		}
+	}
+	if st := tn.Node(reader).Stats(); st.CacheFlushes == 0 {
+		t.Errorf("reader never flushed its lookup cache after its neighbor died: %+v", st)
+	}
+
+	// Writes must also recover: an overwrite routed through whatever the
+	// reader has cached eventually lands on the healed ring (a first
+	// attempt hitting the dead owner fails AND invalidates, so a retry
+	// re-resolves), and every node then reads the new value.
+	newValue := []byte("post-churn value")
+	deadline = tn.Sim.Now() + 5*time.Minute
+	for {
+		if res := tn.put(t, reader, key, newValue); res.Err == nil {
+			break
+		}
+		if tn.Sim.Now() > deadline {
+			t.Fatal("overwrite never succeeded after owner death")
+		}
+	}
+	for _, from := range []transport.Addr{reader, 0} {
+		got := tn.get(t, from, key)
+		if !got.Found || !bytes.Equal(got.Value, newValue) {
+			t.Fatalf("get from %d after healed overwrite: found=%v value=%q, want %q",
+				from, got.Found, got.Value, newValue)
+		}
+	}
+}
+
 func TestValueSizeBound(t *testing.T) {
 	tn := buildStoreNet(t, 6, 12, nil)
 	big := make([]byte, MaxValueSize+1)

@@ -25,11 +25,15 @@ import (
 	"github.com/octopus-dht/octopus/internal/transport"
 )
 
-// mailbox is an unbounded FIFO of closures with blocking take.
+// mailbox is an unbounded FIFO of closures with blocking take. The queue is
+// a ring: a steady-state actor loop recycles its slots instead of forcing an
+// append reallocation every time the tail catches the slice capacity.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	q      []func()
+	head   int
+	n      int
 	closed bool
 }
 
@@ -46,7 +50,16 @@ func (m *mailbox) put(fn func()) bool {
 	if m.closed {
 		return false
 	}
-	m.q = append(m.q, fn)
+	if m.n == len(m.q) {
+		grown := make([]func(), max(2*len(m.q), 16))
+		for i := 0; i < m.n; i++ {
+			grown[i] = m.q[(m.head+i)%len(m.q)]
+		}
+		m.q = grown
+		m.head = 0
+	}
+	m.q[(m.head+m.n)%len(m.q)] = fn
+	m.n++
 	m.cond.Signal()
 	return true
 }
@@ -56,15 +69,16 @@ func (m *mailbox) put(fn func()) bool {
 func (m *mailbox) take() (func(), bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.q) == 0 && !m.closed {
+	for m.n == 0 && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.q) == 0 {
+	if m.n == 0 {
 		return nil, false
 	}
-	fn := m.q[0]
-	m.q[0] = nil
-	m.q = m.q[1:]
+	fn := m.q[m.head]
+	m.q[m.head] = nil
+	m.head = (m.head + 1) % len(m.q)
+	m.n--
 	return fn, true
 }
 
@@ -278,37 +292,42 @@ func (n *Network) Rand() *rand.Rand { return n.rng }
 
 // deliver moves an encoded frame to `to`, decodes it there, and invokes the
 // handler on the receiver's loop. respond, when non-nil, receives the
-// handler's answer (still on the receiver's loop).
-func (n *Network) deliver(from, to transport.Addr, frame []byte,
+// handler's answer (still on the receiver's loop). The frame buffer is
+// pooled: the receiving closure releases it once the bytes are decoded (or
+// dropped), so steady-state traffic recycles its buffers.
+func (n *Network) deliver(from, to transport.Addr, frame *transport.Buf,
 	respond func(resp transport.Message, ok bool)) {
-	send := func() {
-		n.post(to, func() {
-			h := n.hostAt(to)
-			hd, ok := h.getHandler()
-			if !ok {
-				n.dropped.Add(1)
-				return
-			}
-			msg, err := transport.Decode(frame)
-			if err != nil {
-				n.codecErrors.Add(1)
-				return
-			}
-			if src := n.hostAt(from); src != nil {
-				src.addSent(len(frame))
-			}
-			h.addReceived(len(frame))
-			resp, handled := hd(from, msg)
-			if respond != nil {
-				respond(resp, handled)
-			}
-		})
+	// One closure serves both the direct and the delayed path: it is the
+	// per-message allocation, so it is not duplicated per hop.
+	receive := func() {
+		h := n.hostAt(to)
+		hd, ok := h.getHandler()
+		if !ok {
+			frame.Release()
+			n.dropped.Add(1)
+			return
+		}
+		msg, err := transport.Decode(frame.B)
+		size := len(frame.B)
+		frame.Release()
+		if err != nil {
+			n.codecErrors.Add(1)
+			return
+		}
+		if src := n.hostAt(from); src != nil {
+			src.addSent(size)
+		}
+		h.addReceived(size)
+		resp, handled := hd(from, msg)
+		if respond != nil {
+			respond(resp, handled)
+		}
 	}
 	if n.latency > 0 {
-		time.AfterFunc(n.latency, send)
+		time.AfterFunc(n.latency, func() { n.post(to, receive) })
 		return
 	}
-	send()
+	n.post(to, receive)
 }
 
 // Send implements transport.Transport: one serialized, one-way delivery.
@@ -316,7 +335,7 @@ func (n *Network) Send(from, to transport.Addr, msg transport.Message) {
 	if n.hostAt(to) == nil {
 		return
 	}
-	frame, err := transport.Encode(msg)
+	frame, err := transport.EncodeBuf(msg)
 	if err != nil {
 		n.codecErrors.Add(1)
 		return
@@ -332,7 +351,7 @@ func (n *Network) Call(from, to transport.Addr, req transport.Message,
 		n.post(from, func() { cb(nil, transport.ErrUnreachable) })
 		return
 	}
-	frame, err := transport.Encode(req)
+	frame, err := transport.EncodeBuf(req)
 	if err != nil {
 		n.codecErrors.Add(1)
 		n.post(from, func() { cb(nil, transport.ErrUnreachable) })
@@ -352,41 +371,42 @@ func (n *Network) Call(from, to transport.Addr, req transport.Message,
 			n.dropped.Add(1)
 			return // caller will observe the timeout
 		}
-		respFrame, err := transport.Encode(resp)
+		respFrame, err := transport.EncodeBuf(resp)
 		if err != nil {
 			n.codecErrors.Add(1)
 			return
 		}
 		back := func() {
-			n.post(from, func() {
-				if done {
-					return // timeout already fired
-				}
-				msg, err := transport.Decode(respFrame)
-				if err != nil {
-					// A corrupt response is a lost message, not a fast
-					// failure: leave the RPC outstanding so the caller
-					// observes the real timeout, and keep the codec
-					// counter as the visible symptom.
-					n.codecErrors.Add(1)
-					return
-				}
-				done = true
-				timer.Cancel()
-				if dst := n.hostAt(to); dst != nil {
-					dst.addSent(len(respFrame))
-				}
-				if src := n.hostAt(from); src != nil {
-					src.addReceived(len(respFrame))
-				}
-				cb(msg, nil)
-			})
+			if done {
+				respFrame.Release()
+				return // timeout already fired
+			}
+			msg, err := transport.Decode(respFrame.B)
+			size := len(respFrame.B)
+			respFrame.Release()
+			if err != nil {
+				// A corrupt response is a lost message, not a fast
+				// failure: leave the RPC outstanding so the caller
+				// observes the real timeout, and keep the codec
+				// counter as the visible symptom.
+				n.codecErrors.Add(1)
+				return
+			}
+			done = true
+			timer.Cancel()
+			if dst := n.hostAt(to); dst != nil {
+				dst.addSent(size)
+			}
+			if src := n.hostAt(from); src != nil {
+				src.addReceived(size)
+			}
+			cb(msg, nil)
 		}
 		if n.latency > 0 {
-			time.AfterFunc(n.latency, back)
+			time.AfterFunc(n.latency, func() { n.post(from, back) })
 			return
 		}
-		back()
+		n.post(from, back)
 	})
 }
 

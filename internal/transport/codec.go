@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -35,8 +36,25 @@ func (w *Writer) Bytes() []byte { return w.b }
 
 func (w *Writer) grow(k int) []byte {
 	n := len(w.b)
-	w.b = append(w.b, make([]byte, k)...)
-	return w.b[n:]
+	if cap(w.b) < n+k {
+		// Manual doubling instead of append(w.b, make([]byte, k)...): the
+		// extension must be reachable without a throwaway slice, and pooled
+		// buffers are reused so stale bytes must be cleared explicitly.
+		c := cap(w.b) * 2
+		if c < n+k {
+			c = n + k
+		}
+		if c < 64 {
+			c = 64
+		}
+		nb := make([]byte, n, c)
+		copy(nb, w.b)
+		w.b = nb
+	}
+	w.b = w.b[:n+k]
+	p := w.b[n:]
+	clear(p)
+	return p
 }
 
 // U8 writes one byte.
@@ -135,6 +153,70 @@ func (w *Writer) Pad(k int) {
 	w.grow(k)
 }
 
+// maxPooledBuf bounds the buffer capacity a released Writer (or frame pool
+// entry) keeps: a rare oversized message must not pin megabytes inside the
+// pool forever.
+const maxPooledBuf = 64 << 10
+
+var writerPool = sync.Pool{New: func() any { return &Writer{b: make([]byte, 0, 512)} }}
+
+// AcquireWriter returns an empty pooled Writer. Release it when the encoded
+// bytes have been consumed; the backing buffer is recycled.
+func AcquireWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.b = w.b[:0]
+	w.n = 0
+	w.countOnly = false
+	return w
+}
+
+// Release returns w to the pool. The slice previously returned by Bytes()
+// becomes invalid: it aliases the recycled buffer.
+func (w *Writer) Release() {
+	if cap(w.b) > maxPooledBuf {
+		w.b = nil
+	}
+	writerPool.Put(w)
+}
+
+var bufPool = sync.Pool{New: func() any { return new(Buf) }}
+
+// Buf is a pooled byte buffer — the carrier transports use for encoded
+// frames on their hot paths: acquire, encode into B, hand the Buf across the
+// delivery machinery, Release once the bytes are decoded (Decode copies, so
+// the decoded message never aliases B). A Buf that is never released is
+// merely garbage-collected.
+type Buf struct{ B []byte }
+
+// AcquireBuf returns an empty pooled buffer.
+func AcquireBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// Release returns b to the pool; b.B becomes invalid.
+func (b *Buf) Release() {
+	if cap(b.B) > maxPooledBuf {
+		b.B = nil
+	}
+	bufPool.Put(b)
+}
+
+// EncodeBuf encodes m into a pooled buffer: Encode without the copy-out.
+// The caller owns the returned Buf and must Release it after the bytes are
+// consumed.
+func EncodeBuf(m Message) (*Buf, error) {
+	b := AcquireBuf()
+	out, err := EncodeTo(b.B, m)
+	if err != nil {
+		b.Release()
+		return nil, err
+	}
+	b.B = out
+	return b, nil
+}
+
 // Codec errors.
 var (
 	// ErrShortBuffer means a decode ran past the end of the input.
@@ -153,10 +235,50 @@ type Reader struct {
 	b   []byte
 	off int
 	err error
+	// borrow lets byte-slice reads alias the input instead of copying. It is
+	// only ever true inside DecodeBorrowed, and only for types whose registry
+	// entry allows it (MarkBorrowSafe).
+	borrow bool
+	// scratch is decoder-owned reusable state (slab allocations for repeated
+	// borrow-mode decodes). It survives Release/Acquire cycles; if it
+	// implements interface{ Reset() }, AcquireReader resets it.
+	scratch any
 }
 
 // NewReader wraps b for decoding.
 func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+var readerPool = sync.Pool{New: func() any { return new(Reader) }}
+
+// AcquireReader returns a pooled Reader over b. Release it when the decoded
+// data is no longer needed; until then b must stay unchanged.
+func AcquireReader(b []byte) *Reader {
+	r := readerPool.Get().(*Reader)
+	r.b, r.off, r.err, r.borrow = b, 0, nil, false
+	if s, ok := r.scratch.(interface{ Reset() }); ok {
+		s.Reset()
+	}
+	return r
+}
+
+// Release returns r to the pool. Messages decoded in borrow mode become
+// invalid: they may alias r's input buffer and scratch storage.
+func (r *Reader) Release() {
+	r.b = nil
+	readerPool.Put(r)
+}
+
+// Borrowing reports whether the current decode runs in borrow mode (byte
+// fields may alias the input; slabs may come from Scratch).
+func (r *Reader) Borrowing() bool { return r.borrow }
+
+// Scratch returns the decoder-owned scratch value installed by SetScratch
+// (nil on a fresh Reader).
+func (r *Reader) Scratch() any { return r.scratch }
+
+// SetScratch installs decoder-owned reusable state on r. One decoding
+// package owns the slot at a time; it persists across pool cycles.
+func (r *Reader) SetScratch(s any) { r.scratch = s }
 
 // Err returns the first decode error, if any.
 func (r *Reader) Err() error { return r.err }
@@ -250,14 +372,34 @@ func (r *Reader) Duration() time.Duration { return time.Duration(r.I64()) }
 func (r *Reader) Addr() Addr { return Addr(int64(r.U48()) - 1) }
 
 // Bytes16 reads a length-prefixed byte string. It returns nil for length 0
-// so optional fields (signatures) round-trip exactly.
+// so optional fields (signatures) round-trip exactly. In borrow mode the
+// returned slice aliases the input buffer.
 func (r *Reader) Bytes16() []byte {
 	n := int(r.U16())
 	p := r.take(n)
 	if p == nil || n == 0 {
 		return nil
 	}
+	if r.borrow {
+		return p
+	}
 	out := make([]byte, n)
+	copy(out, p)
+	return out
+}
+
+// Raw reads k bytes without a length prefix (fixed-width fields). It copies
+// by default and aliases the input in borrow mode; nil on short buffer or
+// k == 0.
+func (r *Reader) Raw(k int) []byte {
+	p := r.take(k)
+	if p == nil || k == 0 {
+		return nil
+	}
+	if r.borrow {
+		return p
+	}
+	out := make([]byte, k)
 	copy(out, p)
 	return out
 }
@@ -283,7 +425,14 @@ type Wire interface {
 // EncodePayload produced.
 type decoder func(r *Reader) Wire
 
-var decoders = map[uint16]decoder{}
+// typeInfo is one registry entry: the payload decoder plus whether the type
+// may be decoded in borrow mode (its decoded form aliasing the input).
+type typeInfo struct {
+	dec    decoder
+	borrow bool
+}
+
+var decoders = map[uint16]typeInfo{}
 
 // RegisterType installs the payload decoder for a wire type code. It is
 // called from package init functions; duplicate registrations panic, which
@@ -292,30 +441,83 @@ func RegisterType(code uint16, dec func(r *Reader) Wire) {
 	if _, dup := decoders[code]; dup {
 		panic(fmt.Sprintf("transport: duplicate wire type 0x%04x", code))
 	}
-	decoders[code] = dec
+	decoders[code] = typeInfo{dec: dec}
+}
+
+// MarkBorrowSafe declares that a registered type's decoder honors borrow
+// mode: under DecodeBorrowed its byte fields may alias the input buffer and
+// its slices may come from the Reader's scratch, so the message is only
+// valid until the Reader is released or reused. Types not marked always
+// decode by copying, even under DecodeBorrowed.
+func MarkBorrowSafe(code uint16) {
+	info, ok := decoders[code]
+	if !ok {
+		panic(fmt.Sprintf("transport: MarkBorrowSafe before RegisterType for 0x%04x", code))
+	}
+	info.borrow = true
+	decoders[code] = info
 }
 
 // Encode serializes a message into a self-describing frame:
 // [uint16 type code][payload]. It fails for messages without a registered
-// codec.
+// codec. The returned slice is freshly allocated; encoding itself runs in a
+// pooled buffer, so the exact-size copy out is the only allocation.
 func Encode(m Message) ([]byte, error) {
+	w := AcquireWriter()
+	defer w.Release()
+	b, err := EncodeTo(w.b, m)
+	if err != nil {
+		return nil, err
+	}
+	w.b = b // keep the (possibly regrown) buffer pooled
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// EncodeTo appends the self-describing frame for m to dst and returns the
+// extended slice. It allocates nothing when dst has capacity, which makes it
+// the zero-alloc Encode for callers that own a reusable buffer.
+func EncodeTo(dst []byte, m Message) ([]byte, error) {
 	wm, ok := m.(Wire)
 	if !ok {
-		return nil, fmt.Errorf("%w: %T", ErrNotWire, m)
+		return dst, fmt.Errorf("%w: %T", ErrNotWire, m)
 	}
-	w := &Writer{b: make([]byte, 0, 64)}
+	w := writerPool.Get().(*Writer)
+	own := w.b // dst belongs to the caller; park the pooled buffer meanwhile
+	w.b, w.countOnly = dst, false
 	w.U16(wm.WireType())
 	wm.EncodePayload(w)
-	return w.Bytes(), nil
+	out := w.b
+	w.b = own
+	writerPool.Put(w)
+	return out, nil
 }
 
 // Decode parses a frame produced by Encode and returns the reconstructed
-// message (a value of the registered concrete type).
+// message (a value of the registered concrete type). The message never
+// aliases b: byte fields are copied, so b may be recycled immediately.
 func Decode(b []byte) (Wire, error) {
-	r := NewReader(b)
+	r := AcquireReader(b)
+	defer r.Release()
+	return r.decodeAll()
+}
+
+// DecodeBorrowed parses one frame from the remainder of a pooled Reader in
+// borrow mode: types the registry marks borrow-safe may alias r's input
+// buffer and scratch storage, so the message is only valid until r is
+// released or reused. Types without the mark decode exactly as Decode.
+func DecodeBorrowed(r *Reader) (Wire, error) {
+	r.borrow = true
+	m, err := r.decodeAll()
+	r.borrow = false
+	return m, err
+}
+
+func (r *Reader) decodeAll() (Wire, error) {
 	m := decodeFrame(r)
-	if r.Err() != nil {
-		return nil, r.Err()
+	if r.err != nil {
+		return nil, r.err
 	}
 	if r.Remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Remaining())
@@ -329,12 +531,16 @@ func decodeFrame(r *Reader) Wire {
 	if r.Err() != nil {
 		return nil
 	}
-	dec, ok := decoders[code]
+	info, ok := decoders[code]
 	if !ok {
 		r.err = fmt.Errorf("%w: 0x%04x", ErrUnknownType, code)
 		return nil
 	}
-	return dec(r)
+	save := r.borrow
+	r.borrow = save && info.borrow
+	m := info.dec(r)
+	r.borrow = save
+	return m
 }
 
 // EncodedSize returns the exact frame size Encode would produce, computed by

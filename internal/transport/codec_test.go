@@ -133,6 +133,159 @@ func TestDecodeRejectsUnknownTypeAndTrailingBytes(t *testing.T) {
 	}
 }
 
+// poolMsg is a registered test type for the pooled encode/decode paths
+// (0x7FF0, inside the 0x7Fxx test-reserved range). It is marked borrow-safe
+// so DecodeBorrowed aliasing semantics can be pinned.
+type poolMsg struct {
+	A    uint64
+	Blob []byte
+}
+
+func (m poolMsg) Size() int      { return EncodedSize(m) }
+func (poolMsg) WireType() uint16 { return 0x7FF0 }
+func (m poolMsg) EncodePayload(w *Writer) {
+	w.U64(m.A)
+	w.Bytes16(m.Blob)
+}
+
+func init() {
+	RegisterType(0x7FF0, func(r *Reader) Wire {
+		return poolMsg{A: r.U64(), Blob: r.Bytes16()}
+	})
+	MarkBorrowSafe(0x7FF0)
+}
+
+// TestPooledEncodePaths: Encode, EncodeTo (into a caller buffer, with and
+// without spare capacity), and EncodeBuf must produce byte-identical frames,
+// and EncodeTo must append after existing bytes rather than clobber them.
+func TestPooledEncodePaths(t *testing.T) {
+	m := poolMsg{A: 0xDEADBEEF, Blob: []byte("pooled payload")}
+	want, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(want) != m.Size() {
+		t.Fatalf("len(Encode) = %d != Size() %d", len(want), m.Size())
+	}
+
+	got, err := EncodeTo(nil, m)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("EncodeTo(nil): err=%v, bytes differ from Encode", err)
+	}
+	prefix := []byte{0xAA, 0xBB}
+	got, err = EncodeTo(append([]byte(nil), prefix...), m)
+	if err != nil || !bytes.Equal(got[:2], prefix) || !bytes.Equal(got[2:], want) {
+		t.Fatalf("EncodeTo with prefix: err=%v, got %x", err, got)
+	}
+	// With spare capacity the returned slice must reuse it (the zero-alloc
+	// contract the transports rely on).
+	dst := make([]byte, 0, 256)
+	got, err = EncodeTo(dst, m)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("EncodeTo(cap): err=%v", err)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("EncodeTo reallocated despite sufficient capacity")
+	}
+
+	fb, err := EncodeBuf(m)
+	if err != nil || !bytes.Equal(fb.B, want) {
+		t.Fatalf("EncodeBuf: err=%v", err)
+	}
+	fb.Release()
+
+	if _, err := EncodeTo(nil, unregistered{}); err == nil {
+		t.Error("EncodeTo accepted a message without a codec")
+	}
+}
+
+// TestPooledWriterReuse: acquire/release cycles must hand back clean
+// writers — no stale bytes, no stale count-only mode — regardless of what
+// the previous user did.
+func TestPooledWriterReuse(t *testing.T) {
+	w := AcquireWriter()
+	w.U64(0x1122334455667788)
+	w.Release()
+	for i := 0; i < 8; i++ {
+		w := AcquireWriter()
+		if w.Len() != 0 || len(w.Bytes()) != 0 {
+			t.Fatalf("acquired writer not empty: len=%d", w.Len())
+		}
+		w.U16(uint16(i))
+		if got := w.Bytes(); len(got) != 2 {
+			t.Fatalf("pooled writer in count-only mode: Bytes()=%v", got)
+		}
+		w.Release()
+	}
+
+	// An oversized buffer must not be parked in the pool.
+	big := AcquireWriter()
+	big.Raw(make([]byte, maxPooledBuf+1))
+	big.Release()
+	if w := AcquireWriter(); cap(w.b) > maxPooledBuf {
+		t.Errorf("oversized buffer (cap %d) survived Release into the pool", cap(w.b))
+	} else {
+		w.Release()
+	}
+}
+
+// TestDecodeBorrowedAliasing pins the borrow contract: DecodeBorrowed on a
+// borrow-safe type aliases the input buffer (zero copies), while plain
+// Decode never does — its result must survive the input being clobbered.
+func TestDecodeBorrowedAliasing(t *testing.T) {
+	m := poolMsg{A: 7, Blob: []byte("alias me")}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	r := AcquireReader(frame)
+	if r.Borrowing() {
+		t.Error("reader reports borrow mode outside DecodeBorrowed")
+	}
+	dec, err := DecodeBorrowed(r)
+	if err != nil {
+		t.Fatalf("DecodeBorrowed: %v", err)
+	}
+	got := dec.(poolMsg)
+	if got.A != m.A || !bytes.Equal(got.Blob, m.Blob) {
+		t.Fatalf("borrowed decode = %+v, want %+v", got, m)
+	}
+	// The blob must point into the frame itself: clobbering the frame
+	// clobbers the message.
+	frame[len(frame)-1] ^= 0xFF
+	if bytes.Equal(got.Blob, m.Blob) {
+		t.Error("borrow-safe decode copied instead of aliasing the input")
+	}
+	frame[len(frame)-1] ^= 0xFF
+	r.Release()
+
+	// Plain Decode copies: the message survives the input's recycling.
+	dec2, err := Decode(frame)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	for i := range frame {
+		frame[i] = 0
+	}
+	if got := dec2.(poolMsg); !bytes.Equal(got.Blob, m.Blob) {
+		t.Error("Decode result aliased the input buffer")
+	}
+}
+
+// TestBufPoolDiscardsOversized: a Buf that grew beyond the pooling bound is
+// released to the GC, not parked (the pool must not pin megabytes).
+func TestBufPoolDiscardsOversized(t *testing.T) {
+	b := AcquireBuf()
+	b.B = append(b.B, make([]byte, maxPooledBuf+1)...)
+	b.Release()
+	b2 := AcquireBuf()
+	if cap(b2.B) > maxPooledBuf {
+		t.Errorf("oversized Buf (cap %d) survived Release into the pool", cap(b2.B))
+	}
+	b2.Release()
+}
+
 // FuzzDecode asserts the decoder never panics on arbitrary wire input —
 // a malformed or malicious frame must surface as an error, not a crash.
 func FuzzDecode(f *testing.F) {

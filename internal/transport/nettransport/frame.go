@@ -70,11 +70,40 @@ func appendFrame(kind uint8, from, to transport.Addr, reqID uint64, payload []by
 	return w.Bytes()
 }
 
-// readFrame reads one frame from br. The returned payload is a fresh slice.
-// io.EOF is returned verbatim on a clean end of stream between frames; any
-// other error (short read, oversized or undersized length, unknown kind)
-// means the stream is unusable and the connection must be dropped.
-func readFrame(br *bufio.Reader, max int) (frameHeader, []byte, error) {
+// frameFor encodes msg as one complete wire frame in a pooled buffer —
+// length prefix, header, and codec payload in a single encoding pass, no
+// intermediate payload slice. It returns the frame and the codec-payload
+// size (what TrafficStats accounts). The caller owns the Buf.
+func frameFor(kind uint8, from, to transport.Addr, reqID uint64, msg transport.Message) (*transport.Buf, int, error) {
+	fb := transport.AcquireBuf()
+	w := transport.AcquireWriter()
+	// Header with a zero length placeholder, patched once the payload size
+	// is known.
+	w.U32(0)
+	w.U8(kind)
+	w.Addr(from)
+	w.Addr(to)
+	w.U64(reqID)
+	b, err := transport.EncodeTo(append(fb.B, w.Bytes()...), msg)
+	w.Release()
+	if err != nil {
+		fb.Release()
+		return nil, 0, err
+	}
+	n := len(b) - 4
+	b[0], b[1], b[2], b[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	fb.B = b
+	return fb, n - frameHeaderSize, nil
+}
+
+// readFrameBuf reads one frame from br into a pooled buffer. The payload is
+// fb.B[frameHeaderSize:]; the caller must Release fb once the payload is
+// consumed (the stream may carry back-to-back frames, each into its own
+// buffer). io.EOF is returned verbatim on a clean end of stream between
+// frames; any other error (short read, oversized or undersized length,
+// unknown kind) means the stream is unusable and the connection must be
+// dropped.
+func readFrameBuf(br *bufio.Reader, max int) (frameHeader, *transport.Buf, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 		// io.EOF only when zero bytes were read (a clean close between
@@ -92,16 +121,37 @@ func readFrame(br *bufio.Reader, max int) (frameHeader, []byte, error) {
 	if n > max {
 		return frameHeader{}, nil, fmt.Errorf("%w: %d > %d bytes", errFrameTooLarge, n, max)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(br, body); err != nil {
+	fb := transport.AcquireBuf()
+	if cap(fb.B) < n {
+		fb.B = make([]byte, n)
+	} else {
+		fb.B = fb.B[:n]
+	}
+	if _, err := io.ReadFull(br, fb.B); err != nil {
+		fb.Release()
 		return frameHeader{}, nil, fmt.Errorf("nettransport: truncated frame: %w", err)
 	}
-	r := transport.NewReader(body)
+	r := transport.AcquireReader(fb.B)
 	h := frameHeader{kind: r.U8(), from: r.Addr(), to: r.Addr(), reqID: r.U64()}
+	r.Release()
 	if h.kind != frameOneway && h.kind != frameRequest && h.kind != frameResponse {
+		fb.Release()
 		return frameHeader{}, nil, fmt.Errorf("%w: 0x%02x", errBadKind, h.kind)
 	}
-	return h, body[frameHeaderSize:], nil
+	return h, fb, nil
+}
+
+// readFrame reads one frame from br. The returned payload is a fresh slice
+// (the pooled buffer behind readFrameBuf is copied out and recycled). Used
+// off the hot path: bootstrap exchanges and the framing tests.
+func readFrame(br *bufio.Reader, max int) (frameHeader, []byte, error) {
+	h, fb, err := readFrameBuf(br, max)
+	if err != nil {
+		return h, nil, err
+	}
+	payload := append([]byte(nil), fb.B[frameHeaderSize:]...)
+	fb.Release()
+	return h, payload, nil
 }
 
 // writeAll writes b fully to conn, treating a short write as an error.

@@ -73,6 +73,67 @@ func TestFrameReaderRejects(t *testing.T) {
 	}
 }
 
+// TestReadBackToBackFrames pins what write coalescing relies on: a batch
+// on the wire is nothing but concatenated frames, so a reader looping on
+// one bufio.Reader recovers every frame in order and then sees a clean
+// io.EOF exactly on the boundary. Exercises the pooled readFrameBuf path
+// directly, re-acquiring a fresh buffer per frame the way serveConn does.
+func TestReadBackToBackFrames(t *testing.T) {
+	type sent struct {
+		kind     uint8
+		from, to transport.Addr
+		reqID    uint64
+		payload  []byte
+	}
+	rng := rand.New(rand.NewSource(7))
+	kinds := []uint8{frameOneway, frameRequest, frameResponse}
+	var stream []byte
+	var want []sent
+	for i := 0; i < 64; i++ {
+		s := sent{
+			kind:    kinds[rng.Intn(len(kinds))],
+			from:    transport.Addr(rng.Int31n(1 << 20)),
+			to:      transport.Addr(rng.Int31n(1 << 20)),
+			reqID:   rng.Uint64(),
+			payload: make([]byte, rng.Intn(256)),
+		}
+		rng.Read(s.payload)
+		stream = append(stream, appendFrame(s.kind, s.from, s.to, s.reqID, s.payload)...)
+		want = append(want, s)
+	}
+
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i, s := range want {
+		h, fb, err := readFrameBuf(br, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d: readFrameBuf: %v", i, err)
+		}
+		if h.kind != s.kind || h.from != s.from || h.to != s.to || h.reqID != s.reqID {
+			t.Fatalf("frame %d: header = %+v, want %+v", i, h, s)
+		}
+		if !bytes.Equal(fb.B[frameHeaderSize:], s.payload) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+		fb.Release()
+	}
+	if _, _, err := readFrameBuf(br, DefaultMaxFrame); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want clean io.EOF on the batch boundary", err)
+	}
+
+	// A batch cut mid-frame (a short write before a crash) must surface a
+	// framing error, not a clean EOF, for every non-boundary cut point.
+	for _, cut := range []int{2, 6, len(stream) - 1} {
+		br := bufio.NewReader(bytes.NewReader(stream[:cut]))
+		var err error
+		for err == nil {
+			_, _, err = readFrameBuf(br, DefaultMaxFrame)
+		}
+		if err == io.EOF {
+			t.Errorf("cut at %d: truncated final frame read as clean EOF", cut)
+		}
+	}
+}
+
 // FuzzReadFrame feeds arbitrary bytes to the length-prefixed reader: it
 // must never panic and never allocate past the configured frame bound.
 func FuzzReadFrame(f *testing.F) {
@@ -81,6 +142,14 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add(appendFrame(frameOneway, 0, 1, 0, []byte("seed")))
 	f.Add(appendFrame(frameResponse, transport.NoAddr, 5, 1<<40, nil))
+	// Batch-shaped seeds: coalesced writes put concatenated frames and, on
+	// a crashed peer, partial trailing frames in front of the reader.
+	batch := append(appendFrame(frameRequest, 1, 2, 3, []byte("first")),
+		appendFrame(frameResponse, 2, 1, 3, []byte("second"))...)
+	f.Add(batch)
+	f.Add(batch[:len(batch)-4])                                    // batch cut mid-final-frame
+	f.Add(append(batch[:len(batch):len(batch)], 0, 0, 0, 2))       // trailing undersized prefix
+	f.Add(append(batch[:len(batch):len(batch)], 0xFF, 0xFF, 0xFF)) // trailing partial prefix
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const max = 1 << 16
 		br := bufio.NewReader(bytes.NewReader(data))

@@ -76,11 +76,25 @@ type Config struct {
 	// LinkQueue is the per-endpoint outbound queue depth (default 1024).
 	// A full queue drops frames rather than blocking a host's actor loop.
 	LinkQueue int
+	// BatchBytes caps how many frame bytes one writer flush coalesces
+	// (default 64 KiB). Frames already waiting in a link's queue are
+	// gathered into a single vectored write instead of one syscall each;
+	// the queue draining — not the cap — is what normally ends a batch, so
+	// a lone frame is never delayed.
+	BatchBytes int
+	// BatchLinger, when positive, lets the writer wait up to this long for
+	// more frames before flushing a non-full batch. Zero (the default)
+	// flushes as soon as the queue drains: coalescing then only captures
+	// natural bursts and adds no latency.
+	BatchLinger time.Duration
 }
 
 func (cfg *Config) fillDefaults() {
 	if cfg.MaxFrame == 0 {
 		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.BatchBytes == 0 {
+		cfg.BatchBytes = 64 << 10
 	}
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 2 * time.Second
@@ -493,12 +507,12 @@ func (t *Transport) Send(from, to transport.Addr, msg transport.Message) {
 	if !t.inTable(to) {
 		return
 	}
-	payload, err := transport.Encode(msg)
+	fb, size, err := frameFor(frameOneway, from, to, 0, msg)
 	if err != nil {
 		t.codecErrors.Add(1)
 		return
 	}
-	t.enqueue(frameOneway, from, to, 0, payload)
+	t.enqueue(frameOneway, from, to, 0, fb, size)
 }
 
 // Call implements transport.Transport. The request id in the frame header
@@ -516,13 +530,13 @@ func (t *Transport) Call(from, to transport.Addr, req transport.Message,
 		t.post(from, func() { cb(nil, transport.ErrUnreachable) })
 		return
 	}
-	payload, err := transport.Encode(req)
+	id := t.nextReq.Add(1)
+	fb, size, err := frameFor(frameRequest, from, to, id, req)
 	if err != nil {
 		t.codecErrors.Add(1)
 		t.post(from, func() { cb(nil, transport.ErrUnreachable) })
 		return
 	}
-	id := t.nextReq.Add(1)
 	pc := &pendingCall{from: from, to: to, cb: cb}
 	// Register and arm atomically: a timer fired against an unregistered
 	// entry would leave the call pending forever, and an entry without a
@@ -533,6 +547,7 @@ func (t *Transport) Call(from, to transport.Addr, req transport.Message,
 		// Close has run (or is running) its pending drain; an entry
 		// inserted now would leak until its timer fired.
 		t.mu.Unlock()
+		fb.Release()
 		t.post(from, func() { cb(nil, transport.ErrClosed) })
 		return
 	}
@@ -543,7 +558,7 @@ func (t *Transport) Call(from, to transport.Addr, req transport.Message,
 		}
 	})
 	t.mu.Unlock()
-	t.enqueue(frameRequest, from, to, id, payload)
+	t.enqueue(frameRequest, from, to, id, fb, size)
 }
 
 // takePending removes and returns the pending call for id. The map removal
@@ -566,33 +581,37 @@ func (t *Transport) takePending(id uint64, from *transport.Addr) *pendingCall {
 	return pc
 }
 
-// enqueue frames a payload and hands it to the destination endpoint's
-// writer. Remote-bound messages are accounted to the local sender here;
-// local-bound messages (which still travel the wire, through the loopback)
-// are accounted at delivery, where liveness of the destination is known.
-func (t *Transport) enqueue(kind uint8, from, to transport.Addr, reqID uint64, payload []byte) {
+// enqueue hands a framed message (built by frameFor, codec payload of
+// `size` bytes) to the destination endpoint's writer. Remote-bound messages
+// are accounted to the local sender here; local-bound messages (which still
+// travel the wire, through the loopback) are accounted at delivery, where
+// liveness of the destination is known. Ownership of fb passes to the link
+// writer on success and is released here on every drop path.
+func (t *Transport) enqueue(kind uint8, from, to transport.Addr, reqID uint64, fb *transport.Buf, size int) {
 	ep := t.Endpoint(to)
 	if ep == "" {
 		// Slot exists but its endpoint is not known yet (an announce is
 		// still in flight).
+		fb.Release()
 		t.dropRequest(kind, reqID)
 		return
 	}
-	frame := appendFrame(kind, from, to, reqID, payload)
 	l := t.linkTo(ep)
 	if l == nil {
+		fb.Release()
 		t.dropRequest(kind, reqID)
 		return
 	}
 	select {
-	case l.ch <- frame:
+	case l.ch <- fb:
 		t.framesOut.Add(1)
 		if t.hostAt(to) == nil {
 			if src := t.hostAt(from); src != nil {
-				src.addSent(len(payload))
+				src.addSent(size)
 			}
 		}
 	default:
+		fb.Release()
 		t.dropRequest(kind, reqID)
 	}
 }
@@ -615,57 +634,68 @@ func (t *Transport) dropRequest(kind uint8, reqID uint64) {
 }
 
 // dropFrame is dropRequest for an already-framed message (the link writer's
-// failure paths); it recovers kind and reqID from the frame bytes.
-func (t *Transport) dropFrame(frame []byte) {
-	// Layout per appendFrame: u32 length, u8 kind, 6-byte from, 6-byte
-	// to, u64 reqID.
-	if len(frame) < 4+frameHeaderSize {
+// failure paths); it recovers kind and reqID from the frame bytes, then
+// releases the buffer.
+func (t *Transport) dropFrame(fb *transport.Buf) {
+	// Layout per frameFor: u32 length, u8 kind, 6-byte from, 6-byte to,
+	// u64 reqID.
+	if len(fb.B) < 4+frameHeaderSize {
+		fb.Release()
 		t.sendDrops.Add(1)
 		return
 	}
-	r := transport.NewReader(frame[4:])
+	r := transport.AcquireReader(fb.B[4:])
 	kind := r.U8()
 	r.Addr()
 	r.Addr()
 	reqID := r.U64()
+	r.Release()
+	fb.Release()
 	t.dropRequest(kind, reqID)
 }
 
-// dispatch routes one inbound frame.
-func (t *Transport) dispatch(h frameHeader, payload []byte) {
+// dispatch routes one inbound frame, taking ownership of its pooled buffer.
+func (t *Transport) dispatch(h frameHeader, fb *transport.Buf) {
 	t.framesIn.Add(1)
 	switch h.kind {
 	case frameRequest, frameOneway:
-		t.dispatchRequest(h, payload)
+		t.dispatchRequest(h, fb)
 	case frameResponse:
-		t.dispatchResponse(h, payload)
+		t.dispatchResponse(h, fb)
 	}
 }
 
 // dispatchRequest delivers a request or one-way frame to its local host's
 // actor loop. Dead or unbound hosts drop silently (the caller observes a
-// timeout), exactly like the in-process backends.
-func (t *Transport) dispatchRequest(h frameHeader, payload []byte) {
+// timeout), exactly like the in-process backends. The pooled frame buffer
+// is recycled once the payload has been decoded (Decode copies), so the
+// reader can refill it while the handler runs.
+func (t *Transport) dispatchRequest(h frameHeader, fb *transport.Buf) {
 	host := t.hostAt(h.to)
 	if host == nil {
+		fb.Release()
 		t.protoErrors.Add(1) // misaddressed: this process does not serve h.to
 		return
 	}
 	host.box.put(func() {
 		hd, ok := host.getHandler()
 		if !ok {
+			fb.Release()
 			t.dropped.Add(1)
 			return
 		}
+		payload := fb.B[frameHeaderSize:]
+		size := len(payload)
 		msg, err := transport.Decode(payload)
+		fb.Release()
 		if err != nil {
 			t.codecErrors.Add(1)
 			return
 		}
 		if src := t.hostAt(h.from); src != nil {
-			src.addSent(len(payload))
+			src.addSent(size)
 		}
-		host.addReceived(len(payload))
+		host.addReceived(size)
 		resp, handled := hd(h.from, msg)
 		if h.kind != frameRequest {
 			return
@@ -674,23 +704,27 @@ func (t *Transport) dispatchRequest(h frameHeader, payload []byte) {
 			t.dropped.Add(1) // caller will observe its timeout
 			return
 		}
-		respPayload, err := transport.Encode(resp)
-		if err != nil {
-			t.codecErrors.Add(1)
-			return
-		}
 		if !t.inTable(h.from) {
 			t.protoErrors.Add(1)
 			return
 		}
-		t.enqueue(frameResponse, h.to, h.from, h.reqID, respPayload)
+		respFrame, respSize, err := frameFor(frameResponse, h.to, h.from, h.reqID, resp)
+		if err != nil {
+			t.codecErrors.Add(1)
+			return
+		}
+		t.enqueue(frameResponse, h.to, h.from, h.reqID, respFrame, respSize)
 	})
 }
 
 // dispatchResponse correlates a response frame with its pending call and
-// runs the callback on the caller's actor loop.
-func (t *Transport) dispatchResponse(h frameHeader, payload []byte) {
+// runs the callback on the caller's actor loop. The pooled frame buffer is
+// recycled right after the decode, on the read goroutine.
+func (t *Transport) dispatchResponse(h frameHeader, fb *transport.Buf) {
+	payload := fb.B[frameHeaderSize:]
+	size := len(payload)
 	msg, err := transport.Decode(payload)
+	fb.Release()
 	if err != nil {
 		// A corrupt response is a lost message, not a fast failure: the
 		// pending entry stays so the caller observes the real timeout.
@@ -704,10 +738,10 @@ func (t *Transport) dispatchResponse(h frameHeader, payload []byte) {
 	pc.timer.Stop()
 	t.post(pc.from, func() {
 		if src := t.hostAt(h.from); src != nil {
-			src.addSent(len(payload))
+			src.addSent(size)
 		}
 		if dst := t.hostAt(pc.from); dst != nil {
-			dst.addReceived(len(payload))
+			dst.addReceived(size)
 		}
 		pc.cb(msg, nil)
 	})
@@ -747,7 +781,7 @@ func (t *Transport) serveConn(c net.Conn) {
 	}()
 	br := bufio.NewReaderSize(c, 64<<10)
 	for {
-		h, payload, err := readFrame(br, t.cfg.MaxFrame)
+		h, fb, err := readFrameBuf(br, t.cfg.MaxFrame)
 		if err != nil {
 			if err != io.EOF && !t.closed.Load() {
 				t.protoErrors.Add(1)
@@ -757,12 +791,14 @@ func (t *Transport) serveConn(c net.Conn) {
 		if h.kind == frameRequest && !h.to.Valid() {
 			// A bootstrap request from a slotless process: answer on
 			// this same connection (see SetBootstrapHandler).
-			if err := t.serveBootstrap(c, h, payload); err != nil {
+			err := t.serveBootstrap(c, h, fb.B[frameHeaderSize:])
+			fb.Release()
+			if err != nil {
 				return
 			}
 			continue
 		}
-		t.dispatch(h, payload)
+		t.dispatch(h, fb)
 	}
 }
 
@@ -789,14 +825,15 @@ func (t *Transport) serveBootstrap(c net.Conn, h frameHeader, payload []byte) er
 		t.dropped.Add(1)
 		return nil
 	}
-	respPayload, err := transport.Encode(resp)
+	fb, _, err := frameFor(frameResponse, transport.NoAddr, transport.NoAddr, h.reqID, resp)
 	if err != nil {
 		t.codecErrors.Add(1)
 		return nil
 	}
-	frame := appendFrame(frameResponse, transport.NoAddr, transport.NoAddr, h.reqID, respPayload)
 	c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-	if err := writeAll(c, frame); err != nil {
+	err = writeAll(c, fb.B)
+	fb.Release()
+	if err != nil {
 		return err
 	}
 	t.framesOut.Add(1)
@@ -839,11 +876,14 @@ func BootstrapCall(endpoint string, req transport.Message, timeout time.Duration
 }
 
 // link is the outbound leg to one endpoint: a bounded frame queue drained
-// by a writer goroutine that dials on demand and redials after failures.
+// by a writer goroutine that dials on demand, coalesces queued frames into
+// vectored writes, and redials after failures.
 type link struct {
 	t        *Transport
 	endpoint string
-	ch       chan []byte
+	ch       chan *transport.Buf
+	batch    []*transport.Buf // gather scratch, reused across flushes
+	bufs     net.Buffers      // writev scratch, reused across flushes
 }
 
 func (t *Transport) linkTo(endpoint string) *link {
@@ -854,7 +894,7 @@ func (t *Transport) linkTo(endpoint string) *link {
 		if t.closed.Load() {
 			return nil // shutting down: no new writer goroutines
 		}
-		l = &link{t: t, endpoint: endpoint, ch: make(chan []byte, t.cfg.LinkQueue)}
+		l = &link{t: t, endpoint: endpoint, ch: make(chan *transport.Buf, t.cfg.LinkQueue)}
 		t.links[endpoint] = l
 		t.wg.Add(1)
 		go l.run()
@@ -871,17 +911,82 @@ func (l *link) dial() net.Conn {
 	return c
 }
 
-func (l *link) write(conn net.Conn, frame []byte) error {
+// gather collects the current batch: the first (blocking-received) frame
+// plus whatever else is already queued, up to BatchBytes. With BatchLinger
+// set it then waits once up to that long for stragglers, so near-simultaneous
+// frames from different actor loops coalesce even if the queue momentarily
+// ran dry.
+func (l *link) gather(first *transport.Buf) []*transport.Buf {
+	batch := append(l.batch[:0], first)
+	total := len(first.B)
+drain:
+	for total < l.t.cfg.BatchBytes {
+		select {
+		case fb := <-l.ch:
+			batch = append(batch, fb)
+			total += len(fb.B)
+		default:
+			break drain
+		}
+	}
+	if l.t.cfg.BatchLinger > 0 && total < l.t.cfg.BatchBytes {
+		timer := time.NewTimer(l.t.cfg.BatchLinger)
+	linger:
+		for total < l.t.cfg.BatchBytes {
+			select {
+			case fb := <-l.ch:
+				batch = append(batch, fb)
+				total += len(fb.B)
+			case <-timer.C:
+				break linger
+			case <-l.t.done:
+				break linger
+			}
+		}
+		timer.Stop()
+	}
+	l.batch = batch
+	return batch
+}
+
+// writeBatch flushes the batch as one vectored write (one frame skips the
+// indirection). net.Buffers consumes the slice-of-slices, not the frames, so
+// a retry after redial can rebuild it from the same batch.
+func (l *link) writeBatch(conn net.Conn, batch []*transport.Buf) error {
 	conn.SetWriteDeadline(time.Now().Add(l.t.cfg.WriteTimeout))
-	return writeAll(conn, frame)
+	if len(batch) == 1 {
+		return writeAll(conn, batch[0].B)
+	}
+	bufs := l.bufs[:0]
+	for _, fb := range batch {
+		bufs = append(bufs, fb.B)
+	}
+	l.bufs = bufs
+	_, err := bufs.WriteTo(conn)
+	return err
+}
+
+// dropBatch fails every frame of a batch (dead peer path).
+func (l *link) dropBatch(batch []*transport.Buf) {
+	for _, fb := range batch {
+		l.t.dropFrame(fb)
+	}
+}
+
+// releaseBatch recycles the frame buffers after a successful flush.
+func (l *link) releaseBatch(batch []*transport.Buf) {
+	for i, fb := range batch {
+		fb.Release()
+		batch[i] = nil
+	}
 }
 
 // run drains the queue. Connection policy: dial on the first frame; after a
 // failed dial, drop frames for RedialBackoff before trying again (so a dead
 // peer costs one dial timeout per backoff window, not per frame); on a
-// write error, redial once immediately and retry the frame — a restarted
-// peer leaves a stale connection whose first write fails, and the frame is
-// still deliverable over a fresh one.
+// write error, redial once immediately and retry the whole batch — a
+// restarted peer leaves a stale connection whose first write fails, and the
+// frames are still deliverable over a fresh one.
 func (l *link) run() {
 	defer l.t.wg.Done()
 	var conn net.Conn
@@ -895,32 +1000,35 @@ func (l *link) run() {
 		select {
 		case <-l.t.done:
 			return
-		case frame := <-l.ch:
+		case first := <-l.ch:
+			batch := l.gather(first)
 			if conn == nil {
 				if time.Since(lastFail) < l.t.cfg.RedialBackoff {
-					l.t.dropFrame(frame)
+					l.dropBatch(batch)
 					continue
 				}
 				if conn = l.dial(); conn == nil {
 					lastFail = time.Now()
-					l.t.dropFrame(frame)
+					l.dropBatch(batch)
 					continue
 				}
 			}
-			if err := l.write(conn, frame); err != nil {
+			if err := l.writeBatch(conn, batch); err != nil {
 				conn.Close()
 				if conn = l.dial(); conn == nil {
 					lastFail = time.Now()
-					l.t.dropFrame(frame)
+					l.dropBatch(batch)
 					continue
 				}
-				if err := l.write(conn, frame); err != nil {
+				if err := l.writeBatch(conn, batch); err != nil {
 					conn.Close()
 					conn = nil
 					lastFail = time.Now()
-					l.t.dropFrame(frame)
+					l.dropBatch(batch)
+					continue
 				}
 			}
+			l.releaseBatch(batch)
 		}
 	}
 }
@@ -995,11 +1103,14 @@ func (t *Transport) Every(owner transport.Addr, period time.Duration, fn func())
 }
 
 // mailbox is an unbounded FIFO of closures with blocking take — the actor
-// queue behind each local host.
+// queue behind each local host. The queue is a ring so a steady-state actor
+// loop recycles its slots instead of reallocating on every wrap.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	q      []func()
+	head   int
+	n      int
 	closed bool
 }
 
@@ -1015,7 +1126,16 @@ func (m *mailbox) put(fn func()) bool {
 	if m.closed {
 		return false
 	}
-	m.q = append(m.q, fn)
+	if m.n == len(m.q) {
+		grown := make([]func(), max(2*len(m.q), 16))
+		for i := 0; i < m.n; i++ {
+			grown[i] = m.q[(m.head+i)%len(m.q)]
+		}
+		m.q = grown
+		m.head = 0
+	}
+	m.q[(m.head+m.n)%len(m.q)] = fn
+	m.n++
 	m.cond.Signal()
 	return true
 }
@@ -1023,15 +1143,16 @@ func (m *mailbox) put(fn func()) bool {
 func (m *mailbox) take() (func(), bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.q) == 0 && !m.closed {
+	for m.n == 0 && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.q) == 0 {
+	if m.n == 0 {
 		return nil, false
 	}
-	fn := m.q[0]
-	m.q[0] = nil
-	m.q = m.q[1:]
+	fn := m.q[m.head]
+	m.q[m.head] = nil
+	m.head = (m.head + 1) % len(m.q)
+	m.n--
 	return fn, true
 }
 

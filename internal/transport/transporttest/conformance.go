@@ -106,6 +106,7 @@ func RunConformance(t *testing.T, mk Factory) {
 	t.Run("EveryRepeatsUntilStopped", func(t *testing.T) { testEvery(t, mk) })
 	t.Run("NowMonotone", func(t *testing.T) { testNowMonotone(t, mk) })
 	t.Run("HandlerSerialization", func(t *testing.T) { testSerialization(t, mk) })
+	t.Run("PipelinedCallsOneLink", func(t *testing.T) { testPipelinedCalls(t, mk) })
 }
 
 // result carries an RPC outcome out of callback context. Buffered channels
@@ -425,6 +426,60 @@ func testSerialization(t *testing.T, mk Factory) {
 		}
 	default:
 		t.Fatal("could not read final count")
+	}
+}
+
+// testPipelinedCalls posts a burst of RPCs from ONE caller to ONE target in
+// a single host-context turn, so every request is queued on the same link
+// before any can be written. On transports that coalesce writes this drives
+// multi-frame batches through a single flush (and back-to-back frames
+// through the reader); every request must still get its own matching
+// response. Payloads are distinct per request so a mis-correlated response
+// (wrong reqID wiring in a batch) is caught, not just a lost one.
+func testPipelinedCalls(t *testing.T, mk Factory) {
+	const burst = 32
+	h := mk(t, 2)
+	defer closeH(h)
+	h.Tr.Bind(0, func(_ transport.Addr, m transport.Message) (transport.Message, bool) {
+		e := m.(Echo)
+		return Echo{N: e.N, Payload: e.Payload}, true // echo verbatim
+	})
+	h.Tr.Bind(1, echoHandler)
+	type reply struct {
+		want uint64
+		r    result
+	}
+	ch := make(chan reply, burst)
+	h.Tr.After(1, 0, func() {
+		for i := 0; i < burst; i++ {
+			n := uint64(i)
+			h.Tr.Call(1, 0, Echo{N: n, Payload: []byte{byte(i)}}, 50*tick, func(m transport.Message, err error) {
+				ch <- reply{n, result{m, err}}
+			})
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	seen := make(map[uint64]bool, burst)
+	for len(seen) < burst {
+		select {
+		case rp := <-ch:
+			if rp.r.err != nil {
+				t.Fatalf("pipelined rpc %d: %v", rp.want, rp.r.err)
+			}
+			e, ok := rp.r.msg.(Echo)
+			if !ok || e.N != rp.want || len(e.Payload) != 1 || e.Payload[0] != byte(rp.want) {
+				t.Fatalf("pipelined rpc %d: mis-correlated response %#v", rp.want, rp.r.msg)
+			}
+			if seen[rp.want] {
+				t.Fatalf("pipelined rpc %d: duplicate response", rp.want)
+			}
+			seen[rp.want] = true
+		default:
+			if time.Now().After(deadline) {
+				t.Fatalf("%d/%d pipelined rpcs completed", len(seen), burst)
+			}
+			h.Advance(tick)
+		}
 	}
 }
 

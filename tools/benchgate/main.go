@@ -22,7 +22,11 @@
 //	        ns/op comparison: their wall time is simulation bookkeeping,
 //	        not a hot path, and their regression signal is the units.
 //	      - B/op and allocs/op are machine-independent and compared
-//	        absolutely; only increases beyond tolerance fail.
+//	        absolutely; only increases beyond -bytes-tolerance (default
+//	        0.30) fail. Byte counters get their own, wider tolerance
+//	        because the pooled hot paths leave baselines so small (0–2
+//	        allocs, tens of bytes) that runtime-version or pool-warmth
+//	        jitter of a single allocation is a large relative change.
 //	      - every other unit is a headline experiment metric (err%,
 //	        leak-bits, …) produced under fixed seeds; a drift beyond
 //	        tolerance in EITHER direction means behaviour changed and
@@ -70,6 +74,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "compare: baseline snapshot path")
 		current   = flag.String("current", "", "compare: current snapshot path")
 		tolerance = flag.Float64("tolerance", 0.15, "compare: allowed relative regression")
+		bytesTol  = flag.Float64("bytes-tolerance", 0.30, "compare: allowed relative regression for B/op and allocs/op")
 		anchor    = flag.String("anchor", "", "compare: normalize ns/op by this one benchmark instead of the micro-benchmark geometric mean")
 		absolute  = flag.Bool("absolute", false, "compare: raw ns/op instead of normalized ratios")
 	)
@@ -84,7 +89,7 @@ func main() {
 			os.Exit(2)
 		}
 	default:
-		failures, err := runCompare(*baseline, *current, *tolerance, *anchor, *absolute)
+		failures, err := runCompare(*baseline, *current, *tolerance, *bytesTol, *anchor, *absolute)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(2)
@@ -255,9 +260,10 @@ func geomeanNs(s Snapshot, names []string) float64 {
 }
 
 // Compare evaluates current against base and returns the failure messages.
-// Exported (with ParseBench) so the gate's own tests can inject synthetic
-// regressions.
-func Compare(base, cur Snapshot, tolerance float64, anchor string, absolute bool) []string {
+// bytesTolerance applies to B/op and allocs/op; tolerance to everything
+// else. Exported (with ParseBench) so the gate's own tests can inject
+// synthetic regressions.
+func Compare(base, cur Snapshot, tolerance, bytesTolerance float64, anchor string, absolute bool) []string {
 	var failures []string
 	fail := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
@@ -330,8 +336,9 @@ func Compare(base, cur Snapshot, tolerance float64, anchor string, absolute bool
 			case "MB/s":
 				// Redundant with ns/op and machine-dependent; skip.
 			case "B/op", "allocs/op":
-				if cv > bv*(1+tolerance) {
-					fail("%s: %s regressed %.1f%% (%g -> %g)", name, unit, (cv/bv-1)*100, bv, cv)
+				if cv > bv*(1+bytesTolerance) {
+					fail("%s: %s regressed %.1f%% (%g -> %g), beyond the %.0f%% byte-counter tolerance",
+						name, unit, (cv/bv-1)*100, bv, cv, bytesTolerance*100)
 				}
 			default:
 				// Headline experiment metric under fixed seeds:
@@ -347,7 +354,7 @@ func Compare(base, cur Snapshot, tolerance float64, anchor string, absolute bool
 	return failures
 }
 
-func runCompare(baselinePath, currentPath string, tolerance float64, anchor string, absolute bool) (int, error) {
+func runCompare(baselinePath, currentPath string, tolerance, bytesTolerance float64, anchor string, absolute bool) (int, error) {
 	if baselinePath == "" || currentPath == "" {
 		return 0, fmt.Errorf("-compare needs -baseline and -current")
 	}
@@ -359,7 +366,7 @@ func runCompare(baselinePath, currentPath string, tolerance float64, anchor stri
 	if err != nil {
 		return 0, err
 	}
-	failures := Compare(base, cur, tolerance, anchor, absolute)
+	failures := Compare(base, cur, tolerance, bytesTolerance, anchor, absolute)
 	for _, f := range failures {
 		fmt.Println("REGRESSION:", f)
 	}

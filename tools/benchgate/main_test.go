@@ -54,7 +54,7 @@ func TestParseAggregatesAndStripsSuffix(t *testing.T) {
 
 func TestCompareBaselineAgainstItselfPasses(t *testing.T) {
 	snap := parseSample(t)
-	if failures := Compare(snap, snap, 0.15, "", false); len(failures) != 0 {
+	if failures := Compare(snap, snap, 0.15, 0.30, "", false); len(failures) != 0 {
 		t.Errorf("self-comparison failed the gate: %v", failures)
 	}
 }
@@ -93,7 +93,7 @@ func TestInjectedTimeRegressionFails(t *testing.T) {
 		{"BenchmarkCodecSizeTable", false}, // single-anchor normalization
 		{"", true},                         // absolute
 	} {
-		failures := Compare(base, cur, 0.15, mode.anchor, mode.absolute)
+		failures := Compare(base, cur, 0.15, 0.30, mode.anchor, mode.absolute)
 		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkChanTransportRPC") {
 			t.Errorf("anchor=%q absolute=%v: injected 30%% regression not caught exactly once: %v",
 				mode.anchor, mode.absolute, failures)
@@ -105,7 +105,7 @@ func TestInjectedTimeRegressionFails(t *testing.T) {
 	r = mild.Benchmarks["BenchmarkChanTransportRPC"]
 	r.NsPerOp *= 1.10
 	mild.Benchmarks["BenchmarkChanTransportRPC"] = r
-	if failures := Compare(base, mild, 0.15, "", false); len(failures) != 0 {
+	if failures := Compare(base, mild, 0.15, 0.30, "", false); len(failures) != 0 {
 		t.Errorf("10%% drift failed a 15%% gate: %v", failures)
 	}
 
@@ -116,7 +116,7 @@ func TestInjectedTimeRegressionFails(t *testing.T) {
 	r = edge.Benchmarks["BenchmarkChanTransportRPC"]
 	r.NsPerOp *= 1.18
 	edge.Benchmarks["BenchmarkChanTransportRPC"] = r
-	failures := Compare(base, edge, 0.15, "", false)
+	failures := Compare(base, edge, 0.15, 0.30, "", false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkChanTransportRPC") {
 		t.Errorf("18%% regression slipped through the 15%% gate (geomean dilution): %v", failures)
 	}
@@ -133,10 +133,10 @@ func TestNormalizationAbsorbsMachineSpeed(t *testing.T) {
 		r.NsPerOp *= 2
 		slow.Benchmarks[name] = r
 	}
-	if failures := Compare(base, slow, 0.15, "", false); len(failures) != 0 {
+	if failures := Compare(base, slow, 0.15, 0.30, "", false); len(failures) != 0 {
 		t.Errorf("uniform slowdown failed the normalized gate: %v", failures)
 	}
-	if failures := Compare(base, slow, 0.15, "", true); len(failures) == 0 {
+	if failures := Compare(base, slow, 0.15, 0.30, "", true); len(failures) == 0 {
 		t.Error("uniform slowdown passed the absolute gate (expected failures)")
 	}
 }
@@ -149,7 +149,7 @@ func TestHeadlineUnitDriftFails(t *testing.T) {
 	r := cur.Benchmarks["BenchmarkTable1TimingAnalysis"]
 	r.Units["err%"] = 70 // was 100: a 30% drop
 	cur.Benchmarks["BenchmarkTable1TimingAnalysis"] = r
-	failures := Compare(base, cur, 0.15, "", false)
+	failures := Compare(base, cur, 0.15, 0.30, "", false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "err%") {
 		t.Errorf("headline drift not caught exactly once: %v", failures)
 	}
@@ -161,22 +161,57 @@ func TestMissingBenchmarkFails(t *testing.T) {
 	base := parseSample(t)
 	cur := clone(base)
 	delete(cur.Benchmarks, "BenchmarkCodecEncodeTable")
-	failures := Compare(base, cur, 0.15, "", false)
+	failures := Compare(base, cur, 0.15, 0.30, "", false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "coverage loss") {
 		t.Errorf("missing benchmark not caught: %v", failures)
 	}
 }
 
 // TestAllocRegressionFails: B/op is machine-independent, so any increase
-// beyond tolerance fails even on a differently-clocked runner.
+// beyond the byte-counter tolerance fails even on a differently-clocked
+// runner.
 func TestAllocRegressionFails(t *testing.T) {
 	base := parseSample(t)
 	cur := clone(base)
 	r := cur.Benchmarks["BenchmarkCodecEncodeTable"]
 	r.Units["B/op"] = r.Units["B/op"] * 1.5
 	cur.Benchmarks["BenchmarkCodecEncodeTable"] = r
-	failures := Compare(base, cur, 0.15, "", false)
+	failures := Compare(base, cur, 0.15, 0.30, "", false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "B/op") {
 		t.Errorf("alloc regression not caught: %v", failures)
+	}
+}
+
+// TestBytesToleranceIsSeparate: byte counters are judged against
+// -bytes-tolerance, not -tolerance. A 25% allocs/op increase sits between
+// the two defaults (15% and 30%), so it must pass the default gate but
+// fail when the byte tolerance is tightened to match the time tolerance.
+func TestBytesToleranceIsSeparate(t *testing.T) {
+	base := parseSample(t)
+	cur := clone(base)
+	r := cur.Benchmarks["BenchmarkChanTransportRPC"]
+	r.Units["allocs/op"] = r.Units["allocs/op"] * 1.25
+	cur.Benchmarks["BenchmarkChanTransportRPC"] = r
+	if failures := Compare(base, cur, 0.15, 0.30, "", false); len(failures) != 0 {
+		t.Errorf("25%% allocs/op increase failed the 30%% byte gate: %v", failures)
+	}
+	failures := Compare(base, cur, 0.15, 0.15, "", false)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Errorf("25%% allocs/op increase not caught by a 15%% byte gate: %v", failures)
+	}
+
+	// A zero baseline (the pooled encode path) stays strict under any
+	// tolerance: 0 allocs regressing to 1 is always a pooling bug.
+	zero := clone(base)
+	r = zero.Benchmarks["BenchmarkCodecSizeTable"]
+	r.Units["allocs/op"] = 0
+	zero.Benchmarks["BenchmarkCodecSizeTable"] = r
+	leaked := clone(zero)
+	r = leaked.Benchmarks["BenchmarkCodecSizeTable"]
+	r.Units["allocs/op"] = 1
+	leaked.Benchmarks["BenchmarkCodecSizeTable"] = r
+	failures = Compare(zero, leaked, 0.15, 0.30, "", false)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Errorf("0 -> 1 allocs/op not caught: %v", failures)
 	}
 }
