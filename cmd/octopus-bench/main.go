@@ -8,7 +8,7 @@
 //	octopus-bench [flags] <experiment>
 //
 // Experiments: table1 table2 table3 fig3a fig3b fig3c fig4 fig5a fig5b
-// fig5c fig6 fig7a fig7b fig9 load storage all
+// fig5c fig6 fig7a fig7b fig9 load storage chaos all
 //
 // `load` goes beyond the paper: it drives a serving deployment with an
 // open-loop arrival process and reports the throughput ceiling and latency
@@ -18,6 +18,11 @@
 // `storage` drives the replicated key-value store (internal/store) with an
 // open-loop read/write mix under churn and reports hit rate and latency
 // percentiles per mix (see internal/experiments/storage.go).
+//
+// `chaos` drives the full system through a scripted storm — correlated 40%
+// mass-kill, rolling asymmetric partitions, loss/jitter bursts, flash-crowd
+// rejoin — and reports lookup success rate, store hit rate, and
+// time-to-recovery against explicit SLOs (see internal/experiments/chaos.go).
 //
 // The -scale flag shrinks every experiment for quick runs (0.1 ≈ seconds,
 // 1.0 = paper scale).
@@ -54,7 +59,7 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: octopus-bench [-scale f] [-seed n] <%s>", "table1|table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig9|load|all")
+		return fmt.Errorf("usage: octopus-bench [-scale f] [-seed n] <%s>", "table1|table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig9|load|storage|chaos|all")
 	}
 	opt := options{scale: *scale, seed: *seed}
 
@@ -63,13 +68,13 @@ func run(w io.Writer, args []string) error {
 		"fig3a": fig3a, "fig3b": fig3b, "fig3c": fig3c, "fig4": fig4,
 		"fig5a": fig5a, "fig5b": fig5b, "fig5c": fig5c, "fig6": fig6,
 		"fig7a": fig7a, "fig7b": fig7b, "fig9": fig9, "load": load,
-		"storage": storage,
+		"storage": storage, "chaos": chaos,
 	}
 	name := fs.Arg(0)
 	if name == "all" {
 		order := []string{"table1", "table2", "table3", "fig3a", "fig3b", "fig3c",
 			"fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "fig9", "load",
-			"storage"}
+			"storage", "chaos"}
 		for _, n := range order {
 			if err := all[n](w, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
@@ -368,6 +373,41 @@ func storage(w io.Writer, opt options) error {
 			r.GetP50.Round(10*time.Millisecond), r.GetP95.Round(10*time.Millisecond),
 			r.PutP50.Round(10*time.Millisecond), r.PutP95.Round(10*time.Millisecond),
 			r.Misses, r.Kills, r.Pulled)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// chaos drives the disaster drill: a scripted kill-storm with rolling
+// partitions and a flash-crowd rejoin, judged against explicit SLOs.
+func chaos(w io.Writer, opt options) error {
+	fmt.Fprintln(w, "== Chaos: scripted storm survival vs SLOs (40% kill, partitions, flash rejoin) ==")
+	cfg := experiments.DefaultChaosConfig()
+	cfg.N = scaled(cfg.N, opt.scale, 200)
+	cfg.PostRecovery = scaledDur(cfg.PostRecovery, opt.scale, time.Minute)
+	cfg.Seed = opt.seed
+	r := experiments.RunChaos(cfg)
+	fmt.Fprintf(w, "%d nodes, %d gateways, storm: %d killed / %d rejoined (%d refused)\n",
+		cfg.N, cfg.ServingNodes, r.Killed, r.Rejoined, r.RejoinFailed)
+	fmt.Fprintf(w, "%-14s %-10s %-10s %-10s %-10s %s\n",
+		"phase", "lookups", "success%", "gets", "hit%", "misses")
+	for _, row := range []struct {
+		name string
+		p    experiments.ChaosPhase
+	}{{"baseline", r.Baseline}, {"storm", r.Storm}, {"post-recovery", r.PostRecovery}} {
+		fmt.Fprintf(w, "%-14s %-10d %-10.2f %-10d %-10.2f %d\n",
+			row.name, row.p.Lookups, row.p.LookupSuccess*100,
+			row.p.Gets, row.p.HitRate*100, row.p.Misses)
+	}
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "recovered=%v time-to-recovery=%v  SLO: lookup ≥%.0f%%, hit ≥%.0f%% → %s\n",
+		r.Recovered, r.TimeToRecovery,
+		r.SLO.LookupSuccess*100, r.SLO.StoreHit*100, verdict)
+	if !r.Pass {
+		fmt.Fprintf(w, "--- storm event log (seed %d) ---\n%s", cfg.Seed, r.StormLog)
 	}
 	fmt.Fprintln(w)
 	return nil

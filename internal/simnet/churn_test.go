@@ -1,0 +1,132 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChurnerTable is the table-driven contract of the paper's churn model:
+// the deaths counter, the strict death-before-replacement-join ordering
+// under RejoinDelay, and the mean <= 0 disabled mode.
+func TestChurnerTable(t *testing.T) {
+	type event struct {
+		kind string // "death" | "rejoin"
+		at   time.Duration
+	}
+	cases := []struct {
+		name        string
+		mean        time.Duration
+		rejoinDelay time.Duration
+		slots       int
+		runFor      time.Duration
+		wantDeaths  bool
+	}{
+		{"disabled-zero-mean", 0, time.Second, 10, time.Hour, false},
+		{"disabled-negative-mean", -time.Minute, time.Second, 10, time.Hour, false},
+		{"immediate-rejoin", 30 * time.Second, 0, 20, 20 * time.Minute, true},
+		{"delayed-rejoin", 30 * time.Second, 15 * time.Second, 20, 20 * time.Minute, true},
+		{"single-slot", time.Minute, 5 * time.Second, 1, time.Hour, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(11)
+			c := NewChurner(s, tc.mean)
+			c.RejoinDelay = tc.rejoinDelay
+			perSlot := make(map[Address][]event)
+			c.OnDeath = func(a Address) {
+				perSlot[a] = append(perSlot[a], event{"death", s.Now()})
+			}
+			c.OnRejoin = func(a Address) {
+				perSlot[a] = append(perSlot[a], event{"rejoin", s.Now()})
+			}
+			for i := 0; i < tc.slots; i++ {
+				c.Track(Address(i))
+			}
+			s.Run(tc.runFor)
+
+			var deaths, rejoins uint64
+			for _, evs := range perSlot {
+				for _, ev := range evs {
+					if ev.kind == "death" {
+						deaths++
+					} else {
+						rejoins++
+					}
+				}
+			}
+			if !tc.wantDeaths {
+				if deaths != 0 || c.Deaths() != 0 {
+					t.Fatalf("disabled churner produced %d deaths (counter %d)", deaths, c.Deaths())
+				}
+				if c.Lifetime() != 0 {
+					t.Fatalf("disabled churner drew a nonzero lifetime")
+				}
+				return
+			}
+			if deaths == 0 {
+				t.Fatal("no deaths over the run")
+			}
+			// The Deaths counter counts exactly the OnDeath callbacks.
+			if c.Deaths() != deaths {
+				t.Errorf("Deaths() = %d, callbacks saw %d", c.Deaths(), deaths)
+			}
+			// Per slot the cycle strictly alternates death → rejoin →
+			// death …, each death strictly before its replacement join,
+			// separated by exactly RejoinDelay.
+			for a, evs := range perSlot {
+				for i, ev := range evs {
+					wantKind := "death"
+					if i%2 == 1 {
+						wantKind = "rejoin"
+					}
+					if ev.kind != wantKind {
+						t.Fatalf("slot %d event %d is %q, want %q (cycle must alternate)",
+							a, i, ev.kind, wantKind)
+					}
+					if ev.kind == "rejoin" {
+						prev := evs[i-1]
+						if got := ev.at - prev.at; got != tc.rejoinDelay {
+							t.Fatalf("slot %d rejoin %v after death, want exactly %v",
+								a, got, tc.rejoinDelay)
+						}
+						if tc.rejoinDelay > 0 && ev.at <= prev.at {
+							t.Fatalf("slot %d rejoin at %v not strictly after death at %v",
+								a, ev.at, prev.at)
+						}
+					}
+				}
+			}
+			// Every rejoin has a matching earlier death.
+			if rejoins > deaths {
+				t.Errorf("%d rejoins exceed %d deaths", rejoins, deaths)
+			}
+		})
+	}
+}
+
+// TestChurnerDeathStrictlyBeforeRejoinSameInstant pins the zero-delay edge:
+// even with RejoinDelay == 0 the death callback runs strictly before the
+// replacement's rejoin callback (the event heap breaks the virtual-time tie
+// by scheduling order).
+func TestChurnerDeathStrictlyBeforeRejoinSameInstant(t *testing.T) {
+	s := New(23)
+	c := NewChurner(s, time.Minute)
+	c.RejoinDelay = 0
+	var order []string
+	c.OnDeath = func(Address) { order = append(order, "death") }
+	c.OnRejoin = func(Address) { order = append(order, "rejoin") }
+	c.Track(0)
+	s.Run(30 * time.Minute)
+	if len(order) < 4 {
+		t.Fatalf("only %d churn events in 30 minutes at mean 1m", len(order))
+	}
+	for i, kind := range order {
+		want := "death"
+		if i%2 == 1 {
+			want = "rejoin"
+		}
+		if kind != want {
+			t.Fatalf("event %d = %q, want %q: death must strictly precede its rejoin", i, kind, want)
+		}
+	}
+}

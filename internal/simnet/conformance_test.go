@@ -48,3 +48,16 @@ func TestSimnetChurnConformance(t *testing.T) {
 		}
 	})
 }
+
+// TestSimnetFaultConformance runs the hostile-network suite — lossy link,
+// mid-RPC partition, storm join/leave — deterministically on the simulator.
+func TestSimnetFaultConformance(t *testing.T) {
+	transporttest.RunFaultConformance(t, func(t *testing.T, hosts int) transporttest.Harness {
+		sim := simnet.New(17)
+		net := simnet.NewNetwork(sim, simnet.ConstantLatency{D: time.Millisecond}, hosts)
+		return transporttest.Harness{
+			Tr:      net,
+			Advance: func(d time.Duration) { sim.Run(sim.Now() + d) },
+		}
+	})
+}

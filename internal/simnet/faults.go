@@ -1,0 +1,171 @@
+package simnet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Faults is the composable fault-injection layer of the simulator: per-link
+// and network-wide packet loss, latency jitter spikes, and directional
+// partition cuts, consulted on every transmission the Network performs.
+//
+// Fault state is mutated from simulation events only (the single-goroutine
+// invariant of the simulator), and every probabilistic decision draws from
+// the simulator RNG, so a faulty run replays byte-identically from its seed.
+// A Network without an installed fault layer consumes no extra randomness,
+// which keeps all pre-existing seeded experiments bit-for-bit unchanged.
+//
+// Partitions are DIRECTIONAL: cutting a→b drops traffic a sends toward b
+// while b→a still delivers, which models the asymmetric reachability
+// failures (half-open links, one-way BGP leaks) that symmetric kill switches
+// cannot express. A symmetric partition is simply both cuts.
+type Faults struct {
+	net *Network
+
+	// defaultLoss applies to every link without an override.
+	defaultLoss float64
+	// linkLoss overrides the loss probability of one directed link.
+	linkLoss map[link]float64
+
+	// cutLinks holds directed per-link cuts; cutFrom/cutTo hold node-level
+	// egress/ingress cuts (O(1) state per node, which is what lets a storm
+	// sweep partitions across a 1000-node ring without per-link maps).
+	cutLinks map[link]bool
+	cutFrom  map[Address]bool
+	cutTo    map[Address]bool
+
+	// jitterProb adds a latency spike of Uniform[0, jitterMax) with the
+	// given probability per transmission.
+	jitterProb float64
+	jitterMax  time.Duration
+
+	stats FaultStats
+}
+
+// link is a directed host pair.
+type link struct{ from, to Address }
+
+// FaultStats counts fault-layer decisions. Counters are atomic: they are
+// incremented on the simulator goroutine but may be read from test
+// goroutines polling a running simulation.
+type FaultStats struct {
+	// Lost counts transmissions dropped by a loss probability.
+	Lost atomic.Uint64
+	// Cut counts transmissions dropped by a partition cut.
+	Cut atomic.Uint64
+	// Spikes counts transmissions that received a jitter spike.
+	Spikes atomic.Uint64
+}
+
+// InstallFaults attaches (or returns the already-attached) fault layer.
+func (n *Network) InstallFaults() *Faults {
+	if n.faults == nil {
+		n.faults = &Faults{
+			net:      n,
+			linkLoss: make(map[link]float64),
+			cutLinks: make(map[link]bool),
+			cutFrom:  make(map[Address]bool),
+			cutTo:    make(map[Address]bool),
+		}
+	}
+	return n.faults
+}
+
+// Faults returns the installed fault layer, or nil.
+func (n *Network) Faults() *Faults { return n.faults }
+
+// Stats exposes the fault counters.
+func (f *Faults) Stats() *FaultStats { return &f.stats }
+
+// SetLoss sets the network-wide per-transmission loss probability.
+func (f *Faults) SetLoss(p float64) { f.defaultLoss = p }
+
+// SetLinkLoss overrides the loss probability of the directed link a→b.
+// A negative p removes the override.
+func (f *Faults) SetLinkLoss(a, b Address, p float64) {
+	if p < 0 {
+		delete(f.linkLoss, link{a, b})
+		return
+	}
+	f.linkLoss[link{a, b}] = p
+}
+
+// SetJitter makes each transmission suffer an extra Uniform[0, max) latency
+// spike with probability p. Zero p disables spikes.
+func (f *Faults) SetJitter(p float64, max time.Duration) {
+	f.jitterProb, f.jitterMax = p, max
+}
+
+// Cut drops all traffic on the directed link a→b. b→a is unaffected.
+func (f *Faults) Cut(a, b Address) { f.cutLinks[link{a, b}] = true }
+
+// Heal removes a directed per-link cut.
+func (f *Faults) Heal(a, b Address) { delete(f.cutLinks, link{a, b}) }
+
+// CutFrom drops everything a sends, to anyone. Traffic toward a still
+// delivers: the classic asymmetric partition (a hears the world, the world
+// never hears a).
+func (f *Faults) CutFrom(a Address) { f.cutFrom[a] = true }
+
+// HealFrom removes an egress cut.
+func (f *Faults) HealFrom(a Address) { delete(f.cutFrom, a) }
+
+// CutTo drops everything addressed to a.
+func (f *Faults) CutTo(a Address) { f.cutTo[a] = true }
+
+// HealTo removes an ingress cut.
+func (f *Faults) HealTo(a Address) { delete(f.cutTo, a) }
+
+// Isolate cuts a off in both directions; HealIsolate undoes it.
+func (f *Faults) Isolate(a Address) { f.CutFrom(a); f.CutTo(a) }
+
+// HealIsolate removes both directional cuts of a.
+func (f *Faults) HealIsolate(a Address) { f.HealFrom(a); f.HealTo(a) }
+
+// ClearPartitions removes every cut (link- and node-level) at once — how a
+// storm ends its partition phases without tracking what it cut.
+func (f *Faults) ClearPartitions() {
+	f.cutLinks = make(map[link]bool)
+	f.cutFrom = make(map[Address]bool)
+	f.cutTo = make(map[Address]bool)
+}
+
+// Clear resets the whole fault layer to pass-through.
+func (f *Faults) Clear() {
+	f.defaultLoss = 0
+	f.linkLoss = make(map[link]float64)
+	f.jitterProb, f.jitterMax = 0, 0
+	f.ClearPartitions()
+}
+
+// deliver decides one transmission's fate. Partition checks consume no
+// randomness; a loss draw happens only when a nonzero probability applies,
+// so fault-free links perturb no downstream RNG state.
+func (f *Faults) deliver(from, to Address) bool {
+	if f.cutLinks[link{from, to}] || f.cutFrom[from] || f.cutTo[to] {
+		f.stats.Cut.Add(1)
+		return false
+	}
+	p := f.defaultLoss
+	if override, ok := f.linkLoss[link{from, to}]; ok {
+		p = override
+	}
+	if p > 0 && f.net.sim.Rand().Float64() < p {
+		f.stats.Lost.Add(1)
+		return false
+	}
+	return true
+}
+
+// jitter returns the extra latency of one transmission (zero when spikes
+// are disabled or the draw misses).
+func (f *Faults) jitter() time.Duration {
+	if f.jitterProb <= 0 || f.jitterMax <= 0 {
+		return 0
+	}
+	if f.net.sim.Rand().Float64() >= f.jitterProb {
+		return 0
+	}
+	f.stats.Spikes.Add(1)
+	return time.Duration(f.net.sim.Rand().Int63n(int64(f.jitterMax)))
+}

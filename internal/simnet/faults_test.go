@@ -1,0 +1,308 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func lossyPair(seed int64) (*Simulator, *Network) {
+	s := New(seed)
+	n := NewNetwork(s, ConstantLatency{D: time.Millisecond}, 4)
+	n.Bind(0, func(Address, Message) (Message, bool) { return testMsg{bytes: 1}, true })
+	n.Bind(1, func(Address, Message) (Message, bool) { return testMsg{bytes: 1}, true })
+	return s, n
+}
+
+func TestFaultsFullLossDropsEverything(t *testing.T) {
+	s, n := lossyPair(1)
+	n.InstallFaults().SetLoss(1)
+	var errs, oks int
+	for i := 0; i < 20; i++ {
+		n.Call(0, 1, testMsg{bytes: 1}, 100*time.Millisecond, func(_ Message, err error) {
+			if err != nil {
+				errs++
+			} else {
+				oks++
+			}
+		})
+	}
+	s.RunAll()
+	if oks != 0 || errs != 20 {
+		t.Fatalf("under 100%% loss: %d ok, %d errors; want 0/20", oks, errs)
+	}
+	if got := n.Faults().Stats().Lost.Load(); got != 20 {
+		t.Errorf("Lost = %d, want 20 (one per request; no response ever flew)", got)
+	}
+	if n.Dropped() != 20 {
+		t.Errorf("Dropped = %d, want 20", n.Dropped())
+	}
+}
+
+func TestFaultsPartialLossEventuallyDelivers(t *testing.T) {
+	s, n := lossyPair(7)
+	n.InstallFaults().SetLoss(0.5)
+	var oks, errs int
+	for i := 0; i < 200; i++ {
+		n.Call(0, 1, testMsg{bytes: 1}, 50*time.Millisecond, func(_ Message, err error) {
+			if err != nil {
+				errs++
+			} else {
+				oks++
+			}
+		})
+	}
+	s.RunAll()
+	if oks == 0 || errs == 0 {
+		t.Fatalf("50%% loss produced %d ok / %d errors; want a mix", oks, errs)
+	}
+	// Each RPC survives only if both directions deliver: expect ~25% ok.
+	if oks < 20 || oks > 80 {
+		t.Errorf("ok = %d of 200 at 50%% symmetric loss, want ≈50", oks)
+	}
+}
+
+func TestFaultsLinkLossOverride(t *testing.T) {
+	s, n := lossyPair(3)
+	f := n.InstallFaults()
+	f.SetLoss(1)
+	f.SetLinkLoss(0, 1, 0) // this link is perfect both...
+	f.SetLinkLoss(1, 0, 0) // ...ways, despite global loss
+	ok := false
+	n.Call(0, 1, testMsg{bytes: 1}, 100*time.Millisecond, func(_ Message, err error) { ok = err == nil })
+	s.RunAll()
+	if !ok {
+		t.Fatal("per-link override did not exempt the link from global loss")
+	}
+	// Removing the override re-exposes the link to the default.
+	f.SetLinkLoss(0, 1, -1)
+	ok = false
+	n.Call(0, 1, testMsg{bytes: 1}, 100*time.Millisecond, func(_ Message, err error) { ok = err == nil })
+	s.RunAll()
+	if ok {
+		t.Fatal("removed override still exempts the link")
+	}
+}
+
+func TestFaultsAsymmetricCut(t *testing.T) {
+	s, n := lossyPair(1)
+	f := n.InstallFaults()
+	f.Cut(0, 1) // 0→1 dropped; 1→0 still delivers
+
+	// One-way sends expose the asymmetry directly: 0→1 never arrives,
+	// 1→0 does. (An RPC would conflate the two directions — its response
+	// travels the cut link.)
+	heard := make(map[Address]bool)
+	n.Bind(0, func(Address, Message) (Message, bool) { heard[0] = true; return nil, false })
+	n.Bind(1, func(Address, Message) (Message, bool) { heard[1] = true; return nil, false })
+	n.Send(0, 1, testMsg{bytes: 1})
+	n.Send(1, 0, testMsg{bytes: 1})
+	s.RunAll()
+	if heard[1] {
+		t.Error("cut direction 0→1 still delivered")
+	}
+	if !heard[0] {
+		t.Error("open direction 1→0 did not deliver")
+	}
+	if got := f.Stats().Cut.Load(); got != 1 {
+		t.Errorf("Cut counter = %d, want 1", got)
+	}
+	// An RPC across the cut direction times out.
+	var err01 error
+	n.Call(0, 1, testMsg{bytes: 1}, 50*time.Millisecond, func(_ Message, err error) { err01 = err })
+	s.RunAll()
+	if err01 != ErrTimeout {
+		t.Errorf("cut direction rpc err = %v, want ErrTimeout", err01)
+	}
+
+	f.Heal(0, 1)
+	n.Bind(1, func(Address, Message) (Message, bool) { return testMsg{bytes: 1}, true })
+	err01 = ErrTimeout
+	n.Call(0, 1, testMsg{bytes: 1}, 50*time.Millisecond, func(_ Message, err error) { err01 = err })
+	s.RunAll()
+	if err01 != nil {
+		t.Errorf("healed link err = %v, want success", err01)
+	}
+}
+
+func TestFaultsEgressCutIsAsymmetricPartition(t *testing.T) {
+	s, n := lossyPair(1)
+	f := n.InstallFaults()
+	f.CutFrom(1) // node 1 hears the world; the world never hears node 1
+
+	// 0→1 request delivers, but 1's RESPONSE is egress-cut: timeout.
+	var err error
+	handled := false
+	n.Bind(1, func(Address, Message) (Message, bool) {
+		handled = true
+		return testMsg{bytes: 1}, true
+	})
+	n.Call(0, 1, testMsg{bytes: 1}, 50*time.Millisecond, func(_ Message, e error) { err = e })
+	s.RunAll()
+	if !handled {
+		t.Error("egress-cut node never heard the request (ingress should be open)")
+	}
+	if err != ErrTimeout {
+		t.Errorf("caller err = %v, want ErrTimeout (response egress-cut)", err)
+	}
+
+	f.HealFrom(1)
+	n.Call(0, 1, testMsg{bytes: 1}, 50*time.Millisecond, func(_ Message, e error) { err = e })
+	s.RunAll()
+	if err != nil {
+		t.Errorf("healed egress err = %v, want success", err)
+	}
+}
+
+func TestFaultsIngressCutAndIsolate(t *testing.T) {
+	s, n := lossyPair(1)
+	f := n.InstallFaults()
+	f.CutTo(1)
+	handled := false
+	n.Bind(1, func(Address, Message) (Message, bool) { handled = true; return testMsg{bytes: 1}, true })
+	n.Send(0, 1, testMsg{bytes: 1})
+	s.RunAll()
+	if handled {
+		t.Error("ingress-cut node still heard a send")
+	}
+	f.HealTo(1)
+
+	f.Isolate(1)
+	var err error
+	n.Call(0, 1, testMsg{bytes: 1}, 50*time.Millisecond, func(_ Message, e error) { err = e })
+	s.RunAll()
+	if err != ErrTimeout {
+		t.Errorf("isolated target err = %v, want ErrTimeout", err)
+	}
+	f.HealIsolate(1)
+	n.Call(0, 1, testMsg{bytes: 1}, 50*time.Millisecond, func(_ Message, e error) { err = e })
+	s.RunAll()
+	if err != nil {
+		t.Errorf("healed isolation err = %v, want success", err)
+	}
+}
+
+func TestFaultsJitterSpikes(t *testing.T) {
+	s, n := lossyPair(11)
+	f := n.InstallFaults()
+	f.SetJitter(1, 100*time.Millisecond) // every transmission spikes
+
+	start := s.Now()
+	var rtt time.Duration
+	n.Call(0, 1, testMsg{bytes: 1}, time.Second, func(Message, error) { rtt = s.Now() - start })
+	s.RunAll()
+	if rtt <= 2*time.Millisecond {
+		t.Errorf("rtt = %v with guaranteed spikes, want > base 2ms", rtt)
+	}
+	if got := f.Stats().Spikes.Load(); got != 2 {
+		t.Errorf("Spikes = %d, want 2 (request + response)", got)
+	}
+
+	// Disabled spikes restore the base latency exactly.
+	f.SetJitter(0, 0)
+	start = s.Now()
+	n.Call(0, 1, testMsg{bytes: 1}, time.Second, func(Message, error) { rtt = s.Now() - start })
+	s.RunAll()
+	if rtt != 2*time.Millisecond {
+		t.Errorf("rtt = %v after disabling jitter, want exactly 2ms", rtt)
+	}
+}
+
+func TestFaultsClearRestoresPassThrough(t *testing.T) {
+	s, n := lossyPair(1)
+	f := n.InstallFaults()
+	f.SetLoss(1)
+	f.SetJitter(1, time.Second)
+	f.Cut(0, 1)
+	f.CutFrom(1)
+	f.CutTo(0)
+	f.Clear()
+	var err error
+	start := s.Now()
+	var rtt time.Duration
+	n.Call(0, 1, testMsg{bytes: 1}, time.Second, func(_ Message, e error) { err, rtt = e, s.Now()-start })
+	s.RunAll()
+	if err != nil || rtt != 2*time.Millisecond {
+		t.Fatalf("after Clear: err=%v rtt=%v, want success at exactly 2ms", err, rtt)
+	}
+}
+
+// TestFaultFreeRunsDrawNoExtraRandomness pins the compatibility invariant
+// every committed seeded experiment relies on: installing no fault layer —
+// and even installing one with no loss or jitter configured — leaves the
+// RNG consumption of a run unchanged.
+func TestFaultFreeRunsDrawNoExtraRandomness(t *testing.T) {
+	trace := func(install, configure bool) []time.Duration {
+		s := New(42)
+		n := NewNetwork(s, ConstantLatency{D: time.Millisecond}, 4)
+		n.Bind(0, func(Address, Message) (Message, bool) { return testMsg{bytes: 1}, true })
+		n.Bind(1, func(Address, Message) (Message, bool) { return testMsg{bytes: 1}, true })
+		if install {
+			f := n.InstallFaults()
+			if configure {
+				// Zero-probability faults and healed cuts must also be
+				// draw-neutral.
+				f.SetLoss(0)
+				f.SetJitter(0, 0)
+				f.Cut(2, 3)
+				f.Heal(2, 3)
+			}
+		}
+		var out []time.Duration
+		for i := 0; i < 50; i++ {
+			n.Call(0, 1, testMsg{bytes: 1}, time.Second, func(Message, error) {
+				// Interleave protocol-style draws so any extra fault-layer
+				// draw would shift everything after it.
+				d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+				out = append(out, s.Now()+d)
+			})
+		}
+		s.RunAll()
+		return out
+	}
+	base := trace(false, false)
+	for _, mode := range []struct {
+		name               string
+		install, configure bool
+	}{{"installed-unconfigured", true, false}, {"installed-zeroed", true, true}} {
+		got := trace(mode.install, mode.configure)
+		if len(got) != len(base) {
+			t.Fatalf("%s: %d events vs %d", mode.name, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("%s: RNG stream diverged at event %d: %v vs %v",
+					mode.name, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestDroppedCounterRaceSafe reads Dropped (and the fault counters) from the
+// test goroutine while the simulator goroutine is actively dropping — the
+// usage pattern the atomic counters exist for; run under -race in CI.
+func TestDroppedCounterRaceSafe(t *testing.T) {
+	s, n := lossyPair(5)
+	n.InstallFaults().SetLoss(1)
+	for i := 0; i < 5000; i++ {
+		n.Send(0, 1, testMsg{bytes: 1})
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.RunAll()
+	}()
+	// Poll from this goroutine until the sim goroutine finishes.
+	var last uint64
+	for {
+		last = n.Dropped()
+		_ = n.Faults().Stats().Lost.Load()
+		select {
+		case <-done:
+			if got := n.Dropped(); got != 5000 {
+				t.Fatalf("Dropped = %d after drain, want 5000 (last poll saw %d)", got, last)
+			}
+			return
+		default:
+		}
+	}
+}

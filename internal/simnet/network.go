@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/transport"
@@ -66,10 +67,13 @@ type host struct {
 // Network delivers messages between hosts with model-driven latencies and
 // accounts traffic per host.
 type Network struct {
-	sim     *Simulator
-	lat     LatencyModel
-	hosts   []host
-	dropped uint64
+	sim    *Simulator
+	lat    LatencyModel
+	hosts  []host
+	faults *Faults
+	// dropped is incremented on the simulator goroutine but read by test
+	// goroutines polling a running simulation, so it must be atomic.
+	dropped atomic.Uint64
 }
 
 // Network implements transport.Transport: the simulator is the
@@ -139,8 +143,10 @@ func (n *Network) Stats(addr Address) TrafficStats {
 	return n.hosts[addr].stats
 }
 
-// Dropped reports how many requests were dropped by dead hosts or handlers.
-func (n *Network) Dropped() uint64 { return n.dropped }
+// Dropped reports how many messages were dropped: by dead hosts, by
+// handlers, or by the fault layer (loss and partition cuts). Safe to call
+// from any goroutine.
+func (n *Network) Dropped() uint64 { return n.dropped.Load() }
 
 func (n *Network) valid(addr Address) bool {
 	return addr >= 0 && int(addr) < len(n.hosts)
@@ -158,17 +164,36 @@ func (n *Network) account(from, to Address, m Message) {
 	}
 }
 
+// transmit runs one direction of a delivery through the fault layer and the
+// latency model: it reports whether the transmission survives and, if so,
+// its one-way delay. A lost or cut transmission consumes no latency sample,
+// and a fault-free Network performs exactly the pre-fault-layer RNG draws.
+func (n *Network) transmit(from, to Address) (time.Duration, bool) {
+	if n.faults != nil && !n.faults.deliver(from, to) {
+		n.dropped.Add(1)
+		return 0, false
+	}
+	delay := n.lat.Sample(from, to, n.sim.Rand())
+	if n.faults != nil {
+		delay += n.faults.jitter()
+	}
+	return delay, true
+}
+
 // Send delivers a one-way message. The destination's handler runs after the
 // sampled latency; its response, if any, is discarded.
 func (n *Network) Send(from, to Address, msg Message) {
 	if !n.valid(to) {
 		return
 	}
-	delay := n.lat.Sample(from, to, n.sim.Rand())
+	delay, ok := n.transmit(from, to)
+	if !ok {
+		return
+	}
 	n.sim.After(delay, func() {
 		h := n.hosts[to]
 		if !h.alive || h.handler == nil {
-			n.dropped++
+			n.dropped.Add(1)
 			return
 		}
 		n.account(from, to, msg)
@@ -193,20 +218,26 @@ func (n *Network) Call(from, to Address, req Message, timeout time.Duration, cb 
 		done = true
 		cb(nil, ErrTimeout)
 	})
-	delay := n.lat.Sample(from, to, n.sim.Rand())
+	delay, fwdOK := n.transmit(from, to)
+	if !fwdOK {
+		return // request lost in flight: caller observes the timeout
+	}
 	n.sim.After(delay, func() {
 		h := n.hosts[to]
 		if !h.alive || h.handler == nil {
-			n.dropped++
+			n.dropped.Add(1)
 			return // caller will observe the timeout
 		}
 		n.account(from, to, req)
 		resp, ok := h.handler(from, req)
 		if !ok {
-			n.dropped++
+			n.dropped.Add(1)
 			return
 		}
-		back := n.lat.Sample(to, from, n.sim.Rand())
+		back, revOK := n.transmit(to, from)
+		if !revOK {
+			return // response lost in flight: caller observes the timeout
+		}
 		n.sim.After(back, func() {
 			if done {
 				return // timeout already fired

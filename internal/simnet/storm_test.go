@@ -1,0 +1,210 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// stormHarness tracks kill/rejoin callbacks against a liveness map, the way
+// a real driver flips nodes.
+type stormHarness struct {
+	net    *Network
+	kills  []Address
+	joins  []Address
+	killAt map[Address]time.Duration
+	joinAt map[Address]time.Duration
+}
+
+func newStormHarness(t *testing.T, seed int64, n int) (*Simulator, *Storm, *stormHarness) {
+	t.Helper()
+	s := New(seed)
+	net := NewNetwork(s, ConstantLatency{D: time.Millisecond}, n)
+	pop := make([]Address, n)
+	for i := range pop {
+		pop[i] = Address(i)
+		net.Bind(Address(i), func(Address, Message) (Message, bool) { return testMsg{bytes: 1}, true })
+	}
+	h := &stormHarness{
+		net:    net,
+		killAt: make(map[Address]time.Duration),
+		joinAt: make(map[Address]time.Duration),
+	}
+	storm := NewStorm(net, pop)
+	storm.OnKill = func(a Address) {
+		net.SetAlive(a, false)
+		h.kills = append(h.kills, a)
+		h.killAt[a] = s.Now()
+	}
+	storm.OnRejoin = func(a Address) {
+		net.SetAlive(a, true)
+		h.joins = append(h.joins, a)
+		h.joinAt[a] = s.Now()
+	}
+	return s, storm, h
+}
+
+func TestStormMassKillThenFlashRejoin(t *testing.T) {
+	const n = 100
+	s, storm, h := newStormHarness(t, 3, n)
+	storm.Run([]StormEvent{
+		{At: 10 * time.Second, Op: OpMassKill, Frac: 0.4},
+		{At: 30 * time.Second, Op: OpFlashRejoin, Spread: 5 * time.Second},
+	})
+	s.Run(time.Minute)
+
+	if len(h.kills) != 40 {
+		t.Fatalf("mass-kill took down %d nodes, want 40%% of %d = 40", len(h.kills), n)
+	}
+	if storm.Killed() != 40 || storm.Rejoined() != 40 {
+		t.Errorf("counters: killed=%d rejoined=%d, want 40/40", storm.Killed(), storm.Rejoined())
+	}
+	if storm.Down() != 0 {
+		t.Errorf("%d slots still down after flash rejoin", storm.Down())
+	}
+	// Kills are simultaneous and correlated; rejoins smear over the spread,
+	// and every rejoin strictly follows its slot's kill.
+	seen := make(map[Address]bool)
+	for _, a := range h.kills {
+		if seen[a] {
+			t.Fatalf("slot %d killed twice in one mass-kill", a)
+		}
+		seen[a] = true
+		if h.killAt[a] != 10*time.Second {
+			t.Errorf("kill of %d at %v, want exactly 10s (correlated)", a, h.killAt[a])
+		}
+		j, ok := h.joinAt[a]
+		if !ok {
+			t.Fatalf("slot %d never rejoined", a)
+		}
+		if j < 30*time.Second || j > 35*time.Second {
+			t.Errorf("rejoin of %d at %v, want within [30s, 35s)", a, j)
+		}
+	}
+	if !strings.Contains(storm.FormatLog(), "mass-kill: 40 of 100 up nodes (40%)") {
+		t.Errorf("event log missing mass-kill line:\n%s", storm.FormatLog())
+	}
+}
+
+func TestStormSecondKillDrawsFromSurvivors(t *testing.T) {
+	s, storm, h := newStormHarness(t, 9, 50)
+	storm.Run([]StormEvent{
+		{At: time.Second, Op: OpMassKill, Frac: 0.5},
+		{At: 2 * time.Second, Op: OpMassKill, Frac: 0.5},
+	})
+	s.Run(10 * time.Second)
+	if len(h.kills) != 25+12 {
+		t.Fatalf("kills = %d, want 25 (of 50) then 12 (50%% of 25 survivors)", len(h.kills))
+	}
+	seen := make(map[Address]bool)
+	for _, a := range h.kills {
+		if seen[a] {
+			t.Fatalf("slot %d killed twice — second storm drew a dead victim", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestStormRollingPartitionSweepsAndHeals(t *testing.T) {
+	s, storm, _ := newStormHarness(t, 5, 12)
+	net := storm.net
+	storm.Run([]StormEvent{
+		{At: 0, Op: OpRollingPartition, Dur: 40 * time.Millisecond, Groups: 4},
+	})
+
+	// While window g holds, its members are egress-cut (asymmetric): a call
+	// FROM a cut member times out, a call TO it delivers the request (the
+	// response dies, so the caller still times out — but the handler runs).
+	s.Run(5 * time.Millisecond) // inside window 1 (slots 0..2)
+	f := net.Faults()
+	if f == nil {
+		t.Fatal("rolling partition never installed the fault layer")
+	}
+	cutErr, openErr := error(nil), error(nil)
+	net.Call(0, 6, testMsg{bytes: 1}, 4*time.Millisecond, func(_ Message, e error) { cutErr = e })
+	net.Call(6, 9, testMsg{bytes: 1}, 4*time.Millisecond, func(_ Message, e error) { openErr = e })
+	s.Run(s.Now() + 4*time.Millisecond)
+	if cutErr != ErrTimeout {
+		t.Errorf("egress from cut window: err = %v, want ErrTimeout", cutErr)
+	}
+	if openErr != nil {
+		t.Errorf("link outside the window: err = %v, want success", openErr)
+	}
+
+	// After the sweep, everything is healed.
+	s.Run(60 * time.Millisecond)
+	healedErr := ErrTimeout
+	net.Call(0, 6, testMsg{bytes: 1}, 4*time.Millisecond, func(_ Message, e error) { healedErr = e })
+	s.RunAll()
+	if healedErr != nil {
+		t.Errorf("after sweep: err = %v, want success (all windows healed)", healedErr)
+	}
+	log := storm.FormatLog()
+	for _, want := range []string{"rolling-partition: 4 windows", "partition window 1/4", "partition window 4/4 healed"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("event log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestStormLossAndJitterBurstsExpire(t *testing.T) {
+	s, storm, _ := newStormHarness(t, 21, 4)
+	net := storm.net
+	storm.Run([]StormEvent{
+		{At: 0, Op: OpLossBurst, P: 1, Dur: 20 * time.Millisecond},
+		{At: 30 * time.Millisecond, Op: OpJitterBurst, P: 1, Jitter: 50 * time.Millisecond, Dur: 20 * time.Millisecond},
+	})
+	var burstErr error
+	net.Call(0, 1, testMsg{bytes: 1}, 10*time.Millisecond, func(_ Message, e error) { burstErr = e })
+	s.Run(15 * time.Millisecond)
+	if burstErr != ErrTimeout {
+		t.Errorf("during 100%% loss burst: err = %v, want ErrTimeout", burstErr)
+	}
+
+	s.Run(31 * time.Millisecond) // loss expired; jitter burst live
+	start := s.Now()
+	var rtt time.Duration
+	net.Call(0, 1, testMsg{bytes: 1}, time.Second, func(Message, error) { rtt = s.Now() - start })
+	s.Run(s.Now() + 500*time.Millisecond)
+	if rtt <= 2*time.Millisecond {
+		t.Errorf("during jitter burst rtt = %v, want > 2ms base", rtt)
+	}
+
+	s.Run(600 * time.Millisecond) // everything expired
+	start = s.Now()
+	net.Call(0, 1, testMsg{bytes: 1}, time.Second, func(Message, error) { rtt = s.Now() - start })
+	s.RunAll()
+	if rtt != 2*time.Millisecond {
+		t.Errorf("after bursts expired rtt = %v, want exactly 2ms", rtt)
+	}
+}
+
+// TestStormDeterministicReplay pins the chaos harness's foundation: the same
+// seed and script replay the identical kill/rejoin schedule and event log.
+func TestStormDeterministicReplay(t *testing.T) {
+	run := func() (string, []Address) {
+		s, storm, h := newStormHarness(t, 77, 64)
+		storm.Run([]StormEvent{
+			{At: time.Second, Op: OpLossBurst, P: 0.3, Dur: 10 * time.Second},
+			{At: 2 * time.Second, Op: OpMassKill, Frac: 0.45},
+			{At: 4 * time.Second, Op: OpRollingPartition, Dur: 8 * time.Second, Groups: 4},
+			{At: 15 * time.Second, Op: OpFlashRejoin, Spread: 3 * time.Second},
+		})
+		s.Run(time.Minute)
+		order := append(append([]Address(nil), h.kills...), h.joins...)
+		return storm.FormatLog(), order
+	}
+	logA, orderA := run()
+	logB, orderB := run()
+	if logA != logB {
+		t.Errorf("event logs diverged:\n--- A ---\n%s--- B ---\n%s", logA, logB)
+	}
+	if len(orderA) != len(orderB) {
+		t.Fatalf("event counts diverged: %d vs %d", len(orderA), len(orderB))
+	}
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("kill/rejoin order diverged at %d: %v vs %v", i, orderA[i], orderB[i])
+		}
+	}
+}

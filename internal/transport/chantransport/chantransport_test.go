@@ -134,3 +134,17 @@ func TestChordRingOverChanTransport(t *testing.T) {
 		t.Error("no bytes accounted across the ring")
 	}
 }
+
+// TestChanTransportFaultConformance runs the hostile-network suite — lossy
+// link, mid-RPC partition, storm join/leave — under true parallelism, where
+// the kill genuinely races in-flight deliveries.
+func TestChanTransportFaultConformance(t *testing.T) {
+	transporttest.RunFaultConformance(t, func(t *testing.T, hosts int) transporttest.Harness {
+		net := chantransport.New(hosts, 19)
+		return transporttest.Harness{
+			Tr:      net,
+			Advance: func(d time.Duration) { time.Sleep(d) },
+			Close:   net.Close,
+		}
+	})
+}

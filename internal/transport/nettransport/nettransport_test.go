@@ -414,3 +414,20 @@ func TestChordRingOverNetTransport(t *testing.T) {
 		t.Error("no bytes accounted across the ring")
 	}
 }
+
+// TestNetTransportFaultConformance runs the hostile-network suite — lossy
+// link, mid-RPC partition, storm join/leave — with every retry, timeout,
+// and churned join crossing real TCP sockets.
+func TestNetTransportFaultConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time fault convergence over TCP")
+	}
+	transporttest.RunFaultConformance(t, func(t *testing.T, hosts int) transporttest.Harness {
+		tr := newLoopback(t, hosts)
+		return transporttest.Harness{
+			Tr:      tr,
+			Advance: func(d time.Duration) { time.Sleep(d) },
+			Close:   tr.Close,
+		}
+	})
+}
