@@ -37,6 +37,8 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/adversary"
 	"github.com/octopus-dht/octopus/internal/experiments"
+	"github.com/octopus-dht/octopus/internal/metrics"
+	"github.com/octopus-dht/octopus/internal/obs"
 )
 
 func main() {
@@ -47,21 +49,23 @@ func main() {
 }
 
 type options struct {
-	scale float64
-	seed  int64
+	scale      float64
+	seed       int64
+	metricsOut string
 }
 
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("octopus-bench", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.3, "experiment scale factor (1.0 = paper scale)")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	metricsOut := fs.String("metrics-out", "", "chaos only: write a Prometheus text snapshot of the deployment's metrics to this file after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: octopus-bench [-scale f] [-seed n] <%s>", "table1|table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig9|load|storage|chaos|all")
 	}
-	opt := options{scale: *scale, seed: *seed}
+	opt := options{scale: *scale, seed: *seed, metricsOut: *metricsOut}
 
 	all := map[string]func(io.Writer, options) error{
 		"table1": table1, "table2": table2, "table3": table3,
@@ -277,10 +281,7 @@ func fig7a(w io.Writer, opt options) error {
 		experiments.RunHaloEfficiency(cfg),
 	} {
 		fmt.Fprintf(w, "-- %s --\n", r.Name)
-		fmt.Fprintf(w, "%-12s %s\n", "latency(ms)", "CDF")
-		for _, p := range r.CDF {
-			fmt.Fprintf(w, "%-12.0f %.3f\n", p.Value*1000, p.Fraction)
-		}
+		fmt.Fprint(w, metrics.FormatCDF(r.CDF, "latency(ms)", 1000))
 	}
 	fmt.Fprintln(w)
 	return nil
@@ -386,7 +387,26 @@ func chaos(w io.Writer, opt options) error {
 	cfg.N = scaled(cfg.N, opt.scale, 200)
 	cfg.PostRecovery = scaledDur(cfg.PostRecovery, opt.scale, time.Minute)
 	cfg.Seed = opt.seed
+	if opt.metricsOut != "" {
+		// Same collector surface octopusd serves over HTTP; here the
+		// snapshot lands in a file (the nightly chaos job uploads it).
+		cfg.Collector = obs.NewCollector()
+	}
 	r := experiments.RunChaos(cfg)
+	if cfg.Collector != nil {
+		f, err := os.Create(opt.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteText(f, cfg.Collector.Snapshot()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics snapshot written to %s\n", opt.metricsOut)
+	}
 	fmt.Fprintf(w, "%d nodes, %d gateways, storm: %d killed / %d rejoined (%d refused)\n",
 		cfg.N, cfg.ServingNodes, r.Killed, r.Rejoined, r.RejoinFailed)
 	fmt.Fprintf(w, "%-14s %-10s %-10s %-10s %-10s %s\n",

@@ -19,6 +19,10 @@
 // With -lookup, the daemon waits until its first node's relay pool is
 // stocked, resolves the key anonymously, verifies the answer against the
 // deterministic ground truth, and (with -once) exits 0 on success.
+//
+// With -metrics-listen, the daemon serves its instrumentation over HTTP:
+// Prometheus text metrics on /metrics and the (redacted) span buffer on
+// /trace. See docs/DEPLOYMENT.md's Monitoring section.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +42,7 @@ import (
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/core"
 	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/obs"
 	"github.com/octopus-dht/octopus/internal/store"
 	"github.com/octopus-dht/octopus/internal/transport"
 	"github.com/octopus-dht/octopus/internal/transport/nettransport"
@@ -74,76 +80,205 @@ func loadRingConfig(path string) (ringConfig, error) {
 	return rc, nil
 }
 
+// flagSection is one documented group in the -help output. Flags registered
+// through the sectioned helpers below are attributed to the most recently
+// opened section, in declaration order.
+type flagSection struct {
+	title string
+	names []string
+}
+
+var flagSections []*flagSection
+
+func section(title string) {
+	flagSections = append(flagSections, &flagSection{title: title})
+}
+
+func noteFlag(name string) {
+	if len(flagSections) == 0 {
+		section("Options")
+	}
+	s := flagSections[len(flagSections)-1]
+	s.names = append(s.names, name)
+}
+
+func strFlag(p *string, name, def, usage string) {
+	flag.StringVar(p, name, def, usage)
+	noteFlag(name)
+}
+
+func boolFlag(p *bool, name string, def bool, usage string) {
+	flag.BoolVar(p, name, def, usage)
+	noteFlag(name)
+}
+
+func intFlag(p *int, name string, def int, usage string) {
+	flag.IntVar(p, name, def, usage)
+	noteFlag(name)
+}
+
+func durFlag(p *time.Duration, name string, def time.Duration, usage string) {
+	flag.DurationVar(p, name, def, usage)
+	noteFlag(name)
+}
+
+// cfgFlagRow is one row of the flag→core.Config table: the flag's name, its
+// octopusd default, its help text, and the Config field it binds. The flag
+// package writes parsed values straight into the field, so there is no
+// per-field copy step to forget when Config grows.
+type cfgFlagRow struct {
+	name  string
+	def   interface{}
+	usage string
+	field func(*core.Config) interface{}
+}
+
+// tuningFlags maps the protocol-tuning flags onto core.Config.
+var tuningFlags = []cfgFlagRow{
+	{"walk-every", 500 * time.Millisecond, "relay-selection random-walk period",
+		func(c *core.Config) interface{} { return &c.WalkEvery }},
+	{"stabilize-every", time.Second, "Chord stabilization period (also the neighbor-suspicion period)",
+		func(c *core.Config) interface{} { return &c.Chord.StabilizeEvery }},
+	{"surveil-every", 15 * time.Second, "secret surveillance period",
+		func(c *core.Config) interface{} { return &c.SurveilEvery }},
+	{"fix-fingers-every", 10 * time.Second, "secured finger-update period",
+		func(c *core.Config) interface{} { return &c.Chord.FixFingersEvery }},
+	{"rpc-timeout", 2 * time.Second, "per-RPC timeout",
+		func(c *core.Config) interface{} { return &c.Chord.RPCTimeout }},
+	{"query-timeout", 4 * time.Second, "anonymous-query round-trip timeout",
+		func(c *core.Config) interface{} { return &c.QueryTimeout }},
+	{"dummies", 6, "dummy queries per anonymous lookup",
+		func(c *core.Config) interface{} { return &c.Dummies }},
+	{"relay-delay-max", 50 * time.Millisecond, "max artificial relay delay (timing defense)",
+		func(c *core.Config) interface{} { return &c.RelayDelayMax }},
+	{"alpha", 3, "α: concurrent table queries per lookup (1 = the paper's sequential schedule)",
+		func(c *core.Config) interface{} { return &c.LookupParallelism }},
+	{"pool-target", 16, "relay pairs the managed pool keeps pre-built (0 = passive WalkEvery-only pool)",
+		func(c *core.Config) interface{} { return &c.PairPoolTarget }},
+	{"cache-size", 256, "lookup-result cache entries per node (0 disables; membership events flush it)",
+		func(c *core.Config) interface{} { return &c.LookupCacheSize }},
+	{"cache-ttl", 60 * time.Second, "lookup-result cache entry lifetime",
+		func(c *core.Config) interface{} { return &c.LookupCacheTTL }},
+}
+
+// storageCfgFlags holds the Config-bound rows that belong under the Storage
+// section of -help rather than Protocol tuning.
+var storageCfgFlags = []cfgFlagRow{
+	{"store-replicas", 3, "total copies per stored entry (owner + successors)",
+		func(c *core.Config) interface{} { return &c.StoreReplicas }},
+}
+
+func registerCfgRows(cfg *core.Config, rows []cfgFlagRow) {
+	for _, row := range rows {
+		switch p := row.field(cfg).(type) {
+		case *time.Duration:
+			flag.DurationVar(p, row.name, row.def.(time.Duration), row.usage)
+		case *int:
+			flag.IntVar(p, row.name, row.def.(int), row.usage)
+		default:
+			panic(fmt.Sprintf("flag -%s: unsupported field type %T", row.name, p))
+		}
+		noteFlag(row.name)
+	}
+}
+
+// sectionedUsage renders -help grouped by the declared sections instead of
+// one flat alphabetical list.
+func sectionedUsage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintf(w, "Usage:\n")
+	fmt.Fprintf(w, "  octopusd -config ring.json -listen HOST:PORT [flags]   static deployment\n")
+	fmt.Fprintf(w, "  octopusd -join HOST:PORT -listen HOST:PORT [flags]     join a live ring\n\n")
+	for _, s := range flagSections {
+		fmt.Fprintf(w, "%s:\n", s.title)
+		for _, name := range s.names {
+			f := flag.Lookup(name)
+			if f == nil {
+				continue
+			}
+			arg, usage := flag.UnquoteUsage(f)
+			line := "  -" + f.Name
+			if arg != "" {
+				line += " " + arg
+			}
+			fmt.Fprintf(w, "%s\n    \t%s", line, usage)
+			switch f.DefValue {
+			case "", "0", "false", "0s":
+				// zero defaults add noise, not information
+			default:
+				fmt.Fprintf(w, " (default %s)", f.DefValue)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
 func main() {
-	var (
-		configPath = flag.String("config", "", "ring configuration JSON (static deployment; mutually exclusive with -join)")
-		joinVia    = flag.String("join", "", "TCP endpoint of any live daemon; join its ring dynamically instead of loading a config")
-		listen     = flag.String("listen", "", "TCP endpoint this process serves (required)")
-		idName     = flag.String("id", "", "with -join: derive the ring identifier from this string instead of random (testing)")
-		lookupKey  = flag.String("lookup", "", "after warm-up, anonymously resolve this key from the first local node")
-		expectID   = flag.String("expect-id", "", "verify the -lookup against the owner identifier derived from this string (instead of the static ground truth), retrying until it matches")
-		lookupWait = flag.Duration("lookup-retry", 2*time.Minute, "with -expect-id: how long to keep retrying the lookup")
-		once       = flag.Bool("once", false, "exit after the -lookup completes (0 on success)")
-		warmPairs  = flag.Int("warm-pairs", 16, "relay pairs to stock before the -lookup starts")
-		warmMax    = flag.Duration("warm-timeout", 90*time.Second, "abort if the relay pool is not stocked in time")
-		statusEach = flag.Duration("status-every", 5*time.Second, "period of the status log line")
+	opts := daemonOpts{cfg: core.DefaultConfig()}
+	var configPath, joinVia, listen string
 
-		walkEvery  = flag.Duration("walk-every", 500*time.Millisecond, "relay-selection random-walk period")
-		stabilize  = flag.Duration("stabilize-every", time.Second, "Chord stabilization period")
-		surveil    = flag.Duration("surveil-every", 15*time.Second, "secret surveillance period")
-		fixFingers = flag.Duration("fix-fingers-every", 10*time.Second, "secured finger-update period")
-		rpcTimeout = flag.Duration("rpc-timeout", 2*time.Second, "per-RPC timeout")
-		queryTO    = flag.Duration("query-timeout", 4*time.Second, "anonymous-query round-trip timeout")
-		dummies    = flag.Int("dummies", 6, "dummy queries per anonymous lookup")
-		relayDelay = flag.Duration("relay-delay-max", 50*time.Millisecond, "max artificial relay delay (timing defense)")
+	section("Deployment")
+	strFlag(&configPath, "config", "", "ring configuration JSON (static deployment; mutually exclusive with -join)")
+	strFlag(&joinVia, "join", "", "TCP endpoint of any live daemon; join its ring dynamically instead of loading a config")
+	strFlag(&listen, "listen", "", "TCP endpoint this process serves (required)")
+	strFlag(&opts.idName, "id", "", "with -join: derive the ring identifier from this string instead of random (testing)")
 
-		alpha        = flag.Int("alpha", 3, "α: concurrent table queries per lookup (1 = the paper's sequential schedule)")
-		poolTarget   = flag.Int("pool-target", 16, "relay pairs the managed pool keeps pre-built (0 = passive WalkEvery-only pool)")
-		cacheSize    = flag.Int("cache-size", 256, "lookup-result cache entries per node (0 disables; membership events flush it)")
-		cacheTTL     = flag.Duration("cache-ttl", 60*time.Second, "lookup-result cache entry lifetime")
-		batchBytes   = flag.Int("batch-bytes", 64<<10, "max bytes coalesced into one socket write per TCP link")
-		batchLinger  = flag.Duration("batch-linger", 0, "extra wait for more frames before flushing a non-full batch (0 = flush as soon as the link queue drains)")
-		serveLookups = flag.Bool("serve-lookups", true, "serve ClientLookupReq (0x05xx) from external clients on the bootstrap channel")
-		serveWorkers = flag.Int("serve-workers", 8, "lookup-service worker slots (concurrent client lookups)")
-		serveQueue   = flag.Int("serve-queue", 64, "lookup-service queue depth before clients see backpressure")
-		servePer     = flag.Int("serve-per-client", 16, "queued+running lookups allowed per client IP")
-		serveTO      = flag.Duration("serve-timeout", 60*time.Second, "per-client-lookup service deadline")
+	section("Lookup verification")
+	strFlag(&opts.lookupKey, "lookup", "", "after warm-up, anonymously resolve this key from the first local node")
+	strFlag(&opts.expectID, "expect-id", "", "verify the -lookup against the owner identifier derived from this string (instead of the static ground truth), retrying until it matches")
+	durFlag(&opts.lookupWait, "lookup-retry", 2*time.Minute, "with -expect-id: how long to keep retrying the lookup")
+	boolFlag(&opts.once, "once", false, "exit after the -lookup completes (0 on success)")
+	intFlag(&opts.warmPairs, "warm-pairs", 16, "relay pairs to stock before the -lookup starts")
+	durFlag(&opts.warmMax, "warm-timeout", 90*time.Second, "abort if the relay pool is not stocked in time")
 
-		serveStore    = flag.Bool("serve-store", true, "run the replicated key-value store (0x06xx) and serve client Put/Get on the bootstrap channel")
-		storeReplicas = flag.Int("store-replicas", 3, "total copies per stored entry (owner + successors)")
-		storeSync     = flag.Duration("store-sync-every", 5*time.Second, "re-replication sweep period")
-	)
+	section("Protocol tuning")
+	registerCfgRows(&opts.cfg, tuningFlags)
+
+	section("Transport")
+	intFlag(&opts.batchBytes, "batch-bytes", 64<<10, "max bytes coalesced into one socket write per TCP link")
+	durFlag(&opts.batchLinger, "batch-linger", 0, "extra wait for more frames before flushing a non-full batch (0 = flush as soon as the link queue drains)")
+
+	section("Client serving")
+	boolFlag(&opts.serveLookups, "serve-lookups", true, "serve ClientLookupReq (0x05xx) from external clients on the bootstrap channel")
+	intFlag(&opts.serveWorkers, "serve-workers", 8, "lookup-service worker slots (concurrent client lookups)")
+	intFlag(&opts.serveQueue, "serve-queue", 64, "lookup-service queue depth before clients see backpressure")
+	intFlag(&opts.servePer, "serve-per-client", 16, "queued+running lookups allowed per client IP")
+	durFlag(&opts.serveTO, "serve-timeout", 60*time.Second, "per-client-lookup service deadline")
+
+	section("Storage")
+	boolFlag(&opts.serveStore, "serve-store", true, "run the replicated key-value store (0x06xx) and serve client Put/Get on the bootstrap channel")
+	registerCfgRows(&opts.cfg, storageCfgFlags)
+	durFlag(&opts.storeSync, "store-sync-every", 5*time.Second, "re-replication sweep period")
+
+	section("Observability")
+	strFlag(&opts.metricsListen, "metrics-listen", "", "serve Prometheus text metrics on http://ADDR/metrics and the span buffer on /trace")
+	intFlag(&opts.traceBuffer, "trace-buffer", 0, "per-hop span ring-buffer capacity (0 disables tracing)")
+	strFlag(&opts.traceRedact, "trace-redact", "anonymous", "span redaction: \"anonymous\" scrubs identities and trace ids at record time; \"off\" exports raw spans (debugging only — breaks the anonymity guarantee)")
+	durFlag(&opts.statusEach, "status-every", 5*time.Second, "period of the status log line")
+
+	flag.Usage = sectionedUsage
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
-	if *listen == "" || (*configPath == "") == (*joinVia == "") {
+	if listen == "" || (configPath == "") == (joinVia == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *joinVia != "" && *lookupKey != "" && *expectID == "" {
+	if joinVia != "" && opts.lookupKey != "" && opts.expectID == "" {
 		// Catch this before joining: a dynamically joined ring has no
 		// deterministic ground truth, and failing after the join would
 		// skip the graceful leave.
 		log.Fatal("octopusd: -join with -lookup requires -expect-id (no deterministic ground truth in a joined ring)")
 	}
-	opts := daemonOpts{
-		lookupKey: *lookupKey, expectID: *expectID, lookupWait: *lookupWait, once: *once,
-		idName:    *idName,
-		warmPairs: *warmPairs, warmMax: *warmMax, statusEach: *statusEach,
-		walkEvery: *walkEvery, stabilize: *stabilize, surveil: *surveil,
-		fixFingers: *fixFingers, rpcTimeout: *rpcTimeout, queryTO: *queryTO,
-		dummies: *dummies, relayDelay: *relayDelay,
-		alpha: *alpha, poolTarget: *poolTarget,
-		cacheSize: *cacheSize, cacheTTL: *cacheTTL,
-		batchBytes: *batchBytes, batchLinger: *batchLinger,
-		serveLookups: *serveLookups, serveWorkers: *serveWorkers,
-		serveQueue: *serveQueue, servePer: *servePer, serveTO: *serveTO,
-		serveStore: *serveStore, storeReplicas: *storeReplicas, storeSync: *storeSync,
+	od, err := newDaemonObs(opts)
+	if err != nil {
+		log.Fatalf("octopusd: %v", err)
 	}
-	var err error
-	if *joinVia != "" {
-		err = runJoin(*joinVia, *listen, opts)
+	opts.obs = od
+	if joinVia != "" {
+		err = runJoin(joinVia, listen, opts)
 	} else {
-		err = run(*configPath, *listen, opts)
+		err = run(configPath, listen, opts)
 	}
 	if err != nil {
 		log.Fatalf("octopusd: %v", err)
@@ -151,6 +286,10 @@ func main() {
 }
 
 type daemonOpts struct {
+	// cfg holds the protocol tuning: flags registered through tuningFlags
+	// and storageCfgFlags write straight into these fields.
+	cfg core.Config
+
 	lookupKey  string
 	expectID   string
 	lookupWait time.Duration
@@ -160,51 +299,103 @@ type daemonOpts struct {
 	warmMax    time.Duration
 	statusEach time.Duration
 
-	walkEvery  time.Duration
-	stabilize  time.Duration
-	surveil    time.Duration
-	fixFingers time.Duration
-	rpcTimeout time.Duration
-	queryTO    time.Duration
-	dummies    int
-	relayDelay time.Duration
+	batchBytes  int
+	batchLinger time.Duration
 
-	alpha        int
-	poolTarget   int
-	cacheSize    int
-	cacheTTL     time.Duration
-	batchBytes   int
-	batchLinger  time.Duration
 	serveLookups bool
 	serveWorkers int
 	serveQueue   int
 	servePer     int
 	serveTO      time.Duration
 
-	serveStore    bool
-	storeReplicas int
-	storeSync     time.Duration
+	serveStore bool
+	storeSync  time.Duration
+
+	metricsListen string
+	traceBuffer   int
+	traceRedact   string
+
+	obs *daemonObs
 }
 
-// coreConfig assembles the Octopus configuration shared by both modes.
+// coreConfig finalizes the flag-bound configuration for a ring of n nodes.
+// The tuning flags already wrote their values into opts.cfg; only the
+// derived fields remain.
 func (opts daemonOpts) coreConfig(n int) core.Config {
-	cfg := core.DefaultConfig()
+	cfg := opts.cfg
 	cfg.EstimatedSize = n
-	cfg.WalkEvery = opts.walkEvery
-	cfg.SurveilEvery = opts.surveil
-	cfg.Dummies = opts.dummies
-	cfg.QueryTimeout = opts.queryTO
-	cfg.RelayDelayMax = opts.relayDelay
-	cfg.Chord.StabilizeEvery = opts.stabilize
-	cfg.Chord.SuspectEvery = opts.stabilize
-	cfg.Chord.FixFingersEvery = opts.fixFingers
-	cfg.Chord.RPCTimeout = opts.rpcTimeout
-	cfg.LookupParallelism = opts.alpha
-	cfg.PairPoolTarget = opts.poolTarget
-	cfg.LookupCacheSize = opts.cacheSize
-	cfg.LookupCacheTTL = opts.cacheTTL
-	cfg.StoreReplicas = opts.storeReplicas
+	cfg.Chord.SuspectEvery = cfg.Chord.StabilizeEvery
 	return cfg
+}
+
+// daemonObs carries the process-wide instrumentation: one collector that
+// every component registers with (nodes, lookup service, stores, the
+// transport) and one span tracer shared by all local nodes. The collector
+// always exists — the status log line reads from it — but HTTP serving and
+// tracing are opt-in.
+type daemonObs struct {
+	collector *obs.Collector
+	tracer    *obs.Tracer
+}
+
+func newDaemonObs(opts daemonOpts) (*daemonObs, error) {
+	d := &daemonObs{collector: obs.NewCollector()}
+	if opts.traceBuffer > 0 {
+		mode := obs.RedactAnonymous
+		switch opts.traceRedact {
+		case "", "anonymous":
+		case "off":
+			mode = obs.RedactOff
+			log.Printf("WARNING: -trace-redact=off exports raw trace ids and target keys; an observer of the telemetry can link initiators to targets")
+		default:
+			return nil, fmt.Errorf("-trace-redact must be \"anonymous\" or \"off\", got %q", opts.traceRedact)
+		}
+		d.tracer = obs.NewTracer(opts.traceBuffer, mode)
+		d.collector.Register(d.tracer)
+	}
+	return d, nil
+}
+
+// attachNode registers a live node with the collector from inside its
+// serialization context — the obs fields it installs are read on the node's
+// hot paths, so a plain write from the daemon goroutine would race.
+func (d *daemonObs) attachNode(tr transport.Transport, node *core.Node) {
+	inContext(tr, node.Self().Addr, func() {
+		node.AttachObs(d.collector)
+		node.SetTracer(d.tracer)
+	})
+}
+
+// serve starts the observability HTTP listener, or does nothing when the
+// flag is unset.
+func (d *daemonObs) serve(listen string) error {
+	if listen == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(d.collector))
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		out := struct {
+			Mode    string     `json:"mode"`
+			Dropped uint64     `json:"dropped"`
+			Spans   []obs.Span `json:"spans"`
+		}{Mode: "anonymous", Dropped: d.tracer.Dropped(), Spans: d.tracer.Spans()}
+		if d.tracer.Mode() == obs.RedactOff {
+			out.Mode = "off"
+		}
+		if out.Spans == nil {
+			out.Spans = []obs.Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	go http.Serve(ln, mux)
+	log.Printf("serving metrics on http://%s/metrics", ln.Addr())
+	return nil
 }
 
 // attachStores gives every local node its slice of the replicated key-value
@@ -223,6 +414,9 @@ func (opts daemonOpts) attachStores(tr transport.Transport, local []*core.Node) 
 		var st *store.Store
 		inContext(tr, node.Self().Addr, func() {
 			st = store.New(node, store.Config{SyncEvery: opts.storeSync})
+			if opts.obs != nil {
+				st.AttachObs(opts.obs.collector)
+			}
 			st.Start()
 		})
 		if gateway == nil {
@@ -239,11 +433,15 @@ func (opts daemonOpts) newLookupService(local []*core.Node) *core.LookupService 
 	if !opts.serveLookups || len(local) == 0 {
 		return nil
 	}
-	return core.NewLookupService(local[0], core.ServiceConfig{
+	svc := core.NewLookupService(local[0], core.ServiceConfig{
 		Workers:   opts.serveWorkers,
 		Queue:     opts.serveQueue,
 		PerClient: opts.servePer,
 	})
+	if opts.obs != nil {
+		svc.AttachObs(opts.obs.collector)
+	}
+	return svc
 }
 
 // bootstrapDispatcher routes bootstrap-channel frames: ClientLookupReq to
@@ -325,16 +523,25 @@ func run(configPath, listen string, opts daemonOpts) error {
 		return fmt.Errorf("no node or CA slots map to %s in %s", listen, configPath)
 	}
 
+	od := opts.obs
+	od.collector.Register(tr)
+	for _, node := range local {
+		od.attachNode(tr, node)
+	}
+
 	svc := opts.newLookupService(local)
 	gw := opts.attachStores(tr, local)
 	enableDynamicMembership(tr, nw, local, svc, gw, opts)
 	if svc != nil {
 		log.Printf("serving client lookups (α=%d, pool target %d, %d workers, queue %d)",
-			opts.alpha, opts.poolTarget, opts.serveWorkers, opts.serveQueue)
+			cfg.LookupParallelism, cfg.PairPoolTarget, opts.serveWorkers, opts.serveQueue)
 	}
 	if gw != nil {
 		log.Printf("serving key-value storage (%d replicas, sync every %v)",
-			opts.storeReplicas, opts.storeSync)
+			cfg.StoreReplicas, opts.storeSync)
+	}
+	if err := od.serve(opts.metricsListen); err != nil {
+		return err
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -357,7 +564,7 @@ func run(configPath, listen string, opts daemonOpts) error {
 	for {
 		select {
 		case <-ticker.C:
-			logStatus(tr, local, svc, gw)
+			logStatus(od.collector, svc != nil, gw != nil)
 		case s := <-sig:
 			log.Printf("received %v, shutting down", s)
 			return nil
@@ -382,7 +589,7 @@ func enableDynamicMembership(tr *nettransport.Transport, nw *core.Network, local
 		bootstrap = peers[0] // served by another process; still a valid contact
 	}
 	tr.SetBootstrapHandler(bootstrapDispatcher(svc, gw, opts.serveTO,
-		core.NewAdmissionRelay(tr, caller, caAddr, bootstrap, opts.rpcTimeout)))
+		core.NewAdmissionRelay(tr, caller, caAddr, bootstrap, opts.cfg.Chord.RPCTimeout)))
 
 	// CA admission hooks — only on the process that actually serves the
 	// CA, and installed from INSIDE the CA's serialization context: the
@@ -582,13 +789,18 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 	cn := chord.NewNode(tr, chordCfg, self,
 		&chord.Identity{Scheme: scheme, Key: kp, Cert: grant.Cert})
 	node := core.New(cn, cfg, adm.CAAddr, dir)
+	od := opts.obs
+	od.collector.Register(tr)
 	var st *store.Store
 	inContext(tr, self.Addr, func() {
 		// The store attaches before the node joins, so replica batches
 		// arriving the moment neighbors learn of us already land.
 		if opts.serveStore {
 			st = store.New(node, store.Config{SyncEvery: opts.storeSync})
+			st.AttachObs(od.collector)
 		}
+		node.AttachObs(od.collector)
+		node.SetTracer(od.tracer)
 		cn.Start()
 	})
 
@@ -629,7 +841,10 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 	// client lookups and storage.
 	svc := opts.newLookupService([]*core.Node{node})
 	tr.SetBootstrapHandler(bootstrapDispatcher(svc, st, opts.serveTO,
-		core.NewAdmissionRelay(tr, self.Addr, adm.CAAddr, self, opts.rpcTimeout)))
+		core.NewAdmissionRelay(tr, self.Addr, adm.CAAddr, self, opts.cfg.Chord.RPCTimeout)))
+	if err := od.serve(opts.metricsListen); err != nil {
+		return err
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -679,10 +894,10 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 		retireSig, _ := scheme.Sign(kp, core.RetireStatement(self))
 		retired := make(chan struct{}, 1)
 		tr.After(self.Addr, 0, func() {
-			tr.Call(self.Addr, adm.CAAddr, core.CertRetireReq{Who: self, Sig: retireSig}, opts.rpcTimeout,
+			tr.Call(self.Addr, adm.CAAddr, core.CertRetireReq{Who: self, Sig: retireSig}, opts.cfg.Chord.RPCTimeout,
 				func(transport.Message, error) { retired <- struct{}{} })
 		})
-		retireTO := time.NewTimer(opts.rpcTimeout + time.Second)
+		retireTO := time.NewTimer(opts.cfg.Chord.RPCTimeout + time.Second)
 		select {
 		case <-retired:
 		case <-retireTO.C:
@@ -710,7 +925,7 @@ func runJoin(joinEP, listen string, opts daemonOpts) error {
 	for {
 		select {
 		case <-ticker.C:
-			logStatus(tr, []*core.Node{node}, svc, st)
+			logStatus(od.collector, svc != nil, st != nil)
 		case s := <-sig:
 			log.Printf("received %v, leaving the ring", s)
 			return leave()
@@ -841,34 +1056,31 @@ func oneLookup(tr transport.Transport, node *core.Node, key id.ID) (chord.Peer, 
 	}
 }
 
-func logStatus(tr transport.Transport, local []*core.Node, svc *core.LookupService, gw *store.Store) {
-	var pool int
-	var walks, lookups, queries uint64
-	var sent, recv uint64
-	for _, node := range local {
-		addr := node.Self().Addr
-		// Stats() and PoolSize() are atomic snapshots — no context hop
-		// needed.
-		pool += node.PoolSize()
-		s := node.Stats()
-		walks += s.WalksCompleted
-		lookups += s.LookupsCompleted
-		queries += s.QueriesSent
-		st := tr.Stats(addr)
-		sent += st.BytesSent
-		recv += st.BytesReceived
-	}
+// logStatus renders the periodic status line from the same snapshots the
+// /metrics endpoint serves — one instrumentation path, two consumers.
+func logStatus(c *obs.Collector, haveSvc, haveStore bool) {
+	s := c.Snapshot()
 	line := fmt.Sprintf("status: pool=%d walks=%d lookups=%d queries=%d wire=%s out / %s in",
-		pool, walks, lookups, queries, fmtBytes(sent), fmtBytes(recv))
-	if svc != nil {
-		ss := svc.Stats()
+		int(s.GaugeSum("octopus_pool_pairs")),
+		uint64(s.CounterSum("octopus_walks_completed_total")),
+		uint64(s.CounterSum("octopus_lookups_completed_total")),
+		uint64(s.CounterSum("octopus_lookup_queries_total")),
+		fmtBytes(uint64(s.CounterSum("octopus_transport_bytes_sent_total"))),
+		fmtBytes(uint64(s.CounterSum("octopus_transport_bytes_received_total"))))
+	if haveSvc {
 		line += fmt.Sprintf(" | served=%d failed=%d busy=%d active=%d queued=%d",
-			ss.Completed, ss.Failed, ss.RejectedQueue+ss.RejectedClient, ss.Active, ss.Queued)
+			uint64(s.CounterSum("octopus_service_lookups_completed_total")),
+			uint64(s.CounterSum("octopus_service_lookups_failed_total")),
+			uint64(s.CounterSum("octopus_service_rejected_total")),
+			int(s.GaugeSum("octopus_service_active_lookups")),
+			int(s.GaugeSum("octopus_service_queued_lookups")))
 	}
-	if gw != nil {
-		st := gw.Stats()
+	if haveStore {
 		line += fmt.Sprintf(" | store: keys=%d puts=%d gets=%d hits=%d",
-			st.Keys, st.Puts, st.Gets, st.Hits)
+			int(s.GaugeSum("octopus_store_keys")),
+			uint64(s.CounterSum("octopus_store_puts_total")),
+			uint64(s.CounterSum("octopus_store_gets_total")),
+			uint64(s.CounterSum("octopus_store_hits_total")))
 	}
 	log.Print(line)
 }

@@ -5,10 +5,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -17,6 +20,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/core"
 	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/obs"
 	"github.com/octopus-dht/octopus/internal/simnet"
 	storepkg "github.com/octopus-dht/octopus/internal/store"
 	"github.com/octopus-dht/octopus/internal/transport"
@@ -542,5 +546,240 @@ func TestDynamicJoinLeave(t *testing.T) {
 		procC.Process.Kill()
 		<-done
 		t.Fatalf("process C never exited after SIGTERM; log:\n%s", sinkC.String())
+	}
+}
+
+// parsePromText parses a Prometheus text exposition into its declared
+// family types and per-name value sums (labels ignored; histogram series
+// keep their _bucket/_sum/_count suffixes as distinct names).
+func parsePromText(t *testing.T, body string) (types map[string]string, sums map[string]float64) {
+	t.Helper()
+	types = map[string]string{}
+	sums = map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) == 4 {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		sums[name] += v
+	}
+	return types, sums
+}
+
+// TestMetricsEndpoint is the acceptance test for the unified observability
+// API: two octopusd processes split a TCP ring, process B serves
+// -metrics-listen, the test drives client lookups and a Put/Get through B,
+// then scrapes /metrics mid-run and checks that (a) every exported family is
+// registered in obs.Catalog under its declared type, (b) the operation
+// counters and latency histograms account for the operations just performed,
+// and (c) /trace exports only redacted spans — zero trace ids, no
+// initiator/target attributes — under the default anonymous mode.
+func TestMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildOctopusd(t, dir)
+
+	eps := freePorts(t, 3) // two ring endpoints + the metrics listener
+	const n = 12
+	rc := ringConfig{Seed: 42, CA: eps[0]}
+	for i := 0; i < n; i++ {
+		rc.Nodes = append(rc.Nodes, eps[i%2])
+	}
+	cfgPath := filepath.Join(dir, "ring.json")
+	raw, _ := json.Marshal(rc)
+	if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
+		t.Fatalf("write config: %v", err)
+	}
+
+	start := func(name string, args ...string) (*exec.Cmd, *logSink) {
+		cmd := exec.Command(bin, args...)
+		sink := &logSink{}
+		sink.attach(t, name, cmd)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start process %s: %v", name, err)
+		}
+		return cmd, sink
+	}
+	procA, _ := start("A", "-config", cfgPath, "-listen", eps[0],
+		"-walk-every", "300ms", "-stabilize-every", "500ms")
+	defer func() {
+		procA.Process.Kill()
+		procA.Wait()
+	}()
+	procB, sinkB := start("B", "-config", cfgPath, "-listen", eps[1],
+		"-walk-every", "300ms", "-stabilize-every", "500ms",
+		"-metrics-listen", eps[2], "-trace-buffer", "512")
+	defer func() {
+		procB.Process.Kill()
+		procB.Wait()
+	}()
+	waitForLog(t, sinkB, "serving metrics on", time.Minute, "metrics listener")
+	waitForLog(t, sinkB, "serving client lookups", time.Minute, "service start")
+
+	cc, err := nettransport.DialClient(eps[1], 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial client: %v", err)
+	}
+	defer cc.Close()
+
+	// Drive a known number of client operations through B's gateway.
+	const lookups = 3
+	deadline := time.Now().Add(2 * time.Minute)
+	for i := 0; i < lookups; i++ {
+		key := id.FromBytes([]byte(fmt.Sprintf("metrics-lookup-%d", i)))
+		for {
+			resp, err := cc.Call(core.ClientLookupReq{Seq: uint64(i + 1), Key: key}, 90*time.Second)
+			if err != nil {
+				t.Fatalf("client lookup %d: %v", i, err)
+			}
+			if r, ok := resp.(core.ClientLookupResp); ok && r.OK {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("client lookup %d never succeeded", i)
+			}
+			time.Sleep(time.Second)
+		}
+	}
+	storeKey := id.FromBytes([]byte("metrics-store-key"))
+	for seq := uint64(100); ; seq++ {
+		resp, err := cc.Call(storepkg.ClientPutReq{Seq: seq, Key: storeKey, Value: []byte("v")}, 90*time.Second)
+		if err != nil {
+			t.Fatalf("client put: %v", err)
+		}
+		if r, ok := resp.(storepkg.ClientPutResp); ok && r.OK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client put never succeeded")
+		}
+		time.Sleep(time.Second)
+	}
+	for seq := uint64(200); ; seq++ {
+		resp, err := cc.Call(storepkg.ClientGetReq{Seq: seq, Key: storeKey}, 90*time.Second)
+		if err != nil {
+			t.Fatalf("client get: %v", err)
+		}
+		if r, ok := resp.(storepkg.ClientGetResp); ok && r.Found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client get never found the key")
+		}
+		time.Sleep(time.Second)
+	}
+
+	// Scrape the live process.
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := httpc.Get("http://" + eps[2] + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	types, sums := parsePromText(t, string(body))
+
+	// (a) Every exported family is registered in the catalog.
+	for name, typ := range types {
+		def, ok := obs.LookupMetric(name)
+		if !ok {
+			t.Errorf("exported family %s not registered in obs.Catalog", name)
+			continue
+		}
+		if def.Type != typ {
+			t.Errorf("family %s exported as %s, registered as %s", name, typ, def.Type)
+		}
+	}
+
+	// (b) Histogram counts and counters account for the operations driven
+	// above (>=: the ring performs its own protocol work too).
+	atLeast := func(name string, want float64) {
+		t.Helper()
+		if got := sums[name]; got < want {
+			t.Errorf("%s = %v, want >= %v\nscrape:\n%s", name, got, want, body)
+		}
+	}
+	atLeast("octopus_service_lookups_completed_total", lookups)
+	atLeast("octopus_service_wait_seconds_count", lookups)
+	atLeast("octopus_lookup_latency_seconds_count", lookups)
+	atLeast("octopus_lookups_completed_total", lookups)
+	atLeast("octopus_store_puts_total", 1)
+	atLeast("octopus_store_put_seconds_count", 1)
+	atLeast("octopus_store_gets_total", 1)
+	atLeast("octopus_store_get_seconds_count", 1)
+	atLeast("octopus_transport_bytes_sent_total", 1)
+	atLeast("octopus_walks_completed_total", 1)
+	// The latency histogram must agree with the lookup counters it sits
+	// beside: every observation corresponds to a completed or failed lookup.
+	histCount := sums["octopus_lookup_latency_seconds_count"]
+	counted := sums["octopus_lookups_completed_total"] + sums["octopus_lookups_failed_total"]
+	if histCount > counted {
+		t.Errorf("lookup latency histogram count %v exceeds completed+failed %v", histCount, counted)
+	}
+
+	// (c) The span export is redacted: anonymous mode, zero trace ids, no
+	// sensitive attributes.
+	tresp, err := httpc.Get("http://" + eps[2] + "/trace")
+	if err != nil {
+		t.Fatalf("scrape /trace: %v", err)
+	}
+	var trace struct {
+		Mode  string `json:"mode"`
+		Spans []struct {
+			Trace uint64 `json:"Trace"`
+			Name  string `json:"Name"`
+			Attrs []struct{ Key, Value string }
+		} `json:"spans"`
+	}
+	err = json.NewDecoder(tresp.Body).Decode(&trace)
+	tresp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode /trace: %v", err)
+	}
+	if trace.Mode != "anonymous" {
+		t.Errorf("trace mode = %q, want anonymous", trace.Mode)
+	}
+	if len(trace.Spans) == 0 {
+		t.Error("no spans exported despite -trace-buffer (lookups were traced)")
+	}
+	for _, sp := range trace.Spans {
+		if sp.Trace != 0 {
+			t.Errorf("span %s exported non-zero trace id %#x in anonymous mode", sp.Name, sp.Trace)
+		}
+		for _, a := range sp.Attrs {
+			if obs.SensitiveAttr(a.Key) {
+				t.Errorf("span %s exported sensitive attr %q in anonymous mode", sp.Name, a.Key)
+			}
+		}
 	}
 }

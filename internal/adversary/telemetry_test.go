@@ -1,0 +1,123 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/core"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/obs"
+	"github.com/octopus-dht/octopus/internal/simnet"
+)
+
+// runTracedLookups builds a seeded ring, hands every node a tracer in the
+// given redaction mode, performs anonymous lookups from known initiators,
+// and returns the pooled telemetry — the adversary's corpus — plus the
+// ground-truth links the lookups actually created.
+func runTracedLookups(t *testing.T, mode obs.RedactionMode) ([]obs.Span, map[TelemetryLink]bool) {
+	t.Helper()
+	nw := buildNet(t, 11, 60)
+	// The buffer must hold every span of the run: background relay
+	// traffic (dummy queries, pool walks) records hop spans constantly,
+	// and a wrapped ring would silently evict the earliest lookups.
+	tracer := obs.NewTracer(1<<20, mode)
+	for i := 0; i < 60; i++ {
+		nw.Node(simnet.Address(i)).SetTracer(tracer)
+	}
+	// Warm the relay-pair pools so lookups ride real relay pairs.
+	nw.Sim.Run(nw.Sim.Now() + 2*time.Minute)
+
+	truth := map[TelemetryLink]bool{}
+	for i := 0; i < 5; i++ {
+		initiator := nw.Node(simnet.Address(i * 7 % 60))
+		key := id.ID(uint64(0xbeef0000 + i*101))
+		truth[TelemetryLink{
+			Initiator: initiator.Self().Addr,
+			Target:    key.String(),
+			Via:       "lookup-span",
+		}] = true
+		done := false
+		initiator.AnonLookup(key, func(_ chord.Peer, _ core.LookupStats, err error) {
+			done = true
+			if err != nil {
+				t.Errorf("AnonLookup(%v): %v", key, err)
+			}
+		})
+		nw.Sim.Run(nw.Sim.Now() + 30*time.Second)
+		if !done {
+			t.Fatalf("lookup %d did not complete", i)
+		}
+	}
+	return tracer.Spans(), truth
+}
+
+// TestTelemetryAttackHasTeeth proves the analysis actually works: with
+// redaction disabled, pooled telemetry hands the adversary every
+// initiator→target link, through both the lookup-span and trace-id leaks.
+// Without this control, the redaction test below would pass vacuously.
+func TestTelemetryAttackHasTeeth(t *testing.T) {
+	spans, truth := runTracedLookups(t, obs.RedactOff)
+	rep := AnalyzeTelemetry(spans)
+	if rep.Spans == 0 {
+		t.Fatal("no spans exported — tracing is not wired up")
+	}
+	got := map[TelemetryLink]bool{}
+	for _, l := range rep.Links {
+		got[l] = true
+	}
+	for want := range truth {
+		if !got[want] {
+			t.Errorf("adversary failed to recover %+v from unredacted telemetry", want)
+		}
+	}
+	if rep.InitiatorExposures == 0 {
+		t.Error("no trace-id exposures: hop spans lost their query ids even with RedactOff")
+	}
+	hopLinked := false
+	for _, l := range rep.Links {
+		if l.Via == "trace-id" {
+			hopLinked = true
+			break
+		}
+	}
+	if !hopLinked {
+		t.Error("trace-id join recovered no links: exit-hop spans missing their target")
+	}
+}
+
+// TestRedactionDefeatsTelemetryAttack is the redaction regression test the
+// obs layer is accountable to: the same ring, the same lookups, the same
+// adversary — but tracers in the default anonymous mode. The exported
+// corpus must be non-trivial (operators still get timing) yet yield zero
+// initiator→target links and zero initiator exposures.
+func TestRedactionDefeatsTelemetryAttack(t *testing.T) {
+	spans, _ := runTracedLookups(t, obs.RedactAnonymous)
+	rep := AnalyzeTelemetry(spans)
+	if rep.Spans == 0 {
+		t.Fatal("redaction must scrub spans, not suppress them: corpus is empty")
+	}
+	if len(rep.Links) != 0 {
+		t.Errorf("anonymous-mode telemetry linked initiators to targets: %+v", rep.Links)
+	}
+	if rep.InitiatorExposures != 0 {
+		t.Errorf("%d trace ids survived redaction and expose initiator addresses",
+			rep.InitiatorExposures)
+	}
+	// Redaction keeps the operational signal: spans still carry names,
+	// exporter identity, and real durations.
+	timed := 0
+	for _, sp := range spans {
+		for _, a := range sp.Attrs {
+			if obs.SensitiveAttr(a.Key) {
+				t.Fatalf("sensitive attr %q exported in anonymous mode", a.Key)
+			}
+		}
+		if sp.End > sp.Start {
+			timed++
+		}
+	}
+	if timed == 0 {
+		t.Error("redacted spans lost their timing — telemetry became useless")
+	}
+}

@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/obs"
 	"github.com/octopus-dht/octopus/internal/transport"
 )
 
@@ -322,7 +324,9 @@ func (n *Node) AnonLookupFull(key id.ID, cb func(chord.Peer, DirectLookupResult,
 			n.stats.cacheHits.Add(1)
 			n.stats.lookupsCompleted.Add(1)
 			now := n.tr.Now()
-			cb(res.Owner, res, LookupStats{Started: now, Finished: now}, nil)
+			st := LookupStats{Started: now, Finished: now}
+			n.observeLookup(key, RelayPair{}, st, nil)
+			cb(res.Owner, res, st, nil)
 			return
 		}
 		n.stats.cacheMisses.Add(1)
@@ -330,7 +334,10 @@ func (n *Node) AnonLookupFull(key id.ID, cb func(chord.Peer, DirectLookupResult,
 	head, err := n.takeHeadPair()
 	if err != nil {
 		n.stats.lookupsFailed.Add(1)
-		cb(chord.NoPeer, DirectLookupResult{}, LookupStats{Started: n.tr.Now(), Finished: n.tr.Now()}, err)
+		now := n.tr.Now()
+		st := LookupStats{Started: now, Finished: now}
+		n.observeLookup(key, RelayPair{}, st, err)
+		cb(chord.NoPeer, DirectLookupResult{}, st, err)
 		return
 	}
 	dummiesLeft := n.cfg.Dummies
@@ -364,9 +371,45 @@ func (n *Node) AnonLookupFull(key id.ID, cb func(chord.Peer, DirectLookupResult,
 			n.stats.lookupsCompleted.Add(1)
 			n.cacheLookupResult(key, owner, res)
 		}
+		n.observeLookup(key, head, tl.stats, err)
 		cb(owner, res, tl.stats, err)
 	})
 	tl.step()
+}
+
+// observeLookup feeds one finished anonymous lookup into the obs layer: the
+// latency histogram (nil-safe when the node is unattached) and, when a
+// tracer is installed, the initiator-side "lookup" span. Every identifying
+// attribute — the initiator, the target key, the head relay pair — is in
+// the tracer's sensitive set, so in anonymous mode the recorded span keeps
+// only timing, the query count, and the outcome.
+func (n *Node) observeLookup(key id.ID, head RelayPair, st LookupStats, err error) {
+	n.obsLookupLat.ObserveDuration(st.Latency())
+	if n.tracer == nil {
+		return
+	}
+	result := "ok"
+	if err != nil {
+		result = "error"
+	}
+	attrs := []obs.Attr{
+		obs.A("initiator", strconv.Itoa(int(n.Chord.Self.Addr))),
+		obs.A("target_key", key.String()),
+		obs.A("queries", strconv.Itoa(st.Queries)),
+		obs.A("result", result),
+	}
+	if head.Valid() {
+		attrs = append(attrs,
+			obs.A("pair_first", strconv.Itoa(int(head.First.Addr))),
+			obs.A("pair_second", strconv.Itoa(int(head.Second.Addr))))
+	}
+	n.tracer.Record(obs.Span{
+		Name:  "lookup",
+		Node:  strconv.Itoa(int(n.Chord.Self.Addr)),
+		Start: st.Started,
+		End:   st.Finished,
+		Attrs: attrs,
+	})
 }
 
 // sendDummy issues one dummy query through a fresh pair to a target drawn

@@ -583,6 +583,7 @@ func (n *Node) handleRevocation(m RevocationAnnounce) {
 		!n.dir.Scheme().Verify(caKey, attestedRevocation(m.Node), m.Sig) {
 		return
 	}
+	n.stats.revocations.Add(1)
 	n.dir.Revoke(m.Node)
 	// The evicted identity may be a cached owner or live in cached
 	// successor-list evidence.
@@ -621,6 +622,18 @@ func (ca *CA) grantResp(g grant, wantRoster bool) CertIssueResp {
 // joiner's public key enters the local directory, so its signed tables
 // verify from the first stabilization round.
 func (n *Node) admitJoin(m chord.JoinReq) bool {
+	if !n.vetJoin(m) {
+		n.stats.joinsRejected.Add(1)
+		return false
+	}
+	n.stats.joinsAdmitted.Add(1)
+	n.dir.Register(m.Cert.Node, m.Cert.Key)
+	return true
+}
+
+// vetJoin holds admitJoin's checks; admitJoin wraps it with the membership
+// event counters and the directory registration.
+func (n *Node) vetJoin(m chord.JoinReq) bool {
 	c := m.Cert
 	if c.Node != m.Who.ID || c.Addr != int64(m.Who.Addr) {
 		return false
@@ -637,7 +650,6 @@ func (n *Node) admitJoin(m chord.JoinReq) bool {
 	if c.Expiry != 0 && n.tr.Now() > c.Expiry {
 		return false
 	}
-	n.dir.Register(c.Node, c.Key)
 	return true
 }
 
@@ -650,7 +662,11 @@ func (n *Node) vetLeave(m chord.LeaveReq) bool {
 	if !ok {
 		return false
 	}
-	return n.dir.Scheme().Verify(key, chord.LeaveStatement(m.Who), m.Sig)
+	if !n.dir.Scheme().Verify(key, chord.LeaveStatement(m.Who), m.Sig) {
+		return false
+	}
+	n.stats.leaves.Add(1)
+	return true
 }
 
 // handleAnnounce processes an EndpointAnnounce: verify the certificate AND
@@ -681,6 +697,7 @@ func (n *Node) handleAnnounce(m EndpointAnnounce) {
 			reg.SetEndpoint(m.Who.Addr, m.Endpoint)
 		}
 	}
+	n.stats.announces.Add(1)
 	// A verified announce means membership shifted: a joiner may now own
 	// keys that cached lookups still attribute to its successor.
 	n.flushLookupCache()

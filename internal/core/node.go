@@ -2,11 +2,13 @@ package core
 
 import (
 	"errors"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/obs"
 	"github.com/octopus-dht/octopus/internal/transport"
 )
 
@@ -26,38 +28,15 @@ type pooledPair struct {
 	added time.Duration
 }
 
-// NodeStats counts protocol activity for the experiment harness. It is a
-// plain snapshot; the live counters are atomics (see nodeCounters) so
-// Stats() may be called from any goroutine while lookups, walks, and relay
-// traffic run in the node's serialization context.
-type NodeStats struct {
-	LookupsStarted   uint64
-	LookupsCompleted uint64
-	LookupsFailed    uint64
-	QueriesSent      uint64
-	DummiesSent      uint64
-	WalksStarted     uint64
-	WalksCompleted   uint64
-	WalksFailed      uint64
-	ReportsSent      uint64
-	FallbackPairs    uint64
-	ChecksRun        uint64
-	RelayedForwards  uint64
-	RelayedReplies   uint64
-	// RefillWalks counts walks launched by the managed pool's walk-ahead
-	// refill (on top of the WalkEvery timer's).
-	RefillWalks uint64
-	// PairsDiscarded counts pooled pairs dropped by the managed pool's
-	// freshness/liveness vetting instead of being handed out.
-	PairsDiscarded uint64
-	// CacheHits/CacheMisses count AnonLookupFull consultations of the
-	// lookup-result cache (both zero when caching is disabled).
-	CacheHits   uint64
-	CacheMisses uint64
-	// CacheFlushes counts whole-cache invalidations driven by membership
-	// events (neighbor drops, announces, revocations, own departure).
-	CacheFlushes uint64
-}
+// NodeStats counts protocol activity. It is a plain snapshot; the live
+// counters are atomics (see nodeCounters) so Stats() may be called from any
+// goroutine while lookups, walks, and relay traffic run in the node's
+// serialization context.
+//
+// Deprecated: the canonical type is obs.NodeCounters — nodes additionally
+// publish these counters through obs.Collector (see AttachObs). The alias
+// is kept for one PR so downstream callers migrate without churn.
+type NodeStats = obs.NodeCounters
 
 // nodeCounters is the live, concurrency-safe form of NodeStats. Counters
 // are bumped from the node's serialization context but read by daemons,
@@ -82,6 +61,12 @@ type nodeCounters struct {
 	cacheHits        atomic.Uint64
 	cacheMisses      atomic.Uint64
 	cacheFlushes     atomic.Uint64
+	announces        atomic.Uint64
+	revocations      atomic.Uint64
+	joinsAdmitted    atomic.Uint64
+	joinsRejected    atomic.Uint64
+	leaves           atomic.Uint64
+	neighborsDropped atomic.Uint64
 }
 
 func (c *nodeCounters) snapshot() NodeStats {
@@ -104,6 +89,12 @@ func (c *nodeCounters) snapshot() NodeStats {
 		CacheHits:        c.cacheHits.Load(),
 		CacheMisses:      c.cacheMisses.Load(),
 		CacheFlushes:     c.cacheFlushes.Load(),
+		Announces:        c.announces.Load(),
+		Revocations:      c.revocations.Load(),
+		JoinsAdmitted:    c.joinsAdmitted.Load(),
+		JoinsRejected:    c.joinsRejected.Load(),
+		Leaves:           c.leaves.Load(),
+		NeighborsDropped: c.neighborsDropped.Load(),
 	}
 }
 
@@ -179,6 +170,13 @@ type Node struct {
 	stats nodeCounters
 	stops []func()
 
+	// tracer, when set, records per-hop spans for the anonymous paths
+	// (obs layer; nil means no tracing). obsLookupLat is the lookup
+	// latency histogram AttachObs registers; both are nil-safe at the
+	// observation sites, so unattached nodes pay only a nil check.
+	tracer       *obs.Tracer
+	obsLookupLat *obs.Histogram
+
 	// DropFilter, when set, makes this node a selective-DoS relay: any
 	// RelayForward for which it returns true is silently discarded
 	// (adversary hook, Appendix II).
@@ -228,7 +226,10 @@ func New(cn *chord.Node, cfg Config, caAddr transport.Addr, dir *Directory) *Nod
 	cn.Cfg.DisableFingerUpdates = true
 	cn.Extra = n.handleExtra
 	cn.OnNeighborTable = n.recordProof
-	cn.OnNeighborDropped = func(chord.Peer) { n.flushLookupCache() }
+	cn.OnNeighborDropped = func(chord.Peer) {
+		n.stats.neighborsDropped.Add(1)
+		n.flushLookupCache()
+	}
 	cn.AdmitJoin = n.admitJoin
 	cn.VetLeave = n.vetLeave
 	return n
@@ -247,6 +248,66 @@ func (n *Node) Config() Config { return n.cfg }
 // PoolSize reports the number of unused relay pairs. Safe from any
 // goroutine (it reads a gauge mirroring the host-context pool).
 func (n *Node) PoolSize() int { return int(n.poolGauge.Load()) }
+
+// SetTracer installs the span tracer for this node's anonymous paths.
+// Call before Start; a nil tracer (the default) disables tracing.
+func (n *Node) SetTracer(t *obs.Tracer) { n.tracer = t }
+
+// Tracer returns the installed span tracer (nil when tracing is off).
+func (n *Node) Tracer() *obs.Tracer { return n.tracer }
+
+// nodeLabel is the obs series label identifying this node within a
+// process that hosts several.
+func (n *Node) nodeLabel() obs.Label {
+	return obs.L("node", strconv.Itoa(int(n.Chord.Self.Addr)))
+}
+
+// AttachObs registers this node with the collector: the protocol counters
+// and pool gauge (via CollectObs) plus the anonymous-lookup latency
+// histogram. Call before Start.
+func (n *Node) AttachObs(c *obs.Collector) {
+	if n.obsLookupLat == nil {
+		n.obsLookupLat = obs.NewHistogram(
+			"octopus_lookup_latency_seconds", obs.LatencyBuckets, n.nodeLabel())
+	}
+	c.Register(n.obsLookupLat)
+	c.Register(n)
+}
+
+// CollectObs implements obs.Source: every NodeStats counter plus the
+// relay-pair pool depth, labeled by node address.
+func (n *Node) CollectObs(s *obs.Snapshot) {
+	st := n.stats.snapshot()
+	l := n.nodeLabel()
+	s.AddCounter("octopus_lookups_started_total", float64(st.LookupsStarted), l)
+	s.AddCounter("octopus_lookups_completed_total", float64(st.LookupsCompleted), l)
+	s.AddCounter("octopus_lookups_failed_total", float64(st.LookupsFailed), l)
+	s.AddCounter("octopus_lookup_queries_total", float64(st.QueriesSent), l)
+	s.AddCounter("octopus_lookup_dummies_total", float64(st.DummiesSent), l)
+	s.AddCounter("octopus_walks_started_total", float64(st.WalksStarted), l)
+	s.AddCounter("octopus_walks_completed_total", float64(st.WalksCompleted), l)
+	s.AddCounter("octopus_walks_failed_total", float64(st.WalksFailed), l)
+	s.AddCounter("octopus_dos_reports_total", float64(st.ReportsSent), l)
+	s.AddCounter("octopus_pool_fallback_pairs_total", float64(st.FallbackPairs), l)
+	s.AddCounter("octopus_surveillance_checks_total", float64(st.ChecksRun), l)
+	s.AddCounter("octopus_relay_forwards_total", float64(st.RelayedForwards), l)
+	s.AddCounter("octopus_relay_replies_total", float64(st.RelayedReplies), l)
+	s.AddCounter("octopus_pool_refill_walks_total", float64(st.RefillWalks), l)
+	s.AddCounter("octopus_pool_pairs_discarded_total", float64(st.PairsDiscarded), l)
+	s.AddCounter("octopus_lookup_cache_hits_total", float64(st.CacheHits), l)
+	s.AddCounter("octopus_lookup_cache_misses_total", float64(st.CacheMisses), l)
+	s.AddCounter("octopus_lookup_cache_flushes_total", float64(st.CacheFlushes), l)
+	event := func(kind string, v uint64) {
+		s.AddCounter("octopus_membership_events_total", float64(v), l, obs.L("event", kind))
+	}
+	event("announce", st.Announces)
+	event("revocation", st.Revocations)
+	event("join_admitted", st.JoinsAdmitted)
+	event("join_rejected", st.JoinsRejected)
+	event("leave", st.Leaves)
+	event("neighbor_dropped", st.NeighborsDropped)
+	s.AddGauge("octopus_pool_pairs", float64(n.PoolSize()), l)
+}
 
 // Start launches the Chord layer plus Octopus's periodic machinery.
 func (n *Node) Start() {
@@ -636,11 +697,13 @@ func (n *Node) handleForward(from transport.Addr, m RelayForward) {
 	qid := m.QID
 	n.tr.After(n.Chord.Self.Addr, 4*n.cfg.QueryTimeout, func() { delete(n.backRoutes, qid) })
 
+	t0 := n.tr.Now()
 	deliver := func() {
 		if m.Exit != nil {
 			if n.OnExit != nil {
 				n.OnExit(m.QID, from, m.Exit.Target)
 			}
+			n.recordHopSpan("relay.exit", m.QID, t0, from, m.Exit.Target)
 			n.performExit(m.QID, *m.Exit)
 			return
 		}
@@ -654,6 +717,7 @@ func (n *Node) handleForward(from transport.Addr, m RelayForward) {
 		if n.OnForward != nil {
 			n.OnForward(m.QID, from, m.Next)
 		}
+		n.recordHopSpan("relay.forward", m.QID, t0, from, m.Next)
 		n.tr.Send(n.Chord.Self.Addr, m.Next, *m.Inner)
 		n.watchReceipt(m.QID, m.Next, m.Inner)
 	}
@@ -662,6 +726,33 @@ func (n *Node) handleForward(from transport.Addr, m RelayForward) {
 		return
 	}
 	deliver()
+}
+
+// recordHopSpan records one relay-side tracing span covering this node's
+// part of an anonymous query: from arrival to the moment the layer was
+// forwarded (or the exit query issued), which makes the artificial relay
+// delay visible per hop. The from/next/target attributes and the query id
+// are scrubbed by the tracer in anonymous mode — the qid's low bits encode
+// the initiator's address, so it must never leave the process unredacted.
+func (n *Node) recordHopSpan(name string, qid uint64, start time.Duration, from, to transport.Addr) {
+	if n.tracer == nil {
+		return
+	}
+	toKey := "next"
+	if name == "relay.exit" {
+		toKey = "target"
+	}
+	n.tracer.Record(obs.Span{
+		Trace: qid,
+		Name:  name,
+		Node:  strconv.Itoa(int(n.Chord.Self.Addr)),
+		Start: start,
+		End:   n.tr.Now(),
+		Attrs: []obs.Attr{
+			obs.A("from", strconv.Itoa(int(from))),
+			obs.A(toKey, strconv.Itoa(int(to))),
+		},
+	})
 }
 
 // performExit executes the innermost layer: query the target node and route

@@ -8,6 +8,7 @@ import (
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/obs"
 )
 
 // Backpressure errors returned through ServiceResult.Err.
@@ -64,15 +65,12 @@ type ServiceResult struct {
 
 // ServiceStats is a point-in-time snapshot of service activity; safe to
 // read from any goroutine.
-type ServiceStats struct {
-	Submitted      uint64
-	Completed      uint64
-	Failed         uint64
-	RejectedQueue  uint64
-	RejectedClient uint64
-	// Active and Queued are current gauges.
-	Active, Queued int
-}
+//
+// Deprecated: the canonical type is obs.ServiceCounters — the service
+// additionally publishes these counters through obs.Collector (see
+// AttachObs). The alias is kept for one PR so downstream callers migrate
+// without churn.
+type ServiceStats = obs.ServiceCounters
 
 // svcJob is one queued lookup.
 type svcJob struct {
@@ -111,6 +109,10 @@ type LookupService struct {
 	rejectedClient atomic.Uint64
 	activeGauge    atomic.Int64
 	queuedGauge    atomic.Int64
+
+	// obsWait is the queue-wait histogram AttachObs registers; nil-safe
+	// at the observation site.
+	obsWait *obs.Histogram
 }
 
 // NewLookupService builds a service over one node. The node should be
@@ -140,6 +142,30 @@ func (s *LookupService) Stats() ServiceStats {
 		Active:         int(s.activeGauge.Load()),
 		Queued:         int(s.queuedGauge.Load()),
 	}
+}
+
+// AttachObs registers the service's counters, gauges, and queue-wait
+// histogram with the collector.
+func (s *LookupService) AttachObs(c *obs.Collector) {
+	if s.obsWait == nil {
+		s.obsWait = obs.NewHistogram(
+			"octopus_service_wait_seconds", obs.LatencyBuckets, s.n.nodeLabel())
+	}
+	c.Register(s.obsWait)
+	c.Register(s)
+}
+
+// CollectObs implements obs.Source.
+func (s *LookupService) CollectObs(snap *obs.Snapshot) {
+	st := s.Stats()
+	l := s.n.nodeLabel()
+	snap.AddCounter("octopus_service_lookups_submitted_total", float64(st.Submitted), l)
+	snap.AddCounter("octopus_service_lookups_completed_total", float64(st.Completed), l)
+	snap.AddCounter("octopus_service_lookups_failed_total", float64(st.Failed), l)
+	snap.AddCounter("octopus_service_rejected_total", float64(st.RejectedQueue), l, obs.L("reason", "queue"))
+	snap.AddCounter("octopus_service_rejected_total", float64(st.RejectedClient), l, obs.L("reason", "client"))
+	snap.AddGauge("octopus_service_active_lookups", float64(st.Active), l)
+	snap.AddGauge("octopus_service_queued_lookups", float64(st.Queued), l)
 }
 
 // Enqueue submits one lookup on behalf of client. It may be called from
@@ -251,6 +277,7 @@ func (s *LookupService) start(job svcJob) {
 	s.active++
 	s.activeGauge.Store(int64(s.active))
 	wait := s.n.tr.Now() - job.enqueued
+	s.obsWait.ObserveDuration(wait)
 	s.n.AnonLookup(job.key, func(owner chord.Peer, stats LookupStats, err error) {
 		s.active--
 		s.activeGauge.Store(int64(s.active))

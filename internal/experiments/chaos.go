@@ -9,6 +9,7 @@ import (
 	"github.com/octopus-dht/octopus/internal/core"
 	"github.com/octopus-dht/octopus/internal/id"
 	"github.com/octopus-dht/octopus/internal/king"
+	"github.com/octopus-dht/octopus/internal/obs"
 	"github.com/octopus-dht/octopus/internal/simnet"
 	"github.com/octopus-dht/octopus/internal/store"
 	"github.com/octopus-dht/octopus/internal/transport"
@@ -80,6 +81,13 @@ type ChaosConfig struct {
 	SLO ChaosSLO
 	// Seed drives all randomness.
 	Seed int64
+	// Collector, when non-nil, has the whole deployment registered with it
+	// (fault-layer network, every node, every store — including storm
+	// rejoins) so the caller can export a metrics snapshot after the run.
+	// Registration is passthrough: it draws no randomness and schedules
+	// nothing, so a run with a Collector replays byte-identically to one
+	// without.
+	Collector *obs.Collector
 }
 
 // DefaultChaosConfig is the full-scale suite: a 1000-node ring through a
@@ -182,6 +190,15 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 		stores[i] = store.New(node, storeCfg)
 		stores[i].Start()
 	}
+	if cfg.Collector != nil {
+		cfg.Collector.Register(net)
+		for _, node := range nw.Nodes {
+			cfg.Collector.Register(node)
+		}
+		for _, st := range stores {
+			cfg.Collector.Register(st)
+		}
+	}
 
 	res := ChaosResult{SLO: cfg.SLO}
 
@@ -213,6 +230,10 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 			st := store.New(node, storeCfg)
 			st.Start()
 			stores[addr] = st
+			if cfg.Collector != nil {
+				cfg.Collector.Register(node)
+				cfg.Collector.Register(st)
+			}
 			st.PullOwnedRange(func(int, error) {})
 		})
 	}

@@ -9,6 +9,7 @@ import (
 	"github.com/octopus-dht/octopus/internal/id"
 	"github.com/octopus-dht/octopus/internal/king"
 	"github.com/octopus-dht/octopus/internal/metrics"
+	"github.com/octopus-dht/octopus/internal/obs"
 	"github.com/octopus-dht/octopus/internal/simnet"
 )
 
@@ -211,11 +212,17 @@ func RunLoad(cfg LoadConfig) LoadResult {
 	if res.Completed > 0 {
 		res.MeanWait = waitTotal / time.Duration(res.Completed)
 	}
+	// Aggregate the pool/cache counters through the unified obs surface —
+	// the very snapshots a production deployment exports — instead of the
+	// bespoke per-node accessors. The simulation is quiescent here, so
+	// collecting outside the sim context is safe.
+	c := obs.NewCollector()
 	for i := 0; i < cfg.ServingNodes; i++ {
-		st := nw.Node(simnet.Address(i)).Stats()
-		res.FallbackPairs += st.FallbackPairs
-		res.RefillWalks += st.RefillWalks
-		res.CacheHits += st.CacheHits
+		c.Register(nw.Node(simnet.Address(i)))
 	}
+	snap := c.Snapshot()
+	res.FallbackPairs = uint64(snap.CounterSum("octopus_pool_fallback_pairs_total"))
+	res.RefillWalks = uint64(snap.CounterSum("octopus_pool_refill_walks_total"))
+	res.CacheHits = uint64(snap.CounterSum("octopus_lookup_cache_hits_total"))
 	return res
 }

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -48,18 +49,23 @@ func (s *Sample) ensureSorted() {
 	}
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank:
+// the smallest observation with at least p% of the sample at or below it,
+// ceil(p/100·N) in rank terms. The previous floor-of-(N-1) formula
+// underestimated high percentiles on small samples — most visibly P95 of a
+// two-element sample, which returned the minimum.
 func (s *Sample) Percentile(p float64) float64 {
-	if len(s.values) == 0 {
+	n := len(s.values)
+	if n == 0 {
 		return 0
 	}
 	s.ensureSorted()
-	idx := int(p / 100 * float64(len(s.values)-1))
+	idx := int(math.Ceil(p/100*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(s.values) {
-		idx = len(s.values) - 1
+	if idx >= n {
+		idx = n - 1
 	}
 	return s.values[idx]
 }
@@ -80,6 +86,8 @@ type CDFPoint struct {
 }
 
 // CDF returns the empirical CDF downsampled to at most `points` points.
+// An empty sample yields an empty (nil) CDF — render it with FormatCDF,
+// which says so explicitly instead of emitting a bare header.
 func (s *Sample) CDF(points int) []CDFPoint {
 	n := len(s.values)
 	if n == 0 {
@@ -89,13 +97,33 @@ func (s *Sample) CDF(points int) []CDFPoint {
 	if points <= 0 || points > n {
 		points = n
 	}
+	if points == 1 {
+		// A one-point CDF must still reach fraction 1 — the maximum, not
+		// the minimum the general grid formula degenerated to.
+		return []CDFPoint{{Value: s.values[n-1], Fraction: 1}}
+	}
 	out := make([]CDFPoint, 0, points)
 	for i := 0; i < points; i++ {
-		idx := i * (n - 1) / max(1, points-1)
+		idx := i * (n - 1) / (points - 1)
 		out = append(out, CDFPoint{
 			Value:    s.values[idx],
 			Fraction: float64(idx+1) / float64(n),
 		})
+	}
+	return out
+}
+
+// FormatCDF renders a CDF as two aligned columns, with the value column
+// scaled by valueScale (e.g. 1000 for milliseconds) under the given
+// heading. An empty CDF renders as an explicit "(no samples)" line rather
+// than a silently empty table.
+func FormatCDF(points []CDFPoint, valueHeader string, valueScale float64) string {
+	out := fmt.Sprintf("%-12s %s\n", valueHeader, "CDF")
+	if len(points) == 0 {
+		return out + "(no samples)\n"
+	}
+	for _, p := range points {
+		out += fmt.Sprintf("%-12.0f %.3f\n", p.Value*valueScale, p.Fraction)
 	}
 	return out
 }
@@ -123,11 +151,4 @@ func (s *Series) Format(header string) string {
 		out += fmt.Sprintf("%-12.0f %.4f\n", p.T.Seconds(), p.V)
 	}
 	return out
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -31,6 +31,57 @@ func TestEmptySample(t *testing.T) {
 	if s.Mean() != 0 || s.Median() != 0 || s.CDF(10) != nil {
 		t.Error("empty sample must be all zeros")
 	}
+	if s.Percentile(95) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("percentiles of an empty sample must be 0")
+	}
+}
+
+// TestPercentileEdgeCases pins nearest-rank behavior on the degenerate
+// samples the old floor formula got wrong: N=1, N=2 (where P95 returned
+// the minimum), and runs of duplicate values.
+func TestPercentileEdgeCases(t *testing.T) {
+	one := Sample{}
+	one.Add(7)
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got := one.Percentile(p); got != 7 {
+			t.Errorf("N=1: P%v = %v, want 7", p, got)
+		}
+	}
+
+	two := Sample{}
+	two.Add(1)
+	two.Add(2)
+	if got := two.Percentile(95); got != 2 {
+		t.Errorf("N=2: P95 = %v, want 2 (the old formula returned the minimum)", got)
+	}
+	if got := two.Percentile(50); got != 1 {
+		t.Errorf("N=2: P50 = %v, want 1 (nearest-rank)", got)
+	}
+	if two.Min() != 1 || two.Max() != 2 {
+		t.Errorf("N=2: Min/Max = %v/%v", two.Min(), two.Max())
+	}
+
+	dup := Sample{}
+	for i := 0; i < 10; i++ {
+		dup.Add(4)
+	}
+	for _, p := range []float64{0, 50, 95, 100} {
+		if got := dup.Percentile(p); got != 4 {
+			t.Errorf("duplicates: P%v = %v, want 4", p, got)
+		}
+	}
+
+	// Nearest-rank on a 10-element 1..10 sample: P90 is the 9th value.
+	ten := Sample{}
+	for i := 1; i <= 10; i++ {
+		ten.Add(float64(i))
+	}
+	if got := ten.Percentile(90); got != 9 {
+		t.Errorf("P90 of 1..10 = %v, want 9", got)
+	}
+	if got := ten.Percentile(91); got != 10 {
+		t.Errorf("P91 of 1..10 = %v, want 10", got)
+	}
 }
 
 func TestAddDuration(t *testing.T) {
@@ -57,6 +108,35 @@ func TestCDF(t *testing.T) {
 		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
 			t.Fatal("CDF not monotone")
 		}
+	}
+}
+
+// TestCDFDegenerate covers the N=1 / points=1 corners and empty-CDF
+// rendering.
+func TestCDFDegenerate(t *testing.T) {
+	single := Sample{}
+	single.Add(3)
+	cdf := single.CDF(50)
+	if len(cdf) != 1 || cdf[0].Value != 3 || cdf[0].Fraction != 1 {
+		t.Errorf("N=1 CDF = %+v, want one point (3, 1)", cdf)
+	}
+
+	many := Sample{}
+	for i := 1; i <= 100; i++ {
+		many.Add(float64(i))
+	}
+	onePoint := many.CDF(1)
+	if len(onePoint) != 1 || onePoint[0].Value != 100 || onePoint[0].Fraction != 1 {
+		t.Errorf("points=1 CDF = %+v, want the maximum at fraction 1", onePoint)
+	}
+
+	out := FormatCDF(nil, "latency(ms)", 1000)
+	if !strings.Contains(out, "latency(ms)") || !strings.Contains(out, "(no samples)") {
+		t.Errorf("empty CDF rendering = %q, want explicit (no samples) line", out)
+	}
+	out = FormatCDF(cdf, "latency(ms)", 1000)
+	if !strings.Contains(out, "3000") || !strings.Contains(out, "1.000") {
+		t.Errorf("CDF rendering = %q", out)
 	}
 }
 

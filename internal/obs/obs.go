@@ -1,0 +1,277 @@
+// Package obs is the unified instrumentation layer: one Collector/Snapshot
+// API that every subsystem (chord/core routing, the lookup service, the
+// store, all transport backends, and the simulator) registers against, and
+// that every consumer (the Prometheus-text exporter, octopusd's status
+// loop, octopus-bench, and the benchmark gate's headline units) reads from.
+// It replaces the four bespoke stats surfaces that grew up independently
+// (core.NodeStats, core.ServiceStats, transport.TrafficStats,
+// simnet.Network.Dropped) — those names survive one PR as deprecated
+// aliases of the canonical structs defined here.
+//
+// obs is a leaf package: it imports only the standard library, because the
+// packages it instruments import it. Nothing here draws randomness,
+// schedules timers, or blocks — registering sources and observing values
+// is side-effect-free with respect to the discrete-event simulation, which
+// is what keeps seeded paper figures bit-identical with instrumentation
+// attached (the "passthrough" guarantee).
+//
+// Telemetry is part of the anonymity attack surface (see trace.go): the
+// tracer scrubs spans at record time so that in anonymous mode no exported
+// record links a lookup's initiator to its target key or relay pair.
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Label is one metric dimension, rendered as name{key="value"}.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Sample is one counter or gauge reading.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// BucketCount is one cumulative histogram bucket: observations <= UpperBound.
+type BucketCount struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// HistogramData is one histogram series reading.
+type HistogramData struct {
+	Name    string
+	Labels  []Label
+	Buckets []BucketCount // cumulative, ascending UpperBound, +Inf implied
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot is a point-in-time reading of every registered source. Sources
+// append to it from CollectObs; consumers read the sorted slices or use the
+// lookup helpers.
+type Snapshot struct {
+	Counters   []Sample
+	Gauges     []Sample
+	Histograms []HistogramData
+}
+
+// AddCounter appends one counter sample.
+func (s *Snapshot) AddCounter(name string, v float64, labels ...Label) {
+	s.Counters = append(s.Counters, Sample{Name: name, Labels: labels, Value: v})
+}
+
+// AddGauge appends one gauge sample.
+func (s *Snapshot) AddGauge(name string, v float64, labels ...Label) {
+	s.Gauges = append(s.Gauges, Sample{Name: name, Labels: labels, Value: v})
+}
+
+// AddHistogram appends one histogram series.
+func (s *Snapshot) AddHistogram(h HistogramData) {
+	s.Histograms = append(s.Histograms, h)
+}
+
+// CounterSum sums every counter sample with the given name across labels —
+// the aggregation consumers use when per-node series don't matter (e.g. the
+// load experiment summing pool-refill counters across all serving nodes).
+func (s *Snapshot) CounterSum(name string) float64 {
+	var sum float64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			sum += c.Value
+		}
+	}
+	return sum
+}
+
+// GaugeSum sums every gauge sample with the given name.
+func (s *Snapshot) GaugeSum(name string) float64 {
+	var sum float64
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			sum += g.Value
+		}
+	}
+	return sum
+}
+
+// HistogramTotal returns the summed observation count and value sum of every
+// histogram series with the given name.
+func (s *Snapshot) HistogramTotal(name string) (count uint64, sum float64) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			count += h.Count
+			sum += h.Sum
+		}
+	}
+	return count, sum
+}
+
+// sortKey orders samples deterministically: by name, then label pairs.
+func sortKey(name string, labels []Label) string {
+	k := name
+	for _, l := range labels {
+		k += "\x00" + l.Key + "\x01" + l.Value
+	}
+	return k
+}
+
+// normalize sorts the snapshot into the deterministic order the exporter
+// and tests rely on.
+func (s *Snapshot) normalize() {
+	byKey := func(sm []Sample) func(i, j int) bool {
+		return func(i, j int) bool {
+			return sortKey(sm[i].Name, sm[i].Labels) < sortKey(sm[j].Name, sm[j].Labels)
+		}
+	}
+	sort.SliceStable(s.Counters, byKey(s.Counters))
+	sort.SliceStable(s.Gauges, byKey(s.Gauges))
+	sort.SliceStable(s.Histograms, func(i, j int) bool {
+		return sortKey(s.Histograms[i].Name, s.Histograms[i].Labels) <
+			sortKey(s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
+}
+
+// Source is the one interface every instrumented subsystem implements:
+// append current readings to the snapshot. Implementations must be safe to
+// call from any goroutine (the exporter scrapes concurrently with the
+// workload) and must not block.
+type Source interface {
+	CollectObs(*Snapshot)
+}
+
+// FuncSource adapts a plain function to Source.
+type FuncSource func(*Snapshot)
+
+// CollectObs implements Source.
+func (f FuncSource) CollectObs(s *Snapshot) { f(s) }
+
+// Collector is the registry: subsystems Register once, consumers call
+// Snapshot whenever they want a reading. A nil *Collector is valid and
+// inert, so wiring can be unconditional while attachment stays opt-in.
+type Collector struct {
+	mu      sync.Mutex
+	sources []Source
+}
+
+// NewCollector returns an empty registry.
+func NewCollector() *Collector { return &Collector{} }
+
+// Register adds a source. Safe for concurrent use.
+func (c *Collector) Register(src Source) {
+	if c == nil || src == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sources = append(c.sources, src)
+	c.mu.Unlock()
+}
+
+// Snapshot collects every registered source into one sorted snapshot.
+// On a nil Collector it returns an empty snapshot.
+func (c *Collector) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if c == nil {
+		return s
+	}
+	c.mu.Lock()
+	srcs := make([]Source, len(c.sources))
+	copy(srcs, c.sources)
+	c.mu.Unlock()
+	for _, src := range srcs {
+		src.CollectObs(s)
+	}
+	s.normalize()
+	return s
+}
+
+// Traffic is the canonical per-transport byte/message accounting, counting
+// codec bytes only (framing overhead is excluded by the conformance
+// contract; nettransport exposes frame counts separately).
+//
+// transport.TrafficStats is a deprecated alias of this type.
+type Traffic struct {
+	BytesSent     uint64
+	BytesReceived uint64
+	MsgsSent      uint64
+	MsgsReceived  uint64
+}
+
+// EmitTraffic appends the standard per-backend transport counter series for
+// one backend, so the three transport implementations share one shape.
+func EmitTraffic(s *Snapshot, backend string, t Traffic) {
+	l := L("backend", backend)
+	s.AddCounter("octopus_transport_bytes_sent_total", float64(t.BytesSent), l)
+	s.AddCounter("octopus_transport_bytes_received_total", float64(t.BytesReceived), l)
+	s.AddCounter("octopus_transport_msgs_sent_total", float64(t.MsgsSent), l)
+	s.AddCounter("octopus_transport_msgs_received_total", float64(t.MsgsReceived), l)
+}
+
+// NodeCounters is the canonical per-node protocol counter set (anonymous
+// lookups, relay-pair pool, surveillance walks, relaying, lookup cache, and
+// membership events).
+//
+// core.NodeStats is a deprecated alias of this type.
+type NodeCounters struct {
+	LookupsStarted   uint64
+	LookupsCompleted uint64
+	LookupsFailed    uint64
+	QueriesSent      uint64
+	DummiesSent      uint64
+	WalksStarted     uint64
+	WalksCompleted   uint64
+	WalksFailed      uint64
+	ReportsSent      uint64
+	FallbackPairs    uint64
+	ChecksRun        uint64
+	RelayedForwards  uint64
+	RelayedReplies   uint64
+	RefillWalks      uint64
+	PairsDiscarded   uint64
+	CacheHits        uint64
+	CacheMisses      uint64
+	CacheFlushes     uint64
+	// Membership events observed by this node.
+	Announces        uint64
+	Revocations      uint64
+	JoinsAdmitted    uint64
+	JoinsRejected    uint64
+	Leaves           uint64
+	NeighborsDropped uint64
+}
+
+// ServiceCounters is the canonical LookupService accounting.
+//
+// core.ServiceStats is a deprecated alias of this type.
+type ServiceCounters struct {
+	Submitted      uint64
+	Completed      uint64
+	Failed         uint64
+	RejectedQueue  uint64
+	RejectedClient uint64
+	// Active and Queued are current gauges.
+	Active, Queued int
+}
+
+// StoreCounters is the canonical store accounting.
+//
+// store.Stats is a deprecated alias of this type.
+type StoreCounters struct {
+	Puts, PutFailures  uint64
+	Gets, Hits, Misses uint64
+	ReplicaBatches     uint64
+	ReplicaEntries     uint64
+	PulledEntries      uint64
+	HandoffEntries     uint64
+	StoresServed       uint64
+	FetchesServed      uint64
+	Keys               int
+}

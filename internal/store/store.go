@@ -3,12 +3,14 @@ package store
 import (
 	"errors"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/core"
 	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/obs"
 	"github.com/octopus-dht/octopus/internal/transport"
 )
 
@@ -63,17 +65,11 @@ type entry struct {
 
 // Stats is a point-in-time snapshot of storage activity; safe to read from
 // any goroutine.
-type Stats struct {
-	Puts, PutFailures  uint64
-	Gets, Hits, Misses uint64
-	ReplicaBatches     uint64
-	ReplicaEntries     uint64
-	PulledEntries      uint64
-	HandoffEntries     uint64
-	StoresServed       uint64
-	FetchesServed      uint64
-	Keys               int
-}
+// Deprecated: the canonical type is obs.StoreCounters — the store
+// additionally publishes these counters through obs.Collector (see
+// AttachObs). The alias is kept for one PR so downstream callers migrate
+// without churn.
+type Stats = obs.StoreCounters
 
 // counters is the live concurrency-safe form of Stats.
 type counters struct {
@@ -106,6 +102,11 @@ type Store struct {
 	stops    []func()
 
 	stats counters
+
+	// obsPut/obsGet are the Put/Get latency histograms AttachObs
+	// registers; nil-safe at the observation sites.
+	obsPut *obs.Histogram
+	obsGet *obs.Histogram
 }
 
 // New attaches a Store to a node. Every ring member that should hold data
@@ -175,6 +176,42 @@ func (s *Store) Stats() Stats {
 		FetchesServed:  s.stats.fetchesServed.Load(),
 		Keys:           int(s.stats.keysGauge.Load()),
 	}
+}
+
+// AttachObs registers the store's counters, key gauge, and Put/Get latency
+// histograms with the collector.
+func (s *Store) AttachObs(c *obs.Collector) {
+	l := s.nodeLabel()
+	if s.obsPut == nil {
+		s.obsPut = obs.NewHistogram("octopus_store_put_seconds", obs.LatencyBuckets, l)
+		s.obsGet = obs.NewHistogram("octopus_store_get_seconds", obs.LatencyBuckets, l)
+	}
+	c.Register(s.obsPut)
+	c.Register(s.obsGet)
+	c.Register(s)
+}
+
+func (s *Store) nodeLabel() obs.Label {
+	return obs.L("node", strconv.Itoa(int(s.n.Self().Addr)))
+}
+
+// CollectObs implements obs.Source: every Stats counter plus the key
+// gauge, labeled by node address.
+func (s *Store) CollectObs(snap *obs.Snapshot) {
+	st := s.Stats()
+	l := s.nodeLabel()
+	snap.AddCounter("octopus_store_puts_total", float64(st.Puts), l)
+	snap.AddCounter("octopus_store_put_failures_total", float64(st.PutFailures), l)
+	snap.AddCounter("octopus_store_gets_total", float64(st.Gets), l)
+	snap.AddCounter("octopus_store_hits_total", float64(st.Hits), l)
+	snap.AddCounter("octopus_store_misses_total", float64(st.Misses), l)
+	snap.AddCounter("octopus_store_replica_batches_total", float64(st.ReplicaBatches), l)
+	snap.AddCounter("octopus_store_replica_entries_total", float64(st.ReplicaEntries), l)
+	snap.AddCounter("octopus_store_pulled_entries_total", float64(st.PulledEntries), l)
+	snap.AddCounter("octopus_store_handoff_entries_total", float64(st.HandoffEntries), l)
+	snap.AddCounter("octopus_store_stores_served_total", float64(st.StoresServed), l)
+	snap.AddCounter("octopus_store_fetches_served_total", float64(st.FetchesServed), l)
+	snap.AddGauge("octopus_store_keys", float64(st.Keys), l)
 }
 
 // Len reports the number of locally held entries; safe from any goroutine.
@@ -476,6 +513,7 @@ type GetResult struct {
 // serialization context.
 func (s *Store) Put(key id.ID, value []byte, cb func(PutResult)) {
 	s.stats.puts.Add(1)
+	cb = timedCb(s, s.obsPut, cb)
 	if len(value) > MaxValueSize {
 		s.stats.putFailures.Add(1)
 		cb(PutResult{Err: ErrValueTooLarge})
@@ -519,6 +557,7 @@ func (s *Store) Put(key id.ID, value []byte, cb func(PutResult)) {
 // serialization context.
 func (s *Store) Get(key id.ID, cb func(GetResult)) {
 	s.stats.gets.Add(1)
+	cb = timedCb(s, s.obsGet, cb)
 	s.n.AnonLookupFull(key, func(owner chord.Peer, res core.DirectLookupResult,
 		stats core.LookupStats, err error) {
 		if err != nil {
@@ -529,6 +568,20 @@ func (s *Store) Get(key id.ID, cb func(GetResult)) {
 		cands := s.readCandidates(owner, res)
 		s.tryFetch(key, owner, cands, 0, stats, cb)
 	})
+}
+
+// timed wraps an operation callback so its completion feeds the given
+// latency histogram. With no histogram attached the callback is returned
+// unwrapped — the passthrough the seeded experiments rely on.
+func timedCb[T any](s *Store, h *obs.Histogram, cb func(T)) func(T) {
+	if h == nil {
+		return cb
+	}
+	start := s.tr.Now()
+	return func(r T) {
+		h.ObserveDuration(s.tr.Now() - start)
+		cb(r)
+	}
 }
 
 // readCandidates assembles the replica candidates for a resolved owner: the

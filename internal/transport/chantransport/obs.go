@@ -1,0 +1,19 @@
+package chantransport
+
+import "github.com/octopus-dht/octopus/internal/obs"
+
+// CollectObs implements obs.Source: aggregate traffic across every host,
+// safe to call from any goroutine while the network runs.
+func (n *Network) CollectObs(s *obs.Snapshot) {
+	var agg obs.Traffic
+	for _, h := range n.hosts {
+		h.mu.Lock()
+		st := h.stats
+		h.mu.Unlock()
+		agg.BytesSent += st.BytesSent
+		agg.BytesReceived += st.BytesReceived
+		agg.MsgsSent += st.MsgsSent
+		agg.MsgsReceived += st.MsgsReceived
+	}
+	obs.EmitTraffic(s, "chan", agg)
+}

@@ -27,6 +27,8 @@ import (
 	"errors"
 	"math/rand"
 	"time"
+
+	"github.com/octopus-dht/octopus/internal/obs"
 )
 
 // Addr identifies a host on a transport. Addresses are opaque to the
@@ -78,12 +80,11 @@ var (
 // TrafficStats accumulates per-host bandwidth counters. Byte counts follow
 // the wire codec: a transport accounts exactly Message.Size() bytes per
 // delivered message.
-type TrafficStats struct {
-	BytesSent     uint64
-	BytesReceived uint64
-	MsgsSent      uint64
-	MsgsReceived  uint64
-}
+//
+// Deprecated: the canonical type is obs.Traffic — transports additionally
+// publish these counters through obs.Collector. The alias is kept for one
+// PR so downstream callers migrate without churn.
+type TrafficStats = obs.Traffic
 
 // Transport moves protocol messages between hosts.
 //

@@ -1,0 +1,111 @@
+// Command metriclint keeps the metric catalog honest. It fails CI when
+//
+//   - the catalog itself is invalid (duplicate names, naming-convention
+//     violations — octopus_ prefix, snake_case, counters end in _total,
+//     histograms carry a unit suffix), or
+//   - any non-test Go file emits a metric name that is not registered in
+//     internal/obs.Catalog. Unregistered names would render without HELP
+//     text, dodge DEPLOYMENT.md's catalog table, and drift from the
+//     naming conventions unreviewed.
+//
+// Usage:
+//
+//	go run ./tools/metriclint [dir ...]   (default: .)
+//
+// Detection is syntactic but precise: files are parsed with go/parser and
+// only whole string literals matching ^octopus_[a-z0-9_]+$ are treated as
+// metric names, so prose mentioning a metric or a longer literal merely
+// containing one is never flagged. _test.go files are skipped — tests
+// deliberately use unregistered names to exercise validation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/octopus-dht/octopus/internal/obs"
+)
+
+var metricNameRe = regexp.MustCompile(`^octopus_[a-z0-9_]+$`)
+
+func main() {
+	if err := obs.ValidateCatalog(); err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: catalog invalid: %v\n", err)
+		os.Exit(1)
+	}
+
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var files []string
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == ".git" || d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: walk %s: %v\n", dir, err)
+			os.Exit(1)
+		}
+	}
+
+	bad := 0
+	for _, path := range files {
+		for _, hit := range lintFile(path) {
+			fmt.Fprintln(os.Stderr, hit)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: %d unregistered metric name(s); register them in internal/obs/catalog.go\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: %d files OK, catalog holds %d metrics\n", len(files), len(obs.Catalog))
+}
+
+// lintFile returns one formatted complaint per string literal in the file
+// that looks like a metric name but is missing from the catalog.
+func lintFile(path string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse: %v", path, err)}
+	}
+	var hits []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil || !metricNameRe.MatchString(s) {
+			return true
+		}
+		if _, ok := obs.LookupMetric(s); !ok {
+			pos := fset.Position(lit.Pos())
+			hits = append(hits, fmt.Sprintf("%s:%d: metric %q not registered in internal/obs catalog", pos.Filename, pos.Line, s))
+		}
+		return true
+	})
+	return hits
+}
