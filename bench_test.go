@@ -13,6 +13,7 @@ import (
 	"github.com/octopus-dht/octopus/internal/adversary"
 	"github.com/octopus-dht/octopus/internal/anonymity"
 	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/core"
 	"github.com/octopus-dht/octopus/internal/experiments"
 	"github.com/octopus-dht/octopus/internal/id"
 	"github.com/octopus-dht/octopus/internal/transport"
@@ -195,6 +196,65 @@ func BenchmarkLoadAnonLookup(b *testing.B) {
 		b.ReportMetric(par.Throughput, "thr-par/s")
 		b.ReportMetric(par.Throughput/seq.Throughput, "speedup")
 		b.ReportMetric(par.P95.Seconds(), "p95-s")
+	}
+}
+
+// tierLoadConfig is the routing-tier comparison point: 10k simulated
+// nodes, α=1, no result cache and uniform keys, so every lookup pays the
+// tier's full post-walk convergence cost — the axis under measurement.
+// Rate and window are modest because the headline is latency, not
+// throughput: ~120 offered lookups give a stable p95 without inflating
+// the (already large) 10k-node simulation.
+func tierLoadConfig(tier string) experiments.LoadConfig {
+	cfg := experiments.DefaultLoadConfig()
+	cfg.N = 10_000
+	cfg.Tier = tier
+	cfg.ServingNodes = 4
+	cfg.Clients = 8
+	cfg.Rate = 2
+	cfg.Duration = time.Minute
+	cfg.WarmUp = 30 * time.Second
+	cfg.Alpha = 1
+	cfg.Pool = 16
+	cfg.CacheSize = 0
+	cfg.HotKeys = 0
+	return cfg
+}
+
+// BenchmarkTierLoad10k is the routing-tier headline: the load experiment
+// at 10k simulated nodes, same seed and offered load, finger tier versus
+// one-hop tier. The gate pins both p95s and their ratio — the one-hop
+// tier's reason to exist is cutting the multi-hop convergence phase to a
+// single confirming query, and p95-gain is that claim as a number.
+// Runs minutes, not seconds: pass -timeout ≥ 45m and -benchtime 1x.
+func BenchmarkTierLoad10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		finger := experiments.RunLoad(tierLoadConfig(core.TierFinger))
+		onehop := experiments.RunLoad(tierLoadConfig(core.TierOneHop))
+		b.ReportMetric(finger.P95.Seconds(), "finger-p95-s")
+		b.ReportMetric(onehop.P95.Seconds(), "onehop-p95-s")
+		b.ReportMetric(finger.P95.Seconds()/onehop.P95.Seconds(), "p95-gain")
+	}
+}
+
+// BenchmarkTierChaosMaintenance pins the one-hop tier's maintenance cost
+// where it is worst: the chaos storm (40% mass-kill, rolling partitions,
+// flash-crowd rejoin), every event of which must be disseminated
+// ring-wide. The gated unit is maintenance bytes per live node per
+// simulated second — the D1HT-style aggregation argument as a number; a
+// drift upward means event batching regressed.
+func BenchmarkTierChaosMaintenance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultChaosConfig()
+		cfg.N = 200
+		cfg.Tier = core.TierOneHop
+		cfg.WarmUp = 45 * time.Second
+		cfg.Baseline = 30 * time.Second
+		cfg.PostRecovery = time.Minute
+		cfg.Seed = int64(i + 1)
+		res := experiments.RunChaos(cfg)
+		b.ReportMetric(res.TierMaintBytesPerNodeSec, "maint-B/node/s")
+		b.ReportMetric(res.PostRecovery.LookupSuccess*100, "success%")
 	}
 }
 

@@ -25,7 +25,9 @@
 // time-to-recovery against explicit SLOs (see internal/experiments/chaos.go).
 //
 // The -scale flag shrinks every experiment for quick runs (0.1 ≈ seconds,
-// 1.0 = paper scale).
+// 1.0 = paper scale). The -tier flag switches load/storage/chaos onto the
+// one-hop routing tier; -nodes overrides their ring size (the nightly
+// one-hop load job runs -tier onehop -nodes 10000).
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"github.com/octopus-dht/octopus/internal/adversary"
+	"github.com/octopus-dht/octopus/internal/core"
 	"github.com/octopus-dht/octopus/internal/experiments"
 	"github.com/octopus-dht/octopus/internal/metrics"
 	"github.com/octopus-dht/octopus/internal/obs"
@@ -51,6 +54,8 @@ func main() {
 type options struct {
 	scale      float64
 	seed       int64
+	tier       string
+	nodes      int
 	metricsOut string
 }
 
@@ -58,14 +63,19 @@ func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("octopus-bench", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.3, "experiment scale factor (1.0 = paper scale)")
 	seed := fs.Int64("seed", 1, "simulation seed")
-	metricsOut := fs.String("metrics-out", "", "chaos only: write a Prometheus text snapshot of the deployment's metrics to this file after the run")
+	tier := fs.String("tier", core.TierFinger, "load/storage/chaos: routing tier (\"finger\" or \"onehop\")")
+	nodes := fs.Int("nodes", 0, "load/storage/chaos: override the ring size (0 = scaled default)")
+	metricsOut := fs.String("metrics-out", "", "load/chaos: write a Prometheus text snapshot of the deployment's metrics to this file after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tier != core.TierFinger && *tier != core.TierOneHop {
+		return fmt.Errorf("-tier %q: want %q or %q", *tier, core.TierFinger, core.TierOneHop)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: octopus-bench [-scale f] [-seed n] <%s>", "table1|table2|table3|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6|fig7a|fig7b|fig9|load|storage|chaos|all")
 	}
-	opt := options{scale: *scale, seed: *seed, metricsOut: *metricsOut}
+	opt := options{scale: *scale, seed: *seed, tier: *tier, nodes: *nodes, metricsOut: *metricsOut}
 
 	all := map[string]func(io.Writer, options) error{
 		"table1": table1, "table2": table2, "table3": table3,
@@ -311,11 +321,22 @@ func fig7b(w io.Writer, opt options) error {
 // load sweeps the serving path's throughput ceiling over α and the
 // managed-pool target, at a fixed open-loop offered load.
 func load(w io.Writer, opt options) error {
-	fmt.Fprintln(w, "== Load: anonymous-lookup serving throughput vs α and pool (open loop) ==")
+	fmt.Fprintf(w, "== Load: anonymous-lookup serving throughput vs α and pool (open loop, %s tier) ==\n", opt.tier)
 	base := experiments.DefaultLoadConfig()
 	base.N = scaled(base.N, opt.scale, 80)
+	if opt.nodes > 0 {
+		base.N = opt.nodes
+	}
 	base.Duration = scaledDur(base.Duration, opt.scale, 45*time.Second)
+	base.Tier = opt.tier
 	base.Seed = opt.seed
+	if opt.metricsOut != "" {
+		// Same collector surface octopusd serves over HTTP; the snapshot
+		// (tier sizes, staleness, maintenance bytes) lands in a file the
+		// nightly one-hop job uploads. Only the last sweep row is
+		// registered — each row is its own deployment.
+		base.Collector = obs.NewCollector()
+	}
 	rows := []struct {
 		name                 string
 		alpha, pool, workers int
@@ -327,29 +348,55 @@ func load(w io.Writer, opt options) error {
 	}
 	fmt.Fprintf(w, "offered %.0f lookups/s over %v, %d nodes, %d serving\n",
 		base.Rate, base.Duration, base.N, base.ServingNodes)
-	fmt.Fprintf(w, "%-12s %-10s %-10s %-9s %-9s %-9s %-9s %s\n",
-		"config", "done/s", "rejected", "p50", "p95", "p99", "wait", "fallback pairs")
-	for _, row := range rows {
+	fmt.Fprintf(w, "%-12s %-10s %-10s %-9s %-9s %-9s %-9s %-15s %s\n",
+		"config", "done/s", "rejected", "p50", "p95", "p99", "wait", "fallback pairs", "tier-maint")
+	for i, row := range rows {
 		cfg := base
 		cfg.Alpha, cfg.Pool, cfg.Workers = row.alpha, row.pool, row.workers
+		if i < len(rows)-1 {
+			cfg.Collector = nil
+		}
 		r := experiments.RunLoad(cfg)
-		fmt.Fprintf(w, "%-12s %-10.2f %-10d %-9s %-9s %-9s %-9s %d\n",
+		fmt.Fprintf(w, "%-12s %-10.2f %-10d %-9s %-9s %-9s %-9s %-15d %dB\n",
 			row.name, r.Throughput, r.Rejected,
 			r.P50.Round(10*time.Millisecond), r.P95.Round(10*time.Millisecond),
 			r.P99.Round(10*time.Millisecond), r.MeanWait.Round(10*time.Millisecond),
-			r.FallbackPairs)
+			r.FallbackPairs, r.TierMaintBytes)
+	}
+	if base.Collector != nil {
+		if err := writeMetrics(opt.metricsOut, base.Collector); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics snapshot written to %s\n", opt.metricsOut)
 	}
 	fmt.Fprintln(w)
 	return nil
 }
 
+// writeMetrics dumps a collector's snapshot as Prometheus text.
+func writeMetrics(path string, c *obs.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteText(f, c.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // storage drives the replicated key-value store with a read/write mix under
 // churn and reports hit rate and latency percentiles per mix.
 func storage(w io.Writer, opt options) error {
-	fmt.Fprintln(w, "== Storage: replicated KV over anonymous lookups (open-loop mix, churn) ==")
+	fmt.Fprintf(w, "== Storage: replicated KV over anonymous lookups (open-loop mix, churn, %s tier) ==\n", opt.tier)
 	base := experiments.DefaultStorageConfig()
 	base.N = scaled(base.N, opt.scale, 80)
+	if opt.nodes > 0 {
+		base.N = opt.nodes
+	}
 	base.Duration = scaledDur(base.Duration, opt.scale, 45*time.Second)
+	base.Tier = opt.tier
 	base.Seed = opt.seed
 	rows := []struct {
 		name  string
@@ -382,10 +429,14 @@ func storage(w io.Writer, opt options) error {
 // chaos drives the disaster drill: a scripted kill-storm with rolling
 // partitions and a flash-crowd rejoin, judged against explicit SLOs.
 func chaos(w io.Writer, opt options) error {
-	fmt.Fprintln(w, "== Chaos: scripted storm survival vs SLOs (40% kill, partitions, flash rejoin) ==")
+	fmt.Fprintf(w, "== Chaos: scripted storm survival vs SLOs (40%% kill, partitions, flash rejoin, %s tier) ==\n", opt.tier)
 	cfg := experiments.DefaultChaosConfig()
 	cfg.N = scaled(cfg.N, opt.scale, 200)
+	if opt.nodes > 0 {
+		cfg.N = opt.nodes
+	}
 	cfg.PostRecovery = scaledDur(cfg.PostRecovery, opt.scale, time.Minute)
+	cfg.Tier = opt.tier
 	cfg.Seed = opt.seed
 	if opt.metricsOut != "" {
 		// Same collector surface octopusd serves over HTTP; here the
@@ -394,15 +445,7 @@ func chaos(w io.Writer, opt options) error {
 	}
 	r := experiments.RunChaos(cfg)
 	if cfg.Collector != nil {
-		f, err := os.Create(opt.metricsOut)
-		if err != nil {
-			return err
-		}
-		if err := obs.WriteText(f, cfg.Collector.Snapshot()); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeMetrics(opt.metricsOut, cfg.Collector); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "metrics snapshot written to %s\n", opt.metricsOut)
@@ -419,6 +462,8 @@ func chaos(w io.Writer, opt options) error {
 			row.name, row.p.Lookups, row.p.LookupSuccess*100,
 			row.p.Gets, row.p.HitRate*100, row.p.Misses)
 	}
+	fmt.Fprintf(w, "tier maintenance: %d B total, %.1f B/node/s\n",
+		r.TierMaintBytes, r.TierMaintBytesPerNodeSec)
 	verdict := "PASS"
 	if !r.Pass {
 		verdict = "FAIL"

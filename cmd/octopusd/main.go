@@ -135,6 +135,10 @@ type cfgFlagRow struct {
 
 // tuningFlags maps the protocol-tuning flags onto core.Config.
 var tuningFlags = []cfgFlagRow{
+	{"routing-tier", core.TierFinger, "routing tier: \"finger\" (the paper's O(log n) tables) or \"onehop\" (full tables, O(1) lookups, D1HT-style event dissemination)",
+		func(c *core.Config) interface{} { return &c.RoutingTier }},
+	{"tier-maintain-every", time.Second, "one-hop tier event-flush period (EDRA tick)",
+		func(c *core.Config) interface{} { return &c.TierMaintainEvery }},
 	{"walk-every", 500 * time.Millisecond, "relay-selection random-walk period",
 		func(c *core.Config) interface{} { return &c.WalkEvery }},
 	{"stabilize-every", time.Second, "Chord stabilization period (also the neighbor-suspicion period)",
@@ -175,6 +179,8 @@ func registerCfgRows(cfg *core.Config, rows []cfgFlagRow) {
 			flag.DurationVar(p, row.name, row.def.(time.Duration), row.usage)
 		case *int:
 			flag.IntVar(p, row.name, row.def.(int), row.usage)
+		case *string:
+			flag.StringVar(p, row.name, row.def.(string), row.usage)
 		default:
 			panic(fmt.Sprintf("flag -%s: unsupported field type %T", row.name, p))
 		}
@@ -263,6 +269,11 @@ func main() {
 	if listen == "" || (configPath == "") == (joinVia == "") {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if opts.cfg.RoutingTier != core.TierFinger && opts.cfg.RoutingTier != core.TierOneHop {
+		// Catch this at the flag boundary: core.New treats an unknown tier
+		// as a programming error and panics.
+		log.Fatalf("octopusd: -routing-tier %q: want %q or %q", opts.cfg.RoutingTier, core.TierFinger, core.TierOneHop)
 	}
 	if joinVia != "" && opts.lookupKey != "" && opts.expectID == "" {
 		// Catch this before joining: a dynamically joined ring has no

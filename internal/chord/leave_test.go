@@ -1,0 +1,63 @@
+package chord
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGracefulLeaveSplicesNeighbors exercises the §4.3 departure path: a
+// leaving node hands its neighbor lists to its first predecessor and
+// successor, both acknowledge, and the ring heals immediately without
+// waiting for failure suspicion.
+func TestGracefulLeaveSplicesNeighbors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SuspectEvery = cfg.StabilizeEvery
+	env := newEnv(t, 20, cfg)
+	peers := env.ring.AlivePeers()
+	leaver := peers[5]
+	pred, succ := peers[4], peers[6]
+
+	var leaveErr error
+	doneAt := false
+	env.net.After(leaver.Addr, 0, func() {
+		env.ring.Node(leaver.Addr).Leave(func(err error) {
+			leaveErr = err
+			doneAt = true
+		})
+	})
+	env.sim.Run(env.sim.Now() + 2*time.Second)
+
+	if !doneAt {
+		t.Fatal("Leave never completed")
+	}
+	if leaveErr != nil {
+		t.Fatalf("Leave: %v", leaveErr)
+	}
+	if env.ring.Node(leaver.Addr).Running() {
+		t.Error("leaver still running after Leave")
+	}
+	if got := env.ring.Node(pred.Addr).Successors()[0]; got != succ {
+		t.Errorf("predecessor's succ[0] = %v, want %v (leaver spliced out)", got, succ)
+	}
+	if got := env.ring.Node(succ.Addr).Predecessors()[0]; got != pred {
+		t.Errorf("successor's pred[0] = %v, want %v (leaver spliced out)", got, pred)
+	}
+	for _, p := range []Peer{pred, succ} {
+		for _, s := range env.ring.Node(p.Addr).Successors() {
+			if s.ID == leaver.ID {
+				t.Errorf("node %v still lists the leaver in its successor list", p.Addr)
+			}
+		}
+	}
+
+	// Let a few suspicion/stabilization periods run: the rest of the ring
+	// must shed the departed node from list tails without incident.
+	env.sim.Run(env.sim.Now() + 10*time.Second)
+	for _, p := range env.ring.AlivePeers() {
+		for _, s := range env.ring.Node(p.Addr).Successors() {
+			if s.ID == leaver.ID {
+				t.Errorf("node %v still holds the departed node after suspicion rounds", p.Addr)
+			}
+		}
+	}
+}

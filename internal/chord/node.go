@@ -116,6 +116,13 @@ type Node struct {
 	OnNeighborDropped func(p Peer)
 	// OnLookupDone fires after each locally-initiated lookup completes.
 	OnLookupDone func(key id.ID, owner Peer, err error)
+	// Tier, when set, overrides the peer set next-hop selection routes
+	// through (handleFindNext and the FindNext-driven Lookup). Nil routes
+	// through the node's own fingers + successor list — exactly what a
+	// FingerTier returns, so installing one is behaviorally identical. A
+	// full-state tier makes the node answer FindNext with the key's
+	// immediate predecessor, collapsing vanilla lookups to O(1) hops.
+	Tier RoutingTier
 }
 
 // NewNode creates a node bound to addr on the transport. It does not start
@@ -292,9 +299,13 @@ func (n *Node) ownerAmongSuccessors(key id.ID) (Peer, bool) {
 	return NoPeer, false
 }
 
-// closestPreceding picks the known peer most tightly preceding key.
+// closestPreceding picks the known peer most tightly preceding key, drawn
+// from the routing tier when one is installed.
 func (n *Node) closestPreceding(key id.ID) (Peer, bool) {
 	peers := n.knownPeers()
+	if n.Tier != nil {
+		peers = n.Tier.Candidates(key)
+	}
 	ids := make([]id.ID, len(peers))
 	for i, p := range peers {
 		ids[i] = p.ID

@@ -1,0 +1,82 @@
+package chord
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDefaultConfigPaperParameters pins the §5.1 deployment parameters the
+// reproduction inherits from the paper: 12 fingers, successor/predecessor
+// lists of 6, stabilization every 2 s, finger updates every 30 s. Anything
+// drifting here silently changes every seeded experiment, so the values are
+// frozen by test, not just by comment.
+func TestDefaultConfigPaperParameters(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Fingers != 12 {
+		t.Errorf("Fingers = %d, want 12 (§5.1)", cfg.Fingers)
+	}
+	if cfg.Successors != 6 {
+		t.Errorf("Successors = %d, want 6 (§5.1)", cfg.Successors)
+	}
+	if cfg.StabilizeEvery != 2*time.Second {
+		t.Errorf("StabilizeEvery = %v, want 2s (§5.1)", cfg.StabilizeEvery)
+	}
+	if cfg.FixFingersEvery != 30*time.Second {
+		t.Errorf("FixFingersEvery = %v, want 30s (§5.1)", cfg.FixFingersEvery)
+	}
+}
+
+// TestFingerTierMirrorsNodeState pins the mechanical-extraction contract:
+// the finger tier is a pure view over the chord node's existing routing
+// state. Candidates must equal knownPeers (valid fingers then successors,
+// same order — seeded lookups depend on it), RelayCandidates must be the
+// raw finger slots (relay-pair synthesis draw order), and Stats must count
+// exactly the entries Candidates exposes.
+func TestFingerTierMirrorsNodeState(t *testing.T) {
+	env := newEnv(t, 40, DefaultConfig())
+	for _, p := range env.ring.AlivePeers() {
+		node := env.ring.Node(p.Addr)
+		tier := NewFingerTier(node)
+
+		if tier.Name() != "finger" {
+			t.Fatalf("Name() = %q, want %q", tier.Name(), "finger")
+		}
+		if tier.FullState() {
+			t.Fatalf("FullState() = true, want false for a finger table")
+		}
+
+		want := node.knownPeers()
+		got := tier.Candidates(p.ID + 1)
+		if len(got) != len(want) {
+			t.Fatalf("node %v Candidates returned %d peers, want %d", p.Addr, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %v Candidates[%d] = %v, want %v (order must match knownPeers)",
+					p.Addr, i, got[i], want[i])
+			}
+		}
+
+		relays := tier.RelayCandidates()
+		fingers := node.Fingers()
+		if len(relays) != len(fingers) {
+			t.Fatalf("node %v RelayCandidates returned %d slots, want %d", p.Addr, len(relays), len(fingers))
+		}
+		for i := range relays {
+			if relays[i] != fingers[i] {
+				t.Fatalf("node %v RelayCandidates[%d] = %v, want finger slot %v",
+					p.Addr, i, relays[i], fingers[i])
+			}
+		}
+
+		// Stats reports the size as of the last Candidates call (the cache
+		// that keeps it safe off the host goroutine).
+		s := tier.Stats()
+		if s.Entries != len(want) {
+			t.Errorf("node %v Stats().Entries = %d, want %d", p.Addr, s.Entries, len(want))
+		}
+		if s.BytesSent != 0 || s.BytesReceived != 0 || s.MsgsSent != 0 || s.MsgsReceived != 0 {
+			t.Errorf("node %v finger tier accounted maintenance traffic %+v, want zero", p.Addr, s)
+		}
+	}
+}

@@ -103,7 +103,30 @@ type Config struct {
 	EstimatedSize int
 	// BoundFactor scales the bound checker's acceptance window.
 	BoundFactor float64
+
+	// RoutingTier selects the routing state lookups converge over:
+	// TierFinger (the paper's finger table + successor list, the
+	// default — empty string means the same) or TierOneHop (full
+	// routing tables with D1HT-style aggregated event dissemination;
+	// post-walk convergence then needs a single query).
+	RoutingTier string
+	// TierMaintainEvery is the one-hop tier's event-aggregation tick:
+	// buffered membership events are flushed to exponentially spaced
+	// peers at this cadence. Zero means 1 s. Ignored by the finger tier.
+	TierMaintainEvery time.Duration
+	// TierSyncPage bounds how many peers one TierSyncResp page carries
+	// when a joiner pulls the full table. Zero means 512. Ignored by the
+	// finger tier.
+	TierSyncPage int
 }
+
+// Routing tier names for Config.RoutingTier.
+const (
+	// TierFinger is the paper's O(log n) finger-table tier.
+	TierFinger = "finger"
+	// TierOneHop is the D1HT-style full-routing-state tier.
+	TierOneHop = "onehop"
+)
 
 // DefaultConfig returns the paper's §5.1 parameters.
 func DefaultConfig() Config {

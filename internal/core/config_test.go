@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDefaultConfigPaperParameters pins the Octopus-layer §5.1 deployment
+// parameters (the chord-layer half is pinned in internal/chord): 15 s
+// relay-selection walks, 60 s surveillance, 6 dummy queries per lookup.
+// It also pins that the default routing tier is the finger tier — paper
+// mode must stay the out-of-the-box behavior, with one-hop strictly
+// opt-in.
+func TestDefaultConfigPaperParameters(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.WalkEvery != 15*time.Second {
+		t.Errorf("WalkEvery = %v, want 15s (§5.1)", cfg.WalkEvery)
+	}
+	if cfg.SurveilEvery != 60*time.Second {
+		t.Errorf("SurveilEvery = %v, want 60s (§5.1)", cfg.SurveilEvery)
+	}
+	if cfg.Dummies != 6 {
+		t.Errorf("Dummies = %d, want 6 (§4.4)", cfg.Dummies)
+	}
+	if cfg.Chord.FixFingersEvery != 30*time.Second {
+		t.Errorf("Chord.FixFingersEvery = %v, want 30s (§5.1)", cfg.Chord.FixFingersEvery)
+	}
+	if cfg.RoutingTier != "" && cfg.RoutingTier != TierFinger {
+		t.Errorf("RoutingTier = %q, want the finger tier by default", cfg.RoutingTier)
+	}
+}

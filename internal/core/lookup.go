@@ -98,6 +98,13 @@ func (n *Node) newTableLookup(key id.ID,
 	if alpha < 1 {
 		alpha = 1
 	}
+	if n.tier.FullState() {
+		// A full-state tier seeds the key's immediate predecessor
+		// directly, so one confirming query resolves the owner; extra
+		// parallel probes would only burn relay pairs. Failed queries
+		// still widen the schedule one candidate at a time.
+		alpha = 1
+	}
 	tl := &tableLookup{
 		n:              n,
 		key:            key,
@@ -110,12 +117,12 @@ func (n *Node) newTableLookup(key id.ID,
 		finish:         finish,
 	}
 	tl.stats.Started = n.tr.Now()
-	for _, p := range n.Chord.Fingers() {
-		if p.Valid() {
-			tl.known[p.ID] = p
-		}
-	}
-	for _, p := range n.Chord.Successors() {
+	// Seed from the routing tier. The finger tier returns exactly the
+	// peers the engine formerly collected itself (valid fingers, then the
+	// successor list), keeping seeded paper-mode runs bit-identical; a
+	// full-state tier returns a bounded neighborhood tightly preceding
+	// the key, which normally contains the owner's immediate predecessor.
+	for _, p := range n.tier.Candidates(key) {
 		tl.known[p.ID] = p
 	}
 	return tl

@@ -588,6 +588,9 @@ func (n *Node) handleRevocation(m RevocationAnnounce) {
 	// The evicted identity may be a cached owner or live in cached
 	// successor-list evidence.
 	n.flushLookupCache()
+	if n.onehop != nil {
+		n.onehop.noteLeave(m.Node)
+	}
 }
 
 // grantResp assembles the admission response for a (possibly re-issued)
@@ -628,6 +631,12 @@ func (n *Node) admitJoin(m chord.JoinReq) bool {
 	}
 	n.stats.joinsAdmitted.Add(1)
 	n.dir.Register(m.Cert.Node, m.Cert.Key)
+	// The admitting predecessor is the first to learn a join that has no
+	// CA broadcast behind it (simulated churn): feed it into the one-hop
+	// tier so EDRA spreads it.
+	if n.onehop != nil {
+		n.onehop.noteJoin(m.Who)
+	}
 	return true
 }
 
@@ -666,6 +675,10 @@ func (n *Node) vetLeave(m chord.LeaveReq) bool {
 		return false
 	}
 	n.stats.leaves.Add(1)
+	// A verified leave is a one-hop membership event too.
+	if n.onehop != nil {
+		n.onehop.noteLeave(m.Who.ID)
+	}
 	return true
 }
 
@@ -701,6 +714,9 @@ func (n *Node) handleAnnounce(m EndpointAnnounce) {
 	// A verified announce means membership shifted: a joiner may now own
 	// keys that cached lookups still attribute to its successor.
 	n.flushLookupCache()
+	if n.onehop != nil {
+		n.onehop.noteJoin(m.Who)
+	}
 }
 
 // NewAdmissionRelay returns the bootstrap-request handler an octopusd

@@ -87,6 +87,12 @@ func BuildNetworkLocal(tr transport.Transport, n int, cfg Config,
 	}
 	ca.OnRevoke = func(p chord.Peer, _ ReportKind) { nw.Eject(p) }
 	ring.StartLocal(local)
+	// Ground truth for full-state tiers, computed once: per-node
+	// AlivePeers copies would cost O(n²) allocations at 10k nodes.
+	var seedPeers []chord.Peer
+	if cfg.RoutingTier == TierOneHop {
+		seedPeers = ring.AlivePeers()
+	}
 	for _, node := range nw.Nodes {
 		if node == nil {
 			continue
@@ -95,8 +101,16 @@ func BuildNetworkLocal(tr transport.Transport, n int, cfg Config,
 		// Octopus timers start from inside the host's serialization
 		// context: the chord layer is live by now, so a plain
 		// StartProtocols call from the builder goroutine would race
-		// with traffic already being served.
-		tr.After(node.Chord.Self.Addr, 0, node.StartProtocols)
+		// with traffic already being served. Full-state tiers are seeded
+		// with the built ring's ground truth first — the converged
+		// steady state a real deployment reaches once joins complete —
+		// so 10k-node experiments skip n² build-time sync traffic.
+		tr.After(node.Chord.Self.Addr, 0, func() {
+			if seedPeers != nil {
+				node.SeedTier(seedPeers)
+			}
+			node.StartProtocols()
+		})
 	}
 	return nw, nil
 }

@@ -28,17 +28,8 @@ type pooledPair struct {
 	added time.Duration
 }
 
-// NodeStats counts protocol activity. It is a plain snapshot; the live
-// counters are atomics (see nodeCounters) so Stats() may be called from any
-// goroutine while lookups, walks, and relay traffic run in the node's
-// serialization context.
-//
-// Deprecated: the canonical type is obs.NodeCounters — nodes additionally
-// publish these counters through obs.Collector (see AttachObs). The alias
-// is kept for one PR so downstream callers migrate without churn.
-type NodeStats = obs.NodeCounters
-
-// nodeCounters is the live, concurrency-safe form of NodeStats. Counters
+// nodeCounters is the live, concurrency-safe form of obs.NodeCounters,
+// the canonical snapshot type nodes publish through obs.Collector. Counters
 // are bumped from the node's serialization context but read by daemons,
 // services, and tests from arbitrary goroutines; atomics make that safe
 // without dragging a lock into the protocol hot path.
@@ -69,8 +60,8 @@ type nodeCounters struct {
 	neighborsDropped atomic.Uint64
 }
 
-func (c *nodeCounters) snapshot() NodeStats {
-	return NodeStats{
+func (c *nodeCounters) snapshot() obs.NodeCounters {
+	return obs.NodeCounters{
 		LookupsStarted:   c.lookupsStarted.Load(),
 		LookupsCompleted: c.lookupsCompleted.Load(),
 		LookupsFailed:    c.lookupsFailed.Load(),
@@ -127,6 +118,14 @@ type Node struct {
 	tr     transport.Transport
 	caAddr transport.Addr
 	dir    *Directory
+
+	// tier is the routing state lookups converge over (Config.RoutingTier).
+	// The finger tier wraps the chord node's own state; the one-hop tier
+	// owns a full table maintained over the 0x08xx registry. onehop is the
+	// same object when that tier is selected (nil otherwise), typed for
+	// the membership hooks that feed it.
+	tier   chord.RoutingTier
+	onehop *oneHopTier
 
 	qidSeq  uint64
 	walkSeq uint64
@@ -226,12 +225,29 @@ func New(cn *chord.Node, cfg Config, caAddr transport.Addr, dir *Directory) *Nod
 	cn.Cfg.DisableFingerUpdates = true
 	cn.Extra = n.handleExtra
 	cn.OnNeighborTable = n.recordProof
-	cn.OnNeighborDropped = func(chord.Peer) {
+	cn.OnNeighborDropped = func(p chord.Peer) {
 		n.stats.neighborsDropped.Add(1)
 		n.flushLookupCache()
+		// The failure detector is the one-hop tier's local event source:
+		// a dropped neighbor becomes an EDRA leave event.
+		if n.onehop != nil {
+			n.onehop.noteLeave(p.ID)
+		}
 	}
 	cn.AdmitJoin = n.admitJoin
 	cn.VetLeave = n.vetLeave
+	switch cfg.RoutingTier {
+	case "", TierFinger:
+		n.tier = chord.NewFingerTier(cn)
+	case TierOneHop:
+		n.onehop = newOneHopTier(n)
+		n.tier = n.onehop
+		// Route the chord node's own FindNext answers through the full
+		// table too: joins and baseline lookups collapse to O(1) hops.
+		cn.Tier = n.onehop
+	default:
+		panic("core: unknown RoutingTier " + strconv.Quote(cfg.RoutingTier))
+	}
 	return n
 }
 
@@ -240,10 +256,23 @@ func (n *Node) Self() chord.Peer { return n.Chord.Self }
 
 // Stats returns a snapshot of the activity counters. Safe from any
 // goroutine.
-func (n *Node) Stats() NodeStats { return n.stats.snapshot() }
+func (n *Node) Stats() obs.NodeCounters { return n.stats.snapshot() }
 
 // Config returns the node's configuration.
 func (n *Node) Config() Config { return n.cfg }
+
+// Tier returns the node's routing tier.
+func (n *Node) Tier() chord.RoutingTier { return n.tier }
+
+// SeedTier installs ground-truth membership into a full-state tier (a
+// no-op for the finger tier). Simulated deployments call it at build time
+// to model the converged steady state a real deployment reaches after its
+// joins complete. Host serialization context only.
+func (n *Node) SeedTier(peers []chord.Peer) {
+	if n.onehop != nil {
+		n.onehop.seed(peers)
+	}
+}
 
 // PoolSize reports the number of unused relay pairs. Safe from any
 // goroutine (it reads a gauge mirroring the host-context pool).
@@ -274,7 +303,7 @@ func (n *Node) AttachObs(c *obs.Collector) {
 	c.Register(n)
 }
 
-// CollectObs implements obs.Source: every NodeStats counter plus the
+// CollectObs implements obs.Source: every node counter plus the
 // relay-pair pool depth, labeled by node address.
 func (n *Node) CollectObs(s *obs.Snapshot) {
 	st := n.stats.snapshot()
@@ -307,6 +336,19 @@ func (n *Node) CollectObs(s *obs.Snapshot) {
 	event("leave", st.Leaves)
 	event("neighbor_dropped", st.NeighborsDropped)
 	s.AddGauge("octopus_pool_pairs", float64(n.PoolSize()), l)
+
+	ts := n.tier.Stats()
+	tl := obs.L("tier", n.tier.Name())
+	s.AddGauge("octopus_tier_entries", float64(ts.Entries), l, tl)
+	s.AddGauge("octopus_tier_staleness_seconds", ts.Staleness.Seconds(), l, tl)
+	s.AddCounter("octopus_tier_events_total", float64(ts.EventsApplied), l, tl)
+	dir := func(d string, bytes, msgs uint64) {
+		dl := obs.L("direction", d)
+		s.AddCounter("octopus_tier_maintenance_bytes_total", float64(bytes), l, tl, dl)
+		s.AddCounter("octopus_tier_maintenance_msgs_total", float64(msgs), l, tl, dl)
+	}
+	dir("sent", ts.BytesSent, ts.MsgsSent)
+	dir("received", ts.BytesReceived, ts.MsgsReceived)
 }
 
 // Start launches the Chord layer plus Octopus's periodic machinery.
@@ -330,6 +372,9 @@ func (n *Node) StartProtocols() {
 		n.tr.Every(n.Chord.Self.Addr, n.cfg.SurveilEvery, n.fingerSurveillance),
 		n.tr.Every(n.Chord.Self.Addr, n.cfg.Chord.FixFingersEvery, n.secureFingerUpdate),
 	)
+	if n.onehop != nil {
+		n.onehop.start()
+	}
 	// A managed pool starts stocking immediately instead of waiting for
 	// the first WalkEvery tick.
 	n.maintainPool()
@@ -576,7 +621,7 @@ func (n *Node) synthPair(exclude RelayPair) (RelayPair, error) {
 			candidates = append(candidates, f)
 		}
 	}
-	add(n.Chord.Fingers())
+	add(n.tier.RelayCandidates())
 	if managed {
 		add(n.Chord.Successors())
 		add(n.Chord.Predecessors())
@@ -671,6 +716,16 @@ func (n *Node) handleExtra(from transport.Addr, req transport.Message) (transpor
 		return nil, false
 	case RevocationAnnounce:
 		n.handleRevocation(m)
+		return nil, false
+	case TierEventNotify:
+		if n.onehop != nil {
+			n.onehop.handleEventNotify(m)
+		}
+		return nil, false
+	case TierSyncReq:
+		if n.onehop != nil {
+			return n.onehop.handleSyncReq(m), true
+		}
 		return nil, false
 	default:
 		if n.Extra != nil {

@@ -63,15 +63,6 @@ type ServiceResult struct {
 	Err  error
 }
 
-// ServiceStats is a point-in-time snapshot of service activity; safe to
-// read from any goroutine.
-//
-// Deprecated: the canonical type is obs.ServiceCounters — the service
-// additionally publishes these counters through obs.Collector (see
-// AttachObs). The alias is kept for one PR so downstream callers migrate
-// without churn.
-type ServiceStats = obs.ServiceCounters
-
 // svcJob is one queued lookup.
 type svcJob struct {
 	id       uint64
@@ -132,8 +123,8 @@ func NewLookupService(n *Node, cfg ServiceConfig) *LookupService {
 func (s *LookupService) Node() *Node { return s.n }
 
 // Stats snapshots the service counters; safe from any goroutine.
-func (s *LookupService) Stats() ServiceStats {
-	return ServiceStats{
+func (s *LookupService) Stats() obs.ServiceCounters {
+	return obs.ServiceCounters{
 		Submitted:      s.submitted.Load(),
 		Completed:      s.completed.Load(),
 		Failed:         s.failed.Load(),

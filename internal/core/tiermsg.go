@@ -1,0 +1,104 @@
+package core
+
+import (
+	"github.com/octopus-dht/octopus/internal/chord"
+	"github.com/octopus-dht/octopus/internal/id"
+	"github.com/octopus-dht/octopus/internal/transport"
+)
+
+// One-hop tier maintenance registry (0x08xx): D1HT-style aggregated
+// membership-event dissemination plus the joiner's full-table bootstrap.
+// See docs/PROTOCOL.md for the wire layout.
+
+// Wire type codes of the one-hop maintenance registry (0x08xx).
+const (
+	wireTierEventNotify = 0x0801
+	wireTierSyncReq     = 0x0802
+	wireTierSyncResp    = 0x0803
+)
+
+// TierEventNotify carries a batch of membership events at one EDRA level:
+// joins as full peers, leaves/failures/revocations as bare IDs. TTL is the
+// remaining propagation depth — a receiver applies every event and
+// re-propagates to levels below TTL.
+type TierEventNotify struct {
+	TTL    uint8
+	Joins  []chord.Peer
+	Leaves []id.ID
+}
+
+// Size implements transport.Message.
+func (m TierEventNotify) Size() int { return transport.EncodedSize(m) }
+
+// TierSyncReq asks a peer for one page of its one-hop table in ID order,
+// starting strictly after From. Max bounds the page size.
+type TierSyncReq struct {
+	From id.ID
+	Max  uint16
+}
+
+// Size implements transport.Message.
+func (m TierSyncReq) Size() int { return transport.EncodedSize(m) }
+
+// TierSyncResp returns one table page; More tells the joiner to chain
+// another request from the last returned ID.
+type TierSyncResp struct {
+	More  bool
+	Peers []chord.Peer
+}
+
+// Size implements transport.Message.
+func (m TierSyncResp) Size() int { return transport.EncodedSize(m) }
+
+// WireType implements transport.Wire.
+func (TierEventNotify) WireType() uint16 { return wireTierEventNotify }
+
+// EncodePayload implements transport.Wire.
+func (m TierEventNotify) EncodePayload(w *transport.Writer) {
+	w.U8(m.TTL)
+	chord.EncodePeers(w, m.Joins)
+	w.U16(uint16(len(m.Leaves)))
+	for _, nid := range m.Leaves {
+		w.U64(uint64(nid))
+	}
+}
+
+// WireType implements transport.Wire.
+func (TierSyncReq) WireType() uint16 { return wireTierSyncReq }
+
+// EncodePayload implements transport.Wire.
+func (m TierSyncReq) EncodePayload(w *transport.Writer) {
+	w.U64(uint64(m.From))
+	w.U16(m.Max)
+}
+
+// WireType implements transport.Wire.
+func (TierSyncResp) WireType() uint16 { return wireTierSyncResp }
+
+// EncodePayload implements transport.Wire.
+func (m TierSyncResp) EncodePayload(w *transport.Writer) {
+	w.Bool(m.More)
+	chord.EncodePeers(w, m.Peers)
+}
+
+func init() {
+	transport.RegisterType(wireTierEventNotify, func(r *transport.Reader) transport.Wire {
+		m := TierEventNotify{TTL: r.U8(), Joins: chord.DecodePeers(r)}
+		n := int(r.U16())
+		if r.Err() != nil || r.Remaining() < n*8 {
+			r.Fail()
+			return m
+		}
+		m.Leaves = make([]id.ID, n)
+		for i := range m.Leaves {
+			m.Leaves[i] = id.ID(r.U64())
+		}
+		return m
+	})
+	transport.RegisterType(wireTierSyncReq, func(r *transport.Reader) transport.Wire {
+		return TierSyncReq{From: id.ID(r.U64()), Max: r.U16()}
+	})
+	transport.RegisterType(wireTierSyncResp, func(r *transport.Reader) transport.Wire {
+		return TierSyncResp{More: r.Bool(), Peers: chord.DecodePeers(r)}
+	})
+}

@@ -63,6 +63,10 @@ type ChaosConfig struct {
 	LookupRate, OpRate float64
 	// ReadFraction is the probability a store arrival is a Get.
 	ReadFraction float64
+	// Tier is core.Config.RoutingTier (empty = finger). The storm is the
+	// tier's worst case: mass kills and flash rejoins are exactly the
+	// events a one-hop tier must disseminate ring-wide.
+	Tier string
 	// Replicas is core.Config.StoreReplicas; SyncEvery the stores'
 	// re-replication period.
 	Replicas  int
@@ -167,6 +171,12 @@ type ChaosResult struct {
 	// held every SLO.
 	Pass bool
 	SLO  ChaosSLO
+	// TierMaintBytes is the routing tier's own maintenance traffic summed
+	// over all nodes and both directions; TierMaintBytesPerNodeSec divides
+	// it by live population and the run's virtual length — the headline
+	// "is one-hop upkeep bounded under churn" number.
+	TierMaintBytes           uint64
+	TierMaintBytesPerNodeSec float64
 	// StormLog is the replayable event log (what happened, when).
 	StormLog string
 }
@@ -176,6 +186,7 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 	sim := simnet.New(cfg.Seed)
 	net := simnet.NewNetwork(sim, king.New(cfg.Seed), cfg.N+1)
 	coreCfg := core.DefaultConfig()
+	coreCfg.RoutingTier = cfg.Tier
 	coreCfg.EstimatedSize = cfg.N
 	coreCfg.StoreReplicas = cfg.Replicas
 	// A cache hit would mask routing damage this suite exists to measure.
@@ -359,6 +370,21 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 	res.Killed = int(storm.Killed())
 	res.Rejoined = int(storm.Rejoined())
 	res.StormLog = storm.FormatLog()
+	alive := 0
+	for i := 0; i < cfg.N; i++ {
+		node := nw.Node(transport.Addr(i))
+		if node == nil {
+			continue
+		}
+		ts := node.Tier().Stats()
+		res.TierMaintBytes += ts.BytesSent + ts.BytesReceived
+		if node.Chord.Running() {
+			alive++
+		}
+	}
+	if secs := sim.Now().Seconds(); secs > 0 && alive > 0 {
+		res.TierMaintBytesPerNodeSec = float64(res.TierMaintBytes) / float64(alive) / secs
+	}
 	res.Pass = res.Recovered &&
 		res.PostRecovery.LookupSuccess >= cfg.SLO.LookupSuccess &&
 		res.PostRecovery.HitRate >= cfg.SLO.StoreHit

@@ -43,6 +43,11 @@ type LoadConfig struct {
 	// WarmUp precedes the window so walks can stock relay pools.
 	WarmUp time.Duration
 
+	// Tier is Config.RoutingTier: core.TierFinger (default, the paper's
+	// O(log n) tables) or core.TierOneHop (full tables, one confirming
+	// query per lookup). The tier is the dominant latency axis at scale —
+	// it sets how many sequential anonymous round trips a lookup needs.
+	Tier string
 	// Alpha is Config.LookupParallelism; Pool is Config.PairPoolTarget.
 	Alpha, Pool int
 	// CacheSize/CacheTTL are Config.LookupCacheSize/LookupCacheTTL on the
@@ -63,6 +68,13 @@ type LoadConfig struct {
 
 	// Seed drives all randomness.
 	Seed int64
+
+	// Collector, when non-nil, has every node registered with it after the
+	// run so the caller can export a metrics snapshot (the nightly one-hop
+	// load job uploads one). Registration is passthrough — it draws no
+	// randomness and schedules nothing — so a run with a Collector replays
+	// byte-identically to one without.
+	Collector *obs.Collector
 }
 
 // DefaultLoadConfig is the serving-path configuration: α = 3, managed
@@ -122,6 +134,10 @@ type LoadResult struct {
 	// CacheHits counts lookups the serving nodes answered from the
 	// lookup-result cache (zero when CacheSize is zero).
 	CacheHits uint64
+	// TierMaintBytes is the routing tier's own maintenance traffic summed
+	// over every node and both directions (zero for the finger tier, whose
+	// upkeep rides the chord protocols).
+	TierMaintBytes uint64
 }
 
 // RunLoad executes one load experiment.
@@ -129,6 +145,7 @@ func RunLoad(cfg LoadConfig) LoadResult {
 	sim := simnet.New(cfg.Seed)
 	net := simnet.NewNetwork(sim, king.New(cfg.Seed), cfg.N+1)
 	coreCfg := core.DefaultConfig()
+	coreCfg.RoutingTier = cfg.Tier
 	coreCfg.EstimatedSize = cfg.N
 	coreCfg.LookupParallelism = cfg.Alpha
 	coreCfg.PairPoolTarget = cfg.Pool
@@ -224,5 +241,20 @@ func RunLoad(cfg LoadConfig) LoadResult {
 	res.FallbackPairs = uint64(snap.CounterSum("octopus_pool_fallback_pairs_total"))
 	res.RefillWalks = uint64(snap.CounterSum("octopus_pool_refill_walks_total"))
 	res.CacheHits = uint64(snap.CounterSum("octopus_lookup_cache_hits_total"))
+	// Maintenance traffic is ring-wide, not a serving-node property: every
+	// node pays the tier's dissemination cost.
+	for i := 0; i < cfg.N; i++ {
+		if node := nw.Node(simnet.Address(i)); node != nil {
+			ts := node.Tier().Stats()
+			res.TierMaintBytes += ts.BytesSent + ts.BytesReceived
+		}
+	}
+	if cfg.Collector != nil {
+		for i := 0; i < cfg.N; i++ {
+			if node := nw.Node(simnet.Address(i)); node != nil {
+				cfg.Collector.Register(node)
+			}
+		}
+	}
 	return res
 }

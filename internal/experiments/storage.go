@@ -40,6 +40,9 @@ type StorageConfig struct {
 	ReadFraction float64
 	// Duration is the measured arrival window; WarmUp precedes it.
 	Duration, WarmUp time.Duration
+	// Tier is core.Config.RoutingTier (empty = finger). Writes resolve
+	// owners anonymously, so the tier sets the write path's hop count.
+	Tier string
 	// Replicas is core.Config.StoreReplicas.
 	Replicas int
 	// SyncEvery is the stores' re-replication period.
@@ -97,6 +100,7 @@ func RunStorage(cfg StorageConfig) StorageResult {
 	sim := simnet.New(cfg.Seed)
 	net := simnet.NewNetwork(sim, king.New(cfg.Seed), cfg.N+1)
 	coreCfg := core.DefaultConfig()
+	coreCfg.RoutingTier = cfg.Tier
 	coreCfg.EstimatedSize = cfg.N
 	coreCfg.StoreReplicas = cfg.Replicas
 	nw, err := core.BuildNetwork(net, cfg.N, coreCfg)

@@ -44,6 +44,13 @@ var Catalog = []MetricDef{
 	// Membership (per node, labeled by event kind).
 	{"octopus_membership_events_total", "counter", "Membership events observed, labeled by event (announce, revocation, join_admitted, join_rejected, leave, neighbor_dropped)."},
 
+	// Routing tier (per node, labeled by tier: finger, onehop).
+	{"octopus_tier_entries", "gauge", "Routing entries the tier currently holds, labeled by tier."},
+	{"octopus_tier_events_total", "counter", "Membership events the tier applied to its table, labeled by tier."},
+	{"octopus_tier_maintenance_bytes_total", "counter", "Tier maintenance traffic in codec bytes, labeled by tier and direction (sent, received)."},
+	{"octopus_tier_maintenance_msgs_total", "counter", "Tier maintenance messages, labeled by tier and direction (sent, received)."},
+	{"octopus_tier_staleness_seconds", "gauge", "Age of the tier's oldest unpropagated membership event, labeled by tier."},
+
 	// LookupService (per gateway node).
 	{"octopus_service_lookups_submitted_total", "counter", "Client lookups accepted into the service queue."},
 	{"octopus_service_lookups_completed_total", "counter", "Client lookups completed successfully."},

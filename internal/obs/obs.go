@@ -4,9 +4,9 @@
 // that every consumer (the Prometheus-text exporter, octopusd's status
 // loop, octopus-bench, and the benchmark gate's headline units) reads from.
 // It replaces the four bespoke stats surfaces that grew up independently
-// (core.NodeStats, core.ServiceStats, transport.TrafficStats,
-// simnet.Network.Dropped) — those names survive one PR as deprecated
-// aliases of the canonical structs defined here.
+// (node, service, transport, and simulator drop counters) — the structs
+// defined here are the only stats types; the transitional aliases the
+// migration left behind have been deleted.
 //
 // obs is a leaf package: it imports only the standard library, because the
 // packages it instruments import it. Nothing here draws randomness,
@@ -196,8 +196,6 @@ func (c *Collector) Snapshot() *Snapshot {
 // Traffic is the canonical per-transport byte/message accounting, counting
 // codec bytes only (framing overhead is excluded by the conformance
 // contract; nettransport exposes frame counts separately).
-//
-// transport.TrafficStats is a deprecated alias of this type.
 type Traffic struct {
 	BytesSent     uint64
 	BytesReceived uint64
@@ -218,8 +216,6 @@ func EmitTraffic(s *Snapshot, backend string, t Traffic) {
 // NodeCounters is the canonical per-node protocol counter set (anonymous
 // lookups, relay-pair pool, surveillance walks, relaying, lookup cache, and
 // membership events).
-//
-// core.NodeStats is a deprecated alias of this type.
 type NodeCounters struct {
 	LookupsStarted   uint64
 	LookupsCompleted uint64
@@ -249,8 +245,6 @@ type NodeCounters struct {
 }
 
 // ServiceCounters is the canonical LookupService accounting.
-//
-// core.ServiceStats is a deprecated alias of this type.
 type ServiceCounters struct {
 	Submitted      uint64
 	Completed      uint64
@@ -262,8 +256,6 @@ type ServiceCounters struct {
 }
 
 // StoreCounters is the canonical store accounting.
-//
-// store.Stats is a deprecated alias of this type.
 type StoreCounters struct {
 	Puts, PutFailures  uint64
 	Gets, Hits, Misses uint64

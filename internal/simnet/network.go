@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/octopus-dht/octopus/internal/obs"
 	"github.com/octopus-dht/octopus/internal/transport"
 )
 
@@ -55,13 +56,10 @@ var ErrTimeout = transport.ErrTimeout
 // bound to a host.
 var ErrUnreachable = transport.ErrUnreachable
 
-// TrafficStats accumulates per-host bandwidth counters.
-type TrafficStats = transport.TrafficStats
-
 type host struct {
 	handler Handler
 	alive   bool
-	stats   TrafficStats
+	stats   obs.Traffic
 }
 
 // Network delivers messages between hosts with model-driven latencies and
@@ -136,9 +134,9 @@ func (n *Network) Alive(addr Address) bool {
 }
 
 // Stats returns a copy of the traffic counters for addr.
-func (n *Network) Stats(addr Address) TrafficStats {
+func (n *Network) Stats(addr Address) obs.Traffic {
 	if !n.valid(addr) {
-		return TrafficStats{}
+		return obs.Traffic{}
 	}
 	return n.hosts[addr].stats
 }

@@ -1,0 +1,24 @@
+package simnet_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/core/routingtiertest"
+	"github.com/octopus-dht/octopus/internal/simnet"
+	"github.com/octopus-dht/octopus/internal/transport/transporttest"
+)
+
+// TestSimnetRoutingTierConformance certifies both routing tiers (finger and
+// one-hop) on the deterministic simulator: lookup convergence, bounded
+// staleness under churn, and maintenance quiescence when idle.
+func TestSimnetRoutingTierConformance(t *testing.T) {
+	routingtiertest.Run(t, func(t *testing.T, hosts int) transporttest.Harness {
+		sim := simnet.New(29)
+		net := simnet.NewNetwork(sim, simnet.ConstantLatency{D: time.Millisecond}, hosts)
+		return transporttest.Harness{
+			Tr:      net,
+			Advance: func(d time.Duration) { sim.Run(sim.Now() + d) },
+		}
+	})
+}

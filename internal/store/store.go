@@ -63,15 +63,8 @@ type entry struct {
 	value   []byte
 }
 
-// Stats is a point-in-time snapshot of storage activity; safe to read from
-// any goroutine.
-// Deprecated: the canonical type is obs.StoreCounters — the store
-// additionally publishes these counters through obs.Collector (see
-// AttachObs). The alias is kept for one PR so downstream callers migrate
-// without churn.
-type Stats = obs.StoreCounters
-
-// counters is the live concurrency-safe form of Stats.
+// counters is the live concurrency-safe form of obs.StoreCounters, the
+// canonical snapshot type the store publishes through obs.Collector.
 type counters struct {
 	puts, putFailures  atomic.Uint64
 	gets, hits, misses atomic.Uint64
@@ -161,8 +154,8 @@ func (s *Store) Stop() {
 }
 
 // Stats snapshots the activity counters; safe from any goroutine.
-func (s *Store) Stats() Stats {
-	return Stats{
+func (s *Store) Stats() obs.StoreCounters {
+	return obs.StoreCounters{
 		Puts:           s.stats.puts.Load(),
 		PutFailures:    s.stats.putFailures.Load(),
 		Gets:           s.stats.gets.Load(),

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/octopus-dht/octopus/internal/obs"
 	"github.com/octopus-dht/octopus/internal/transport"
 )
 
@@ -96,7 +97,7 @@ type host struct {
 	mu      sync.Mutex
 	handler transport.Handler
 	alive   bool
-	stats   transport.TrafficStats
+	stats   obs.Traffic
 }
 
 func (h *host) getHandler() (transport.Handler, bool) {
@@ -274,10 +275,10 @@ func (n *Network) Alive(addr transport.Addr) bool {
 }
 
 // Stats implements transport.Transport.
-func (n *Network) Stats(addr transport.Addr) transport.TrafficStats {
+func (n *Network) Stats(addr transport.Addr) obs.Traffic {
 	h := n.hostAt(addr)
 	if h == nil {
-		return transport.TrafficStats{}
+		return obs.Traffic{}
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()

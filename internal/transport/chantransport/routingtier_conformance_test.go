@@ -1,0 +1,25 @@
+package chantransport_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/octopus-dht/octopus/internal/core/routingtiertest"
+	"github.com/octopus-dht/octopus/internal/transport/chantransport"
+	"github.com/octopus-dht/octopus/internal/transport/transporttest"
+)
+
+// TestChanTransportRoutingTierConformance certifies both routing tiers on
+// the concurrent channel backend: tier maintenance (EDRA flushes, sync
+// paging) races real protocol goroutines under -race.
+func TestChanTransportRoutingTierConformance(t *testing.T) {
+	routingtiertest.Run(t, func(t *testing.T, hosts int) transporttest.Harness {
+		net := chantransport.New(hosts, 31)
+		return transporttest.Harness{
+			Tr:         net,
+			Advance:    func(d time.Duration) { time.Sleep(d) },
+			Close:      net.Close,
+			Concurrent: true,
+		}
+	})
+}

@@ -73,7 +73,7 @@ func appendFrame(kind uint8, from, to transport.Addr, reqID uint64, payload []by
 // frameFor encodes msg as one complete wire frame in a pooled buffer —
 // length prefix, header, and codec payload in a single encoding pass, no
 // intermediate payload slice. It returns the frame and the codec-payload
-// size (what TrafficStats accounts). The caller owns the Buf.
+// size (what traffic accounting counts). The caller owns the Buf.
 func frameFor(kind uint8, from, to transport.Addr, reqID uint64, msg transport.Message) (*transport.Buf, int, error) {
 	fb := transport.AcquireBuf()
 	w := transport.AcquireWriter()

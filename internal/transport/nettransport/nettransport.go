@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/octopus-dht/octopus/internal/obs"
 	"github.com/octopus-dht/octopus/internal/transport"
 )
 
@@ -118,7 +119,7 @@ type host struct {
 	mu      sync.Mutex
 	handler transport.Handler
 	alive   bool
-	stats   transport.TrafficStats
+	stats   obs.Traffic
 }
 
 func (h *host) getHandler() (transport.Handler, bool) {
@@ -363,7 +364,7 @@ func (t *Transport) SendDrops() uint64 { return t.sendDrops.Load() }
 func (t *Transport) Dials() uint64 { return t.dials.Load() }
 
 // Frames reports frames read from and handed to the wire. Multiplying by
-// the fixed 25-byte frame overhead gives the framing bytes that TrafficStats
+// the fixed 25-byte frame overhead gives the framing bytes that traffic stats
 // (which accounts codec bytes, per the conformance contract) excludes.
 func (t *Transport) Frames() (in, out uint64) {
 	return t.framesIn.Load(), t.framesOut.Load()
@@ -485,10 +486,10 @@ func (t *Transport) Alive(addr transport.Addr) bool {
 
 // Stats implements transport.Transport. Only local hosts accumulate
 // counters; remote slots report zeros.
-func (t *Transport) Stats(addr transport.Addr) transport.TrafficStats {
+func (t *Transport) Stats(addr transport.Addr) obs.Traffic {
 	h := t.hostAt(addr)
 	if h == nil {
-		return transport.TrafficStats{}
+		return obs.Traffic{}
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -45,6 +45,9 @@ func TestProtocolDocFixedSizes(t *testing.T) {
 		{"ClientPutResp", store.ClientPutResp{}, 21},
 		{"ClientGetReq", store.ClientGetReq{}, 18},
 		{"ClientGetResp", store.ClientGetResp{}, 31},
+		{"TierEventNotify", core.TierEventNotify{}, 6},
+		{"TierSyncReq", core.TierSyncReq{}, 12},
+		{"TierSyncResp", core.TierSyncResp{}, 4},
 	}
 	for _, c := range cases {
 		if got := c.m.Size(); got != c.want {

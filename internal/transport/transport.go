@@ -77,15 +77,6 @@ var (
 	ErrClosed = errors.New("transport: closed")
 )
 
-// TrafficStats accumulates per-host bandwidth counters. Byte counts follow
-// the wire codec: a transport accounts exactly Message.Size() bytes per
-// delivered message.
-//
-// Deprecated: the canonical type is obs.Traffic — transports additionally
-// publish these counters through obs.Collector. The alias is kept for one
-// PR so downstream callers migrate without churn.
-type TrafficStats = obs.Traffic
-
 // Transport moves protocol messages between hosts.
 //
 // Serialization contract: for any single address, the transport never runs
@@ -109,8 +100,10 @@ type Transport interface {
 	// happens: with the response, or with ErrTimeout / ErrUnreachable. The
 	// callback runs in the serialization context of `from`.
 	Call(from, to Addr, req Message, timeout time.Duration, cb func(Message, error))
-	// Stats returns a copy of the traffic counters for addr.
-	Stats(addr Addr) TrafficStats
+	// Stats returns a copy of the traffic counters for addr. Byte counts
+	// follow the wire codec: a transport accounts exactly Message.Size()
+	// bytes per delivered message.
+	Stats(addr Addr) obs.Traffic
 
 	// Now returns the transport's clock: virtual time on the simulator,
 	// wall time since start on real transports. It is monotone.

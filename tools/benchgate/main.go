@@ -30,7 +30,11 @@
 //	      - every other unit is a headline experiment metric (err%,
 //	        leak-bits, …) produced under fixed seeds; a drift beyond
 //	        tolerance in EITHER direction means behaviour changed and
-//	        fails the gate.
+//	        fails the gate. -unit-tolerance unit=frac (repeatable)
+//	        overrides the tolerance for one named unit everywhere it is
+//	        reported — latency headlines can gate tighter than noisy
+//	        counters without widening the whole gate. It also applies to
+//	        B/op and allocs/op when named explicitly.
 //	      - a benchmark present in the baseline but missing from the
 //	        current snapshot fails the gate (coverage loss).
 //
@@ -78,6 +82,8 @@ func main() {
 		anchor    = flag.String("anchor", "", "compare: normalize ns/op by this one benchmark instead of the micro-benchmark geometric mean")
 		absolute  = flag.Bool("absolute", false, "compare: raw ns/op instead of normalized ratios")
 	)
+	unitTol := unitTolerances{}
+	flag.Var(unitTol, "unit-tolerance", "compare: per-unit tolerance override as unit=frac, repeatable (e.g. -unit-tolerance p95-s=0.10)")
 	flag.Parse()
 	switch {
 	case *parse == *compare:
@@ -89,7 +95,7 @@ func main() {
 			os.Exit(2)
 		}
 	default:
-		failures, err := runCompare(*baseline, *current, *tolerance, *bytesTol, *anchor, *absolute)
+		failures, err := runCompare(*baseline, *current, *tolerance, *bytesTol, unitTol, *anchor, *absolute)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(2)
@@ -259,11 +265,39 @@ func geomeanNs(s Snapshot, names []string) float64 {
 	return math.Exp(sum / float64(n))
 }
 
+// unitTolerances is the repeatable -unit-tolerance flag: per-unit
+// overrides of the gate tolerance, keyed by the unit string exactly as
+// the benchmark reports it.
+type unitTolerances map[string]float64
+
+func (u unitTolerances) String() string {
+	parts := make([]string, 0, len(u))
+	for unit, tol := range u {
+		parts = append(parts, fmt.Sprintf("%s=%g", unit, tol))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (u unitTolerances) Set(v string) error {
+	unit, frac, ok := strings.Cut(v, "=")
+	if !ok || unit == "" {
+		return fmt.Errorf("want unit=frac, got %q", v)
+	}
+	tol, err := strconv.ParseFloat(frac, 64)
+	if err != nil || tol < 0 {
+		return fmt.Errorf("bad tolerance in %q", v)
+	}
+	u[unit] = tol
+	return nil
+}
+
 // Compare evaluates current against base and returns the failure messages.
 // bytesTolerance applies to B/op and allocs/op; tolerance to everything
-// else. Exported (with ParseBench) so the gate's own tests can inject
-// synthetic regressions.
-func Compare(base, cur Snapshot, tolerance, bytesTolerance float64, anchor string, absolute bool) []string {
+// else; unitTol (nil ok) overrides both for individually named units.
+// Exported (with ParseBench) so the gate's own tests can inject synthetic
+// regressions.
+func Compare(base, cur Snapshot, tolerance, bytesTolerance float64, unitTol map[string]float64, anchor string, absolute bool) []string {
 	var failures []string
 	fail := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
@@ -336,17 +370,25 @@ func Compare(base, cur Snapshot, tolerance, bytesTolerance float64, anchor strin
 			case "MB/s":
 				// Redundant with ns/op and machine-dependent; skip.
 			case "B/op", "allocs/op":
-				if cv > bv*(1+bytesTolerance) {
+				tol := bytesTolerance
+				if t, ok := unitTol[unit]; ok {
+					tol = t
+				}
+				if cv > bv*(1+tol) {
 					fail("%s: %s regressed %.1f%% (%g -> %g), beyond the %.0f%% byte-counter tolerance",
-						name, unit, (cv/bv-1)*100, bv, cv, bytesTolerance*100)
+						name, unit, (cv/bv-1)*100, bv, cv, tol*100)
 				}
 			default:
 				// Headline experiment metric under fixed seeds:
 				// drift in either direction is a behaviour change.
+				tol := tolerance
+				if t, ok := unitTol[unit]; ok {
+					tol = t
+				}
 				scale := math.Max(math.Abs(bv), 1e-9)
-				if math.Abs(cv-bv)/scale > tolerance {
-					fail("%s: headline unit %q drifted %.1f%% (%g -> %g)", name, unit,
-						math.Abs(cv-bv)/scale*100, bv, cv)
+				if math.Abs(cv-bv)/scale > tol {
+					fail("%s: headline unit %q drifted %.1f%% (%g -> %g), beyond its %.0f%% tolerance", name, unit,
+						math.Abs(cv-bv)/scale*100, bv, cv, tol*100)
 				}
 			}
 		}
@@ -354,7 +396,7 @@ func Compare(base, cur Snapshot, tolerance, bytesTolerance float64, anchor strin
 	return failures
 }
 
-func runCompare(baselinePath, currentPath string, tolerance, bytesTolerance float64, anchor string, absolute bool) (int, error) {
+func runCompare(baselinePath, currentPath string, tolerance, bytesTolerance float64, unitTol map[string]float64, anchor string, absolute bool) (int, error) {
 	if baselinePath == "" || currentPath == "" {
 		return 0, fmt.Errorf("-compare needs -baseline and -current")
 	}
@@ -366,7 +408,7 @@ func runCompare(baselinePath, currentPath string, tolerance, bytesTolerance floa
 	if err != nil {
 		return 0, err
 	}
-	failures := Compare(base, cur, tolerance, bytesTolerance, anchor, absolute)
+	failures := Compare(base, cur, tolerance, bytesTolerance, unitTol, anchor, absolute)
 	for _, f := range failures {
 		fmt.Println("REGRESSION:", f)
 	}

@@ -54,7 +54,7 @@ func TestParseAggregatesAndStripsSuffix(t *testing.T) {
 
 func TestCompareBaselineAgainstItselfPasses(t *testing.T) {
 	snap := parseSample(t)
-	if failures := Compare(snap, snap, 0.15, 0.30, "", false); len(failures) != 0 {
+	if failures := Compare(snap, snap, 0.15, 0.30, nil, "", false); len(failures) != 0 {
 		t.Errorf("self-comparison failed the gate: %v", failures)
 	}
 }
@@ -93,7 +93,7 @@ func TestInjectedTimeRegressionFails(t *testing.T) {
 		{"BenchmarkCodecSizeTable", false}, // single-anchor normalization
 		{"", true},                         // absolute
 	} {
-		failures := Compare(base, cur, 0.15, 0.30, mode.anchor, mode.absolute)
+		failures := Compare(base, cur, 0.15, 0.30, nil, mode.anchor, mode.absolute)
 		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkChanTransportRPC") {
 			t.Errorf("anchor=%q absolute=%v: injected 30%% regression not caught exactly once: %v",
 				mode.anchor, mode.absolute, failures)
@@ -105,7 +105,7 @@ func TestInjectedTimeRegressionFails(t *testing.T) {
 	r = mild.Benchmarks["BenchmarkChanTransportRPC"]
 	r.NsPerOp *= 1.10
 	mild.Benchmarks["BenchmarkChanTransportRPC"] = r
-	if failures := Compare(base, mild, 0.15, 0.30, "", false); len(failures) != 0 {
+	if failures := Compare(base, mild, 0.15, 0.30, nil, "", false); len(failures) != 0 {
 		t.Errorf("10%% drift failed a 15%% gate: %v", failures)
 	}
 
@@ -116,7 +116,7 @@ func TestInjectedTimeRegressionFails(t *testing.T) {
 	r = edge.Benchmarks["BenchmarkChanTransportRPC"]
 	r.NsPerOp *= 1.18
 	edge.Benchmarks["BenchmarkChanTransportRPC"] = r
-	failures := Compare(base, edge, 0.15, 0.30, "", false)
+	failures := Compare(base, edge, 0.15, 0.30, nil, "", false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkChanTransportRPC") {
 		t.Errorf("18%% regression slipped through the 15%% gate (geomean dilution): %v", failures)
 	}
@@ -133,10 +133,10 @@ func TestNormalizationAbsorbsMachineSpeed(t *testing.T) {
 		r.NsPerOp *= 2
 		slow.Benchmarks[name] = r
 	}
-	if failures := Compare(base, slow, 0.15, 0.30, "", false); len(failures) != 0 {
+	if failures := Compare(base, slow, 0.15, 0.30, nil, "", false); len(failures) != 0 {
 		t.Errorf("uniform slowdown failed the normalized gate: %v", failures)
 	}
-	if failures := Compare(base, slow, 0.15, 0.30, "", true); len(failures) == 0 {
+	if failures := Compare(base, slow, 0.15, 0.30, nil, "", true); len(failures) == 0 {
 		t.Error("uniform slowdown passed the absolute gate (expected failures)")
 	}
 }
@@ -149,7 +149,7 @@ func TestHeadlineUnitDriftFails(t *testing.T) {
 	r := cur.Benchmarks["BenchmarkTable1TimingAnalysis"]
 	r.Units["err%"] = 70 // was 100: a 30% drop
 	cur.Benchmarks["BenchmarkTable1TimingAnalysis"] = r
-	failures := Compare(base, cur, 0.15, 0.30, "", false)
+	failures := Compare(base, cur, 0.15, 0.30, nil, "", false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "err%") {
 		t.Errorf("headline drift not caught exactly once: %v", failures)
 	}
@@ -161,7 +161,7 @@ func TestMissingBenchmarkFails(t *testing.T) {
 	base := parseSample(t)
 	cur := clone(base)
 	delete(cur.Benchmarks, "BenchmarkCodecEncodeTable")
-	failures := Compare(base, cur, 0.15, 0.30, "", false)
+	failures := Compare(base, cur, 0.15, 0.30, nil, "", false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "coverage loss") {
 		t.Errorf("missing benchmark not caught: %v", failures)
 	}
@@ -176,7 +176,7 @@ func TestAllocRegressionFails(t *testing.T) {
 	r := cur.Benchmarks["BenchmarkCodecEncodeTable"]
 	r.Units["B/op"] = r.Units["B/op"] * 1.5
 	cur.Benchmarks["BenchmarkCodecEncodeTable"] = r
-	failures := Compare(base, cur, 0.15, 0.30, "", false)
+	failures := Compare(base, cur, 0.15, 0.30, nil, "", false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "B/op") {
 		t.Errorf("alloc regression not caught: %v", failures)
 	}
@@ -192,10 +192,10 @@ func TestBytesToleranceIsSeparate(t *testing.T) {
 	r := cur.Benchmarks["BenchmarkChanTransportRPC"]
 	r.Units["allocs/op"] = r.Units["allocs/op"] * 1.25
 	cur.Benchmarks["BenchmarkChanTransportRPC"] = r
-	if failures := Compare(base, cur, 0.15, 0.30, "", false); len(failures) != 0 {
+	if failures := Compare(base, cur, 0.15, 0.30, nil, "", false); len(failures) != 0 {
 		t.Errorf("25%% allocs/op increase failed the 30%% byte gate: %v", failures)
 	}
-	failures := Compare(base, cur, 0.15, 0.15, "", false)
+	failures := Compare(base, cur, 0.15, 0.15, nil, "", false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
 		t.Errorf("25%% allocs/op increase not caught by a 15%% byte gate: %v", failures)
 	}
@@ -210,8 +210,56 @@ func TestBytesToleranceIsSeparate(t *testing.T) {
 	r = leaked.Benchmarks["BenchmarkCodecSizeTable"]
 	r.Units["allocs/op"] = 1
 	leaked.Benchmarks["BenchmarkCodecSizeTable"] = r
-	failures = Compare(zero, leaked, 0.15, 0.30, "", false)
+	failures = Compare(zero, leaked, 0.15, 0.30, nil, "", false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
 		t.Errorf("0 -> 1 allocs/op not caught: %v", failures)
+	}
+}
+
+// TestPerUnitTolerance pins the -unit-tolerance override: a named unit
+// gates at its own tolerance while everything else keeps the defaults.
+func TestPerUnitTolerance(t *testing.T) {
+	base := parseSample(t)
+	cur := clone(base)
+	r := cur.Benchmarks["BenchmarkTable1TimingAnalysis"]
+	r.Units["err%"] *= 1.12
+	cur.Benchmarks["BenchmarkTable1TimingAnalysis"] = r
+
+	// 12% drift passes the default 15% gate...
+	if failures := Compare(base, cur, 0.15, 0.30, nil, "", false); len(failures) != 0 {
+		t.Errorf("12%% err%% drift failed the default gate: %v", failures)
+	}
+	// ...but fails once that headline unit is tightened to 10%.
+	tight := map[string]float64{"err%": 0.10}
+	failures := Compare(base, cur, 0.15, 0.30, tight, "", false)
+	if len(failures) != 1 || !strings.Contains(failures[0], "err%") {
+		t.Errorf("12%% err%% drift not caught by a 10%% unit gate: %v", failures)
+	}
+	// Tightening one unit must not loosen or trip any other unit.
+	other := map[string]float64{"leak-bits": 0.50}
+	if failures := Compare(base, cur, 0.15, 0.30, other, "", false); len(failures) != 0 {
+		t.Errorf("unrelated unit override tripped the gate: %v", failures)
+	}
+}
+
+// TestUnitToleranceFlagParsing pins the unit=frac flag syntax.
+func TestUnitToleranceFlagParsing(t *testing.T) {
+	u := unitTolerances{}
+	if err := u.Set("p95-s=0.1"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := u.Set("allocs/op=0.05"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if u["p95-s"] != 0.1 || u["allocs/op"] != 0.05 {
+		t.Errorf("parsed map = %v", u)
+	}
+	for _, bad := range []string{"p95-s", "=0.1", "x=", "x=nope", "x=-1"} {
+		if err := u.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	if got := u.String(); got != "allocs/op=0.05,p95-s=0.1" {
+		t.Errorf("String() = %q", got)
 	}
 }
