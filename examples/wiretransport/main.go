@@ -46,6 +46,10 @@ func run() error {
 	rng := rand.New(rand.NewSource(2))
 	keys := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
 	fmt.Println("\nIterative Chord lookups over the wire codec:")
+	// One timer reset per lookup, not one time.After allocation per
+	// iteration (the timer would otherwise live until it fires).
+	timeout := time.NewTimer(10 * time.Second)
+	defer timeout.Stop()
 	for _, key := range keys {
 		k := id.FromString(key)
 		node := ring.Node(transport.Addr(rng.Intn(n)))
@@ -64,6 +68,13 @@ func run() error {
 				ch <- outcome{owner, stats, err}
 			})
 		})
+		if !timeout.Stop() {
+			select {
+			case <-timeout.C:
+			default:
+			}
+		}
+		timeout.Reset(10 * time.Second)
 		select {
 		case out := <-ch:
 			if out.err != nil {
@@ -75,7 +86,7 @@ func run() error {
 			}
 			fmt.Printf("  %-8s -> node %2d  (%d hops, %v wall time) %s\n",
 				key, out.owner.Addr, out.stats.Hops, out.stats.Latency().Round(time.Millisecond), status)
-		case <-time.After(10 * time.Second):
+		case <-timeout.C:
 			return fmt.Errorf("lookup %q timed out", key)
 		}
 	}

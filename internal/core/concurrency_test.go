@@ -113,10 +113,20 @@ func TestNodeStatsRaceOverlappingLookups(t *testing.T) {
 		}
 	}()
 
+	// A single reusable timer instead of one leaked time.After per lookup.
+	timeout := time.NewTimer(30 * time.Second)
+	defer timeout.Stop()
 	for i := 0; i < lookups; i++ {
+		if !timeout.Stop() {
+			select {
+			case <-timeout.C:
+			default:
+			}
+		}
+		timeout.Reset(30 * time.Second)
 		select {
 		case <-done:
-		case <-time.After(30 * time.Second):
+		case <-timeout.C:
 			t.Fatalf("lookup %d never completed", i)
 		}
 	}

@@ -793,9 +793,11 @@ func (n *Node) recordHopSpan(name string, qid uint64, start time.Duration, from,
 	if n.tracer == nil {
 		return
 	}
-	toKey := "next"
+	// Both branches use a constant key from the redaction seam's
+	// sensitive set, so anonleak can prove the value is scrubbed.
+	toAttr := obs.A("next", strconv.Itoa(int(to)))
 	if name == "relay.exit" {
-		toKey = "target"
+		toAttr = obs.A("target", strconv.Itoa(int(to)))
 	}
 	n.tracer.Record(obs.Span{
 		Trace: qid,
@@ -805,7 +807,7 @@ func (n *Node) recordHopSpan(name string, qid uint64, start time.Duration, from,
 		End:   n.tr.Now(),
 		Attrs: []obs.Attr{
 			obs.A("from", strconv.Itoa(int(from))),
-			obs.A(toKey, strconv.Itoa(int(to))),
+			toAttr,
 		},
 	})
 }

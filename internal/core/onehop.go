@@ -327,10 +327,19 @@ func (t *oneHopTier) flush() {
 	// Locate self in the sorted view for stride addressing.
 	si := sort.Search(len(v), func(k int) bool { return v[k].ID >= self.ID })
 	rho := t.rho()
+	// Iterate the event buffer in ID order, not map order: the per-level
+	// slices below feed straight into wire encoding, and seeded runs must
+	// replay bit-identically. This also makes the joins/leaves slices
+	// sorted by construction (the map is keyed by peer ID).
+	evs := make([]tierEvent, 0, len(t.events))
+	for _, ev := range t.events {
+		evs = append(evs, ev)
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].peer.ID < evs[j].peer.ID })
 	for l := rho - 1; l >= 0; l-- {
 		var joins []chord.Peer
 		var leaves []id.ID
-		for _, ev := range t.events {
+		for _, ev := range evs {
 			if ev.ttl <= l {
 				continue
 			}
@@ -350,8 +359,6 @@ func (t *oneHopTier) flush() {
 		if !target.Valid() || target.ID == self.ID {
 			continue
 		}
-		sort.Slice(joins, func(i, j int) bool { return joins[i].ID < joins[j].ID })
-		sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
 		m := TierEventNotify{TTL: uint8(l), Joins: joins, Leaves: leaves}
 		t.bytesSent.Add(uint64(m.Size()))
 		t.msgsSent.Add(1)

@@ -98,6 +98,9 @@ func TestChordRingOverChanTransport(t *testing.T) {
 	if testing.Short() {
 		lookups = 8
 	}
+	// A single reusable timer instead of one leaked time.After per lookup.
+	timeout := time.NewTimer(10 * time.Second)
+	defer timeout.Stop()
 	for i := 0; i < lookups; i++ {
 		key := id.ID(rng.Uint64())
 		want := ring.Owner(key)
@@ -110,6 +113,13 @@ func TestChordRingOverChanTransport(t *testing.T) {
 				ch <- outcome{owner, err}
 			})
 		})
+		if !timeout.Stop() {
+			select {
+			case <-timeout.C:
+			default:
+			}
+		}
+		timeout.Reset(10 * time.Second)
 		select {
 		case out := <-ch:
 			if out.err != nil {
@@ -118,7 +128,7 @@ func TestChordRingOverChanTransport(t *testing.T) {
 			if out.owner != want {
 				t.Errorf("lookup %d: owner = %v, want %v", i, out.owner, want)
 			}
-		case <-time.After(10 * time.Second):
+		case <-timeout.C:
 			t.Fatalf("lookup %d never completed", i)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"github.com/octopus-dht/octopus/internal/chord"
 	"github.com/octopus-dht/octopus/internal/core"
 	"github.com/octopus-dht/octopus/internal/store"
+	"github.com/octopus-dht/octopus/internal/torsk"
 	"github.com/octopus-dht/octopus/internal/transport"
 )
 
@@ -45,6 +46,8 @@ func TestProtocolDocFixedSizes(t *testing.T) {
 		{"ClientPutResp", store.ClientPutResp{}, 21},
 		{"ClientGetReq", store.ClientGetReq{}, 18},
 		{"ClientGetResp", store.ClientGetResp{}, 31},
+		{"ProxyLookupReq", torsk.ProxyLookupReq{}, 10},
+		{"ProxyLookupResp", torsk.ProxyLookupResp{}, 27},
 		{"TierEventNotify", core.TierEventNotify{}, 6},
 		{"TierSyncReq", core.TierSyncReq{}, 12},
 		{"TierSyncResp", core.TierSyncResp{}, 4},

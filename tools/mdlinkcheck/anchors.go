@@ -1,0 +1,89 @@
+package main
+
+// Anchor validation: a link's #fragment must name a real heading in the
+// target document, computed with GitHub's slug rules (lowercase, drop
+// punctuation, spaces to hyphens, -N suffixes for duplicates). Both pure
+// same-document links (#monitoring) and cross-file fragments
+// (DEPLOYMENT.md#monitoring) are checked.
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+var (
+	headingRe  = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*$`)
+	fenceRe    = regexp.MustCompile("^\\s*(```|~~~)")
+	linkTextRe = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`)
+)
+
+// anchorSet holds the valid fragment slugs of one document.
+type anchorSet map[string]bool
+
+// anchorCache memoizes per-file heading extraction across many links.
+type anchorCache map[string]anchorSet
+
+// anchors returns the slug set for the Markdown file at path, or nil if
+// it cannot be read.
+func (c anchorCache) anchors(path string) anchorSet {
+	if set, ok := c[path]; ok {
+		return set
+	}
+	raw, err := os.ReadFile(path)
+	var set anchorSet
+	if err == nil {
+		set = extractAnchors(string(raw))
+	}
+	c[path] = set
+	return set
+}
+
+// extractAnchors computes the GitHub anchor slugs for every heading in
+// the document, skipping fenced code blocks (a shell comment inside a
+// fence is not a heading).
+func extractAnchors(doc string) anchorSet {
+	set := anchorSet{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if fenceRe.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[2])
+		if n := counts[slug]; n > 0 {
+			set[slug+"-"+strconv.Itoa(n)] = true
+		} else {
+			set[slug] = true
+		}
+		counts[slug]++
+	}
+	return set
+}
+
+// slugify applies GitHub's heading-to-anchor transformation.
+func slugify(heading string) string {
+	h := linkTextRe.ReplaceAllString(heading, "$1") // [text](url) renders as text
+	h = strings.ReplaceAll(h, "`", "")
+	h = strings.ToLower(h)
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

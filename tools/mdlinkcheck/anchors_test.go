@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestSlugify(t *testing.T) {
+	cases := []struct{ heading, want string }{
+		{"Monitoring", "monitoring"},
+		{"Serving client traffic", "serving-client-traffic"},
+		{"4. Routing-layer messages (`0x01xx`)", "4-routing-layer-messages-0x01xx"},
+		{"3.1 RPC correlation and timeouts", "31-rpc-correlation-and-timeouts"},
+		{"What's next?", "whats-next"},
+		{"snake_case stays", "snake_case-stays"},
+		{"[linked](other.md) heading", "linked-heading"},
+	}
+	for _, c := range cases {
+		if got := slugify(c.heading); got != c.want {
+			t.Errorf("slugify(%q) = %q, want %q", c.heading, got, c.want)
+		}
+	}
+}
+
+func TestExtractAnchors(t *testing.T) {
+	doc := "# Title\n\n## Setup\n\n```sh\n# not a heading\n```\n\n## Setup\n\ntext\n"
+	set := extractAnchors(doc)
+	for _, want := range []string{"title", "setup", "setup-1"} {
+		if !set[want] {
+			t.Errorf("anchor %q missing from %v", want, set)
+		}
+	}
+	if set["not-a-heading"] {
+		t.Error("heading inside code fence must not produce an anchor")
+	}
+	if len(set) != 3 {
+		t.Errorf("got %d anchors %v, want 3", len(set), set)
+	}
+}

@@ -7,8 +7,10 @@
 //
 // Arguments are files or directories (directories are scanned recursively
 // for *.md). External links (http/https/mailto) are not fetched — CI runs
-// offline — and pure #anchors are skipped; a relative link's own #fragment
-// is ignored when checking the target path.
+// offline. Fragments are validated against the target document's real
+// headings using GitHub's anchor-slug rules (anchors.go): a pure #anchor
+// must name a heading in the same file, and file.md#anchor must name one
+// in the linked file.
 package main
 
 import (
@@ -55,6 +57,7 @@ func main() {
 
 	broken := 0
 	checked := 0
+	cache := anchorCache{}
 	for _, file := range files {
 		raw, err := os.ReadFile(file)
 		if err != nil {
@@ -67,16 +70,26 @@ func main() {
 				if skippable(target) {
 					continue
 				}
+				frag := ""
 				if i := strings.IndexByte(target, '#'); i >= 0 {
-					target = target[:i]
-					if target == "" {
+					target, frag = target[:i], target[i+1:]
+				}
+				checked++
+				resolved := file // pure #fragment: same document
+				if target != "" {
+					resolved = filepath.Join(dir, target)
+					if _, err := os.Stat(resolved); err != nil {
+						broken++
+						fmt.Fprintf(os.Stderr, "%s:%d: broken link %q\n", file, lineNo+1, m[1])
 						continue
 					}
 				}
-				checked++
-				if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				if frag == "" || !strings.HasSuffix(resolved, ".md") {
+					continue
+				}
+				if set := cache.anchors(resolved); !set[frag] {
 					broken++
-					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q\n", file, lineNo+1, m[1])
+					fmt.Fprintf(os.Stderr, "%s:%d: link %q names no heading in %s\n", file, lineNo+1, m[1], resolved)
 				}
 			}
 		}
@@ -91,8 +104,7 @@ func main() {
 func skippable(target string) bool {
 	return strings.HasPrefix(target, "http://") ||
 		strings.HasPrefix(target, "https://") ||
-		strings.HasPrefix(target, "mailto:") ||
-		strings.HasPrefix(target, "#")
+		strings.HasPrefix(target, "mailto:")
 }
 
 func fail(format string, args ...any) {

@@ -1,0 +1,76 @@
+package main
+
+// DEPLOYMENT.md's "Metric catalog" table claims to mirror
+// internal/obs.Catalog. This file makes that claim mechanical: the table
+// is parsed and diffed against the catalog — a metric missing from the
+// doc, a stale row for a metric that no longer exists, or a row whose
+// type or meaning disagrees with the registered definition all fail CI.
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"github.com/octopus-dht/octopus/internal/obs"
+)
+
+// docRowRe matches one catalog-table row: | `name` | type | Meaning. |
+var docRowRe = regexp.MustCompile("^\\|\\s*`([a-z0-9_]+)`\\s*\\|\\s*([a-z]+)\\s*\\|\\s*(.*?)\\s*\\|\\s*$")
+
+// catalogHeading introduces the mirrored table in the deployment doc.
+const catalogHeading = "### Metric catalog"
+
+// diffCatalogDoc compares the doc's metric table against the live
+// catalog and returns one complaint per drift.
+func diffCatalogDoc(defs []obs.MetricDef, doc string) []string {
+	rows := map[string]obs.MetricDef{}
+	var order []string
+	inSection := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(line, catalogHeading) {
+			inSection = true
+			continue
+		}
+		if inSection && strings.HasPrefix(line, "#") {
+			break // next heading ends the section
+		}
+		if !inSection {
+			continue
+		}
+		m := docRowRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		// Backticks are doc styling around label names; the comparison is
+		// about content.
+		help := strings.ReplaceAll(m[3], "`", "")
+		rows[m[1]] = obs.MetricDef{Name: m[1], Type: m[2], Help: help}
+		order = append(order, m[1])
+	}
+	if !inSection {
+		return []string{fmt.Sprintf("deployment doc has no %q section", catalogHeading)}
+	}
+
+	var drift []string
+	seen := map[string]bool{}
+	for _, def := range defs {
+		seen[def.Name] = true
+		row, ok := rows[def.Name]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("metric %s is registered in internal/obs/catalog.go but missing from the doc's catalog table", def.Name))
+			continue
+		}
+		if row.Type != def.Type {
+			drift = append(drift, fmt.Sprintf("metric %s: doc says type %q, catalog says %q", def.Name, row.Type, def.Type))
+		}
+		if row.Help != def.Help {
+			drift = append(drift, fmt.Sprintf("metric %s: doc meaning %q differs from catalog help %q", def.Name, row.Help, def.Help))
+		}
+	}
+	for _, name := range order {
+		if !seen[name] {
+			drift = append(drift, fmt.Sprintf("doc table lists %s, which is not registered in internal/obs/catalog.go", name))
+		}
+	}
+	return drift
+}

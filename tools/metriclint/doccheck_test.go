@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/octopus-dht/octopus/internal/obs"
+)
+
+var testDefs = []obs.MetricDef{
+	{Name: "octopus_a_total", Type: "counter", Help: "Counts a."},
+	{Name: "octopus_b", Type: "gauge", Help: "Measures b."},
+}
+
+const inSyncDoc = `## Monitoring
+
+### Metric catalog
+
+| Metric | Type | Meaning |
+|---|---|---|
+| ` + "`octopus_a_total`" + ` | counter | Counts a. |
+| ` + "`octopus_b`" + ` | gauge | Measures b. |
+
+### Next section
+`
+
+func TestDocInSync(t *testing.T) {
+	if drift := diffCatalogDoc(testDefs, inSyncDoc); len(drift) != 0 {
+		t.Fatalf("in-sync doc produced drift: %v", drift)
+	}
+}
+
+func TestDocMissingMetric(t *testing.T) {
+	doc := strings.Replace(inSyncDoc, "| `octopus_b` | gauge | Measures b. |\n", "", 1)
+	drift := diffCatalogDoc(testDefs, doc)
+	if len(drift) != 1 || !strings.Contains(drift[0], "octopus_b is registered") {
+		t.Fatalf("drift = %v, want missing-row complaint for octopus_b", drift)
+	}
+}
+
+func TestDocStaleRow(t *testing.T) {
+	doc := strings.Replace(inSyncDoc, "### Next section",
+		"| `octopus_gone_total` | counter | Removed last release. |\n\n### Next section", 1)
+	drift := diffCatalogDoc(testDefs, doc)
+	if len(drift) != 1 || !strings.Contains(drift[0], "octopus_gone_total, which is not registered") {
+		t.Fatalf("drift = %v, want stale-row complaint", drift)
+	}
+}
+
+func TestDocTypeAndHelpDrift(t *testing.T) {
+	doc := strings.Replace(inSyncDoc, "| `octopus_b` | gauge | Measures b. |",
+		"| `octopus_b` | counter | Measures c. |", 1)
+	drift := diffCatalogDoc(testDefs, doc)
+	if len(drift) != 2 {
+		t.Fatalf("drift = %v, want type AND help complaints", drift)
+	}
+}
+
+func TestDocSectionMissing(t *testing.T) {
+	drift := diffCatalogDoc(testDefs, "## Monitoring\n\nno table here\n")
+	if len(drift) != 1 || !strings.Contains(drift[0], "no") {
+		t.Fatalf("drift = %v, want missing-section complaint", drift)
+	}
+}
+
+// TestRealDeploymentDocInSync pins the actual repo state: the shipped
+// DEPLOYMENT.md table must mirror the shipped catalog exactly.
+func TestRealDeploymentDocInSync(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/DEPLOYMENT.md")
+	if err != nil {
+		t.Fatalf("reading deployment doc: %v", err)
+	}
+	if drift := diffCatalogDoc(obs.Catalog, string(doc)); len(drift) != 0 {
+		t.Fatalf("DEPLOYMENT.md catalog table has drifted:\n%s", strings.Join(drift, "\n"))
+	}
+}

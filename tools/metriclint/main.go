@@ -8,9 +8,13 @@
 //     text, dodge DEPLOYMENT.md's catalog table, and drift from the
 //     naming conventions unreviewed.
 //
+// It also diffs the catalog against DEPLOYMENT.md's "Metric catalog"
+// table (doccheck.go), so the operator-facing table cannot drift from
+// the registered definitions.
+//
 // Usage:
 //
-//	go run ./tools/metriclint [dir ...]   (default: .)
+//	go run ./tools/metriclint [-doc docs/DEPLOYMENT.md] [dir ...]   (default: .)
 //
 // Detection is syntactic but precise: files are parsed with go/parser and
 // only whole string literals matching ^octopus_[a-z0-9_]+$ are treated as
@@ -20,6 +24,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -37,12 +42,30 @@ import (
 var metricNameRe = regexp.MustCompile(`^octopus_[a-z0-9_]+$`)
 
 func main() {
+	docPath := flag.String("doc", "docs/DEPLOYMENT.md", "deployment doc whose metric-catalog table must mirror internal/obs.Catalog (empty to skip)")
+	flag.Parse()
+
 	if err := obs.ValidateCatalog(); err != nil {
 		fmt.Fprintf(os.Stderr, "metriclint: catalog invalid: %v\n", err)
 		os.Exit(1)
 	}
 
-	dirs := os.Args[1:]
+	if *docPath != "" {
+		doc, err := os.ReadFile(*docPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(1)
+		}
+		if drift := diffCatalogDoc(obs.Catalog, string(doc)); len(drift) > 0 {
+			for _, d := range drift {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", *docPath, d)
+			}
+			fmt.Fprintf(os.Stderr, "metriclint: %d catalog/doc drift(s); reconcile the table with internal/obs/catalog.go\n", len(drift))
+			os.Exit(1)
+		}
+	}
+
+	dirs := flag.Args()
 	if len(dirs) == 0 {
 		dirs = []string{"."}
 	}

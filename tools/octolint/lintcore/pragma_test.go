@@ -1,0 +1,152 @@
+package lintcore
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// mockAnalyzer flags every function declaration, giving the pragma tests
+// a finding on any line they choose.
+var mockAnalyzer = New(&Analyzer{
+	Name: "mock",
+	Doc:  "test analyzer: flags every function declaration",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok {
+					p.Reportf(fn.Pos(), "function %s declared", fn.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+})
+
+func runSource(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewTypesInfo()
+	pkg, err := (&types.Config{}).Check("fix", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	findings, err := RunPackage(fset, []*ast.File{f}, pkg, info, ".", "", []*Analyzer{mockAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return findings
+}
+
+func TestPragmaSuppressesSameAndPreviousLine(t *testing.T) {
+	src := `package fix
+
+//octolint:allow mock annotated on the line above
+func a() {}
+
+func b() {} //octolint:allow mock annotated on the same line
+
+func c() {}
+`
+	findings := runSource(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly c's", findings)
+	}
+	if !strings.Contains(findings[0].Message, "function c") {
+		t.Errorf("surviving finding = %s, want c's", findings[0])
+	}
+}
+
+func TestUnknownPragmaAnalyzerFailsLoudly(t *testing.T) {
+	src := `package fix
+
+//octolint:allow nosuchpass sounded plausible
+func a() {}
+`
+	findings := runSource(t, src)
+	// The bogus pragma suppresses nothing (a's finding survives) and is
+	// itself an error naming the known analyzers.
+	var sawBad, sawFunc bool
+	for _, f := range findings {
+		if f.Analyzer == "octolint" && strings.Contains(f.Message, `unknown analyzer "nosuchpass"`) {
+			sawBad = true
+			if !strings.Contains(f.Message, "mock") {
+				t.Errorf("unknown-analyzer error should list known names, got: %s", f.Message)
+			}
+		}
+		if strings.Contains(f.Message, "function a") {
+			sawFunc = true
+		}
+	}
+	if !sawBad || !sawFunc {
+		t.Fatalf("want loud unknown-analyzer error AND the unsuppressed finding, got %v", findings)
+	}
+}
+
+func TestPragmaWithoutReasonFailsLoudly(t *testing.T) {
+	src := `package fix
+
+//octolint:allow mock
+func a() {}
+`
+	findings := runSource(t, src)
+	var sawBad, sawFunc bool
+	for _, f := range findings {
+		if f.Analyzer == "octolint" && strings.Contains(f.Message, "no reason") {
+			sawBad = true
+		}
+		if strings.Contains(f.Message, "function a") {
+			sawFunc = true
+		}
+	}
+	if !sawBad || !sawFunc {
+		t.Fatalf("want no-reason error AND the unsuppressed finding, got %v", findings)
+	}
+}
+
+func TestMalformedPragmaFailsLoudly(t *testing.T) {
+	src := `package fix
+
+//octolint:allow
+func a() {}
+`
+	findings := runSource(t, src)
+	found := false
+	for _, f := range findings {
+		if f.Analyzer == "octolint" && strings.Contains(f.Message, "malformed pragma") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want malformed-pragma error, got %v", findings)
+	}
+}
+
+func TestPragmaErrorsAreUnsuppressible(t *testing.T) {
+	// "octolint" is a pseudo-analyzer, never registered: a pragma naming
+	// it is itself an unknown-analyzer error, so the validation layer
+	// cannot be turned off.
+	src := `package fix
+
+//octolint:allow octolint silencing the silencer
+//octolint:allow nosuchpass oops
+func a() {}
+`
+	findings := runSource(t, src)
+	bad := 0
+	for _, f := range findings {
+		if f.Analyzer == "octolint" {
+			bad++
+		}
+	}
+	if bad != 2 {
+		t.Fatalf("want both pragma errors reported, got %v", findings)
+	}
+}

@@ -1,0 +1,12 @@
+package anonleak_test
+
+import (
+	"testing"
+
+	"github.com/octopus-dht/octopus/tools/octolint/lintcore/linttest"
+	"github.com/octopus-dht/octopus/tools/octolint/passes/anonleak"
+)
+
+func TestIdentityLeaks(t *testing.T) {
+	linttest.Run(t, "../../testdata/anonleak", anonleak.Analyzer, "internal/core")
+}

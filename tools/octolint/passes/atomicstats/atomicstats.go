@@ -1,0 +1,108 @@
+// Package atomicstats flags struct fields that are accessed through
+// sync/atomic somewhere in a package and through plain loads or stores
+// somewhere else. Mixing the two is a data race even when each side looks
+// locally correct — the NodeStats counters raced exactly this way in PR 4
+// (atomic increments on the hot path, plain reads in Stats()) until every
+// access was converted. Since PR 8 new stats should use the typed
+// sync/atomic wrappers (atomic.Uint64 and friends), which make the mix
+// impossible; this pass guards the remaining old-style call sites and any
+// that get reintroduced.
+//
+// A plain access that is deliberately safe (constructor before the value
+// is shared, a Reset guarded by external synchronization) takes an
+// //octolint:allow atomicstats pragma with its justification.
+package atomicstats
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/octopus-dht/octopus/tools/octolint/lintcore"
+)
+
+// Analyzer is the atomicstats pass.
+var Analyzer = lintcore.New(&lintcore.Analyzer{
+	Name: "atomicstats",
+	Doc:  "flag plain loads/stores of fields accessed elsewhere via sync/atomic",
+	Run:  run,
+})
+
+func run(pass *lintcore.Pass) error {
+	// First sweep: every field whose address is passed to a sync/atomic
+	// function, and the positions of those sanctioned uses.
+	atomicFields := map[*types.Var]bool{}
+	atomicUsePos := map[token.Pos]bool{}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fv := fieldVar(pass.TypesInfo, un.X); fv != nil {
+					atomicFields[fv] = true
+					atomicUsePos[un.X.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Second sweep: any other selector resolving to one of those fields
+	// is a plain (racy) access.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUsePos[sel.Pos()] {
+				return true
+			}
+			fv := fieldVar(pass.TypesInfo, sel)
+			if fv == nil || !atomicFields[fv] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access of field %s, which is accessed via sync/atomic elsewhere in this package; every load/store must go through sync/atomic (or migrate the field to a typed atomic)", fv.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether the call invokes a sync/atomic
+// package-level function (the old-style address-taking API).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := lintcore.CalleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldVar resolves an expression to the struct field it selects, if any.
+func fieldVar(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

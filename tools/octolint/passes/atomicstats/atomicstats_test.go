@@ -1,0 +1,12 @@
+package atomicstats_test
+
+import (
+	"testing"
+
+	"github.com/octopus-dht/octopus/tools/octolint/lintcore/linttest"
+	"github.com/octopus-dht/octopus/tools/octolint/passes/atomicstats"
+)
+
+func TestMixedAccess(t *testing.T) {
+	linttest.Run(t, "../../testdata/atomicstats", atomicstats.Analyzer, "stats")
+}

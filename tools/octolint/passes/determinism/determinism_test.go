@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"github.com/octopus-dht/octopus/tools/octolint/lintcore/linttest"
+	"github.com/octopus-dht/octopus/tools/octolint/passes/determinism"
+)
+
+func TestSeededPackage(t *testing.T) {
+	linttest.Run(t, "../../testdata/determinism", determinism.Analyzer, "internal/core")
+}
+
+func TestUnseededPackage(t *testing.T) {
+	linttest.Run(t, "../../testdata/determinism", determinism.Analyzer, "other")
+}

@@ -1,0 +1,86 @@
+// Package timerleak flags time.After inside for/select loops. Each
+// time.After call allocates a timer that is not released until it fires;
+// in a loop that is one leaked timer per iteration, and with long
+// durations (query timeouts, shutdown deadlines) the leak accumulates for
+// minutes. The same defect was fixed three separate times across PRs 5–6
+// (core serve bridge, admission relay, octopusd wait loops); the
+// sanctioned pattern is a single time.NewTimer (or a deadline timer)
+// stopped or reset across iterations.
+//
+// Unlike the other passes this one inspects _test.go files too: leaked
+// timers in polling test loops are how the class kept reappearing.
+package timerleak
+
+import (
+	"go/ast"
+
+	"github.com/octopus-dht/octopus/tools/octolint/lintcore"
+)
+
+// Analyzer is the timerleak pass.
+var Analyzer = lintcore.New(&lintcore.Analyzer{
+	Name: "timerleak",
+	Doc:  "flag time.After inside for/select loops (one leaked timer per iteration)",
+	Run:  run,
+})
+
+func run(pass *lintcore.Pass) error {
+	for _, file := range pass.Files {
+		checkFile(pass, file)
+	}
+	return nil
+}
+
+func checkFile(pass *lintcore.Pass, file *ast.File) {
+	// Walk with an explicit loop-depth counter: a time.After evaluated
+	// anywhere inside a loop body (including select cases and function
+	// literals created per iteration) runs once per iteration.
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			walkChildren(n, func(c ast.Node) {
+				d := depth
+				if c == n.Body {
+					d++
+				}
+				walk(c, d)
+			})
+			return
+		case *ast.RangeStmt:
+			walkChildren(n, func(c ast.Node) {
+				d := depth
+				if c == n.Body {
+					d++
+				}
+				walk(c, d)
+			})
+			return
+		case *ast.CallExpr:
+			if depth > 0 && lintcore.IsPkgFunc(pass.TypesInfo, n, "time", "After") {
+				pass.Reportf(n.Pos(),
+					"time.After inside a loop leaks one timer per iteration until it fires; hoist a time.NewTimer and Stop/Reset it across iterations")
+			}
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, depth) })
+	}
+	walk(file, 0)
+}
+
+// walkChildren visits the direct children of n.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true // enter n itself
+		}
+		if c == nil {
+			return false
+		}
+		visit(c)
+		return false // do not descend; visit recurses
+	})
+}

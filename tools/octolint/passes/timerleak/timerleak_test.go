@@ -1,0 +1,12 @@
+package timerleak_test
+
+import (
+	"testing"
+
+	"github.com/octopus-dht/octopus/tools/octolint/lintcore/linttest"
+	"github.com/octopus-dht/octopus/tools/octolint/passes/timerleak"
+)
+
+func TestTimerLoops(t *testing.T) {
+	linttest.Run(t, "../../testdata/timerleak", timerleak.Analyzer, "timer")
+}

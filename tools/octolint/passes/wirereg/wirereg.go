@@ -1,0 +1,264 @@
+// Package wirereg keeps the wire-protocol registry, the codec
+// implementations, and docs/PROTOCOL.md from drifting apart. For every
+// wire type a package registers (transport.RegisterType) in the protocol
+// code-block range 0x0100–0x7EFF it checks that:
+//
+//   - the type code appears in a docs/PROTOCOL.md registry table row;
+//   - the registered decoder has its encode-side counterpart: some type in
+//     the same package whose WireType() method returns the code (and,
+//     conversely, every WireType() claim in range is actually registered);
+//   - transport.MarkBorrowSafe is only applied to codes the same package
+//     registered — anything else panics at init;
+//   - the PROTOCOL.md row's message name matches the Go type name; and
+//   - when the row documents a fixed byte size, that exact (name, size)
+//     pair is pinned in TestProtocolDocFixedSizes
+//     (internal/transport/protocol_doc_test.go), the test that holds the
+//     spec to the real encoders.
+//
+// Codes at 0x7F00 and above are reserved for test-only registrations
+// (transporttest uses 0x7F01) and are not checked. The §-table formats
+// accepted are the repo's two registry-table shapes: four columns with a
+// trailing size cell (integer or "variable"), and three columns where the
+// size lives in prose (those rows get the name check only).
+package wirereg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/octopus-dht/octopus/tools/octolint/lintcore"
+)
+
+// Analyzer is the wirereg pass.
+var Analyzer = lintcore.New(&lintcore.Analyzer{
+	Name: "wirereg",
+	Doc:  "cross-check wire-type registrations against codec pairs, PROTOCOL.md tables, and pinned sizes",
+	Run:  run,
+})
+
+// Checked code range: the protocol's allocated blocks. 0x7Fxx is the
+// test-reserved block.
+const (
+	codeLow  = 0x0100
+	codeHigh = 0x7EFF
+)
+
+type docRow struct {
+	name    string
+	size    int
+	hasSize bool
+}
+
+func run(pass *lintcore.Pass) error {
+	regs := map[uint64]token.Pos{}  // RegisterType calls
+	marks := map[uint64]token.Pos{} // MarkBorrowSafe calls
+	impls := map[uint64][]implInfo{}
+
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if lintcore.IsPkgFunc(pass.TypesInfo, n, "internal/transport", "RegisterType") && len(n.Args) >= 1 {
+					if code, ok := lintcore.ConstUint(pass.TypesInfo, n.Args[0]); ok {
+						if _, dup := regs[code]; !dup {
+							regs[code] = n.Pos()
+						}
+					}
+				}
+				if lintcore.IsPkgFunc(pass.TypesInfo, n, "internal/transport", "MarkBorrowSafe") && len(n.Args) >= 1 {
+					if code, ok := lintcore.ConstUint(pass.TypesInfo, n.Args[0]); ok {
+						marks[code] = n.Pos()
+					}
+				}
+			case *ast.FuncDecl:
+				if name, code, ok := wireTypeImpl(pass, n); ok {
+					impls[code] = append(impls[code], implInfo{name: name, pos: n.Pos()})
+				}
+			}
+			return true
+		})
+	}
+
+	inRange := func(c uint64) bool { return c >= codeLow && c <= codeHigh }
+	anyInRange := false
+	for c := range regs {
+		if inRange(c) {
+			anyInRange = true
+		}
+	}
+	for c := range impls {
+		if inRange(c) {
+			anyInRange = true
+		}
+	}
+	if !anyInRange && len(marks) == 0 {
+		return nil
+	}
+
+	// MarkBorrowSafe before/without RegisterType panics at package init.
+	for code, pos := range marks {
+		if _, ok := regs[code]; !ok {
+			pass.Reportf(pos, "MarkBorrowSafe(0x%04X) without a RegisterType for that code in this package; this panics at init", code)
+		}
+	}
+
+	// Encode/decode pairing.
+	for code, pos := range regs {
+		if !inRange(code) {
+			continue
+		}
+		if len(impls[code]) == 0 {
+			pass.Reportf(pos, "wire type 0x%04X has a registered decoder but no type in this package returns it from WireType(); the encode side is missing", code)
+		}
+	}
+	for code, list := range impls {
+		if !inRange(code) {
+			continue
+		}
+		if _, ok := regs[code]; !ok {
+			for _, im := range list {
+				pass.Reportf(im.pos, "type %s claims wire type 0x%04X but this package never registers a decoder for it; frames of this type cannot be decoded", im.name, code)
+			}
+		}
+	}
+
+	if !anyInRange {
+		return nil
+	}
+	root := lintcore.RepoRoot(pass.DocRoot, pass.Dir)
+	if root == "" {
+		return fmt.Errorf("wirereg: cannot locate repository root from %s", pass.Dir)
+	}
+	rows, err := parseProtocolDoc(filepath.Join(root, "docs", "PROTOCOL.md"))
+	if err != nil {
+		return fmt.Errorf("wirereg: %w", err)
+	}
+	pinned, err := parsePinnedSizes(filepath.Join(root, "internal", "transport", "protocol_doc_test.go"))
+	if err != nil {
+		return fmt.Errorf("wirereg: %w", err)
+	}
+
+	for code, pos := range regs {
+		if !inRange(code) {
+			continue
+		}
+		row, documented := rows[code]
+		if !documented {
+			pass.Reportf(pos, "wire type 0x%04X is not documented in docs/PROTOCOL.md; add it to the registry table for its block", code)
+			continue
+		}
+		for _, im := range impls[code] {
+			if row.name != im.name {
+				pass.Reportf(im.pos, "docs/PROTOCOL.md names 0x%04X %q but the implementing type is %q; the spec has drifted", code, row.name, im.name)
+				continue
+			}
+			if !row.hasSize {
+				continue
+			}
+			want, ok := pinned[im.name]
+			if !ok {
+				pass.Reportf(im.pos, "docs/PROTOCOL.md pins %s (0x%04X) at %d bytes but TestProtocolDocFixedSizes has no case for it; add the pin so the spec cannot drift", im.name, code, row.size)
+				continue
+			}
+			if want != row.size {
+				pass.Reportf(im.pos, "TestProtocolDocFixedSizes pins %s at %d bytes but docs/PROTOCOL.md says %d; reconcile them", im.name, want, row.size)
+			}
+		}
+	}
+	return nil
+}
+
+type implInfo struct {
+	name string
+	pos  token.Pos
+}
+
+// wireTypeImpl matches `func (T) WireType() uint16 { return <const> }`
+// methods and returns the receiver type name and the constant code.
+func wireTypeImpl(pass *lintcore.Pass, fn *ast.FuncDecl) (string, uint64, bool) {
+	if fn.Name == nil || fn.Name.Name != "WireType" || fn.Recv == nil || len(fn.Recv.List) != 1 || fn.Body == nil {
+		return "", 0, false
+	}
+	recv := fn.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	id, ok := recv.(*ast.Ident)
+	if !ok {
+		return "", 0, false
+	}
+	var code uint64
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		if v, ok := lintcore.ConstUint(pass.TypesInfo, ret.Results[0]); ok {
+			code, found = v, true
+		}
+		return true
+	})
+	return id.Name, code, found
+}
+
+// rowRe matches a registry-table row: | `0xNNNN` | `Name` | ...rest.
+var rowRe = regexp.MustCompile("^\\s*\\|\\s*`0[xX]([0-9A-Fa-f]{4})`\\s*\\|\\s*`?([A-Za-z0-9_]+)`?\\s*\\|(.*)\\|\\s*$")
+
+func parseProtocolDoc(path string) (map[uint64]docRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rows := map[uint64]docRow{}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := rowRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		code, err := strconv.ParseUint(m[1], 16, 16)
+		if err != nil {
+			continue
+		}
+		row := docRow{name: m[2]}
+		cells := strings.Split(m[3], "|")
+		last := strings.TrimSpace(cells[len(cells)-1])
+		if n, err := strconv.Atoi(last); err == nil && len(cells) >= 2 {
+			row.size, row.hasSize = n, true
+		}
+		rows[code] = row
+	}
+	return rows, nil
+}
+
+// pinRe matches one TestProtocolDocFixedSizes case:
+// {"Name", pkg.Name{}, N}.
+var pinRe = regexp.MustCompile(`\{\s*"([A-Za-z0-9_]+)"\s*,\s*[A-Za-z0-9_.]+\{\}\s*,\s*(\d+)\s*\}`)
+
+func parsePinnedSizes(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pins := map[string]int{}
+	for _, m := range pinRe.FindAllStringSubmatch(string(data), -1) {
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		pins[m[1]] = n
+	}
+	return pins, nil
+}

@@ -1,0 +1,13 @@
+package wirereg_test
+
+import (
+	"testing"
+
+	"github.com/octopus-dht/octopus/tools/octolint/lintcore/linttest"
+	"github.com/octopus-dht/octopus/tools/octolint/passes/wirereg"
+)
+
+func TestRegistryCoherence(t *testing.T) {
+	linttest.RunDocRoot(t, "../../testdata/wirereg", "../../testdata/wirereg/docroot",
+		wirereg.Analyzer, "wire")
+}

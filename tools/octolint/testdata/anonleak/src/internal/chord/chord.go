@@ -1,0 +1,13 @@
+// Package chord is a fixture stub of the routing peer record.
+package chord
+
+import (
+	"internal/id"
+	"internal/transport"
+)
+
+// Peer binds a ring identifier to its endpoint.
+type Peer struct {
+	ID   id.ID
+	Addr transport.Addr
+}

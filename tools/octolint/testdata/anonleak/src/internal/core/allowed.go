@@ -1,0 +1,13 @@
+package core
+
+import (
+	"log"
+
+	"internal/transport"
+)
+
+// FatalStartup reports a fatal misconfiguration before the ring exists.
+func FatalStartup(addr transport.Addr) {
+	//octolint:allow anonleak fatal startup diagnostic precedes any protocol traffic
+	log.Fatalf("cannot bind %d", addr)
+}

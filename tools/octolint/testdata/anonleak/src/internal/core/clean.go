@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"internal/chord"
+	"internal/obs"
+	"internal/transport"
+)
+
+// GoodAttr records the endpoint under a sensitive key: RedactAnonymous
+// scrubs it before export.
+func GoodAttr(addr transport.Addr) obs.Attr {
+	return obs.A("from", strconv.Itoa(int(addr)))
+}
+
+// GoodTarget uses the exit-hop key from the sensitive set.
+func GoodTarget(p chord.Peer) obs.Attr {
+	return obs.A("target", strconv.FormatUint(uint64(p.ID), 10))
+}
+
+// Describe builds a string without exporting it; fmt.Sprintf is not a
+// sink.
+func Describe(addr transport.Addr) string {
+	return fmt.Sprintf("addr=%d", addr)
+}
+
+// PlainAttr carries no identity-typed value.
+func PlainAttr(hops int) obs.Attr {
+	return obs.A("hops", strconv.Itoa(hops))
+}

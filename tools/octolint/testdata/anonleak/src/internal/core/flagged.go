@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"internal/chord"
+	"internal/obs"
+	"internal/transport"
+)
+
+// BadAttr records an endpoint under a key redaction does not scrub.
+func BadAttr(addr transport.Addr) obs.Attr {
+	return obs.A("peer_addr", strconv.Itoa(int(addr))) // want "not in internal/obs's sensitive-key set"
+}
+
+// BadAttrLiteral builds the attribute directly; same leak.
+func BadAttrLiteral(p chord.Peer) obs.Attr {
+	return obs.Attr{Key: "owner", Value: strconv.FormatUint(uint64(p.ID), 10)} // want "not in internal/obs's sensitive-key set"
+}
+
+// BadKey cannot be proven scrubbed.
+func BadKey(key string, addr transport.Addr) obs.Attr {
+	return obs.A(key, strconv.Itoa(int(addr))) // want "non-constant key"
+}
+
+// BadLog prints an endpoint to the process log.
+func BadLog(addr transport.Addr) {
+	log.Printf("serving %d", addr) // want "printed to a process log"
+}
+
+// BadPrint writes an identity to stderr.
+func BadPrint(p chord.Peer) {
+	fmt.Fprintf(os.Stderr, "peer %v\n", p) // want "printed to a process log"
+}

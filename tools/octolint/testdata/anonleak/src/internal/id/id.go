@@ -1,0 +1,5 @@
+// Package id is a fixture stub of the identifier space.
+package id
+
+// ID is a ring identifier.
+type ID uint64

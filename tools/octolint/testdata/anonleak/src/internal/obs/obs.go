@@ -1,0 +1,17 @@
+// Package obs is a fixture stub of the observability seam.
+package obs
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A builds an Attr.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is a trace span stub.
+type Span struct {
+	Name  string
+	Attrs []Attr
+}

@@ -1,0 +1,5 @@
+// Package transport is a fixture stub of the transport address space.
+package transport
+
+// Addr identifies a transport endpoint.
+type Addr int32

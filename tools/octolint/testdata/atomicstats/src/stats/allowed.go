@@ -1,0 +1,17 @@
+package stats
+
+import "sync/atomic"
+
+// Gauge is atomically updated after publication.
+type Gauge struct {
+	val int64
+}
+
+// Set stores atomically.
+func (g *Gauge) Set(v int64) { atomic.StoreInt64(&g.val, v) }
+
+// Reset is called only while the collector is quiesced.
+func (g *Gauge) Reset() {
+	//octolint:allow atomicstats collector is quiesced; no concurrent readers exist
+	g.val = 0
+}

@@ -1,0 +1,23 @@
+package stats
+
+import "sync/atomic"
+
+// TypedCounters uses the typed wrappers: mixing access modes is
+// impossible by construction.
+type TypedCounters struct {
+	hits atomic.Uint64
+}
+
+// Inc increments.
+func (c *TypedCounters) Inc() { c.hits.Add(1) }
+
+// Snapshot reads.
+func (c *TypedCounters) Snapshot() uint64 { return c.hits.Load() }
+
+// Plain never touches sync/atomic, so plain access is fine.
+type Plain struct {
+	n uint64
+}
+
+// Bump increments under whatever lock the caller holds.
+func (p *Plain) Bump() { p.n++ }

@@ -1,0 +1,23 @@
+package stats
+
+import "sync/atomic"
+
+// Counters mixes atomic increments with a plain read: a data race.
+type Counters struct {
+	hits uint64
+}
+
+// Inc is the hot-path increment.
+func (c *Counters) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Snapshot reads the counter without synchronization.
+func (c *Counters) Snapshot() uint64 {
+	return c.hits // want "plain access of field hits"
+}
+
+// Clear stores without synchronization.
+func (c *Counters) Clear() {
+	c.hits = 0 // want "plain access of field hits"
+}

@@ -1,0 +1,9 @@
+package core
+
+import "time"
+
+// StartupStamp is operator-facing banner output, not protocol state.
+func StartupStamp() time.Time {
+	//octolint:allow determinism operator-facing banner, not protocol state
+	return time.Now()
+}

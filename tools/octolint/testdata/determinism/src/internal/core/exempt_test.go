@@ -1,0 +1,7 @@
+package core
+
+import "time"
+
+// Test files drive wall-clock transports deliberately; determinism is
+// exempt here and nothing below may be reported.
+func helperNow() time.Time { return time.Now() }

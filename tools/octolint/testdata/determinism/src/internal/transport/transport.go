@@ -1,0 +1,9 @@
+// Package transport is a fixture stub of the repo's wire codec surface:
+// just enough for determinism's Writer-method sink detection.
+package transport
+
+// Writer is the codec writer stub.
+type Writer struct{}
+
+// U64 writes v.
+func (w *Writer) U64(v uint64) {}

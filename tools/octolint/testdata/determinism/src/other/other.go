@@ -1,0 +1,17 @@
+// Package other is outside the seeded set: wall-clock reads are fine,
+// but a time-seeded RNG is wrong in every package.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Now is fine outside the seeded packages.
+func Now() time.Time { return time.Now() }
+
+// TimeSeeded is wrong everywhere: a bounded start time makes the stream
+// recoverable.
+func TimeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "RNG seeded from the wall clock" "RNG seeded from the wall clock"
+}

@@ -1,0 +1,15 @@
+package timer
+
+import "time"
+
+// Shutdown tolerates its bounded leak; the pragma records why.
+func Shutdown(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		//octolint:allow timerleak fires every 100ms so at most one timer is ever pending
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

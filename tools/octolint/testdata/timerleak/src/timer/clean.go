@@ -1,0 +1,35 @@
+package timer
+
+import "time"
+
+// Once is a single-shot timeout outside any loop: fine.
+func Once(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	case <-time.After(time.Second):
+		return 0, false
+	}
+}
+
+// Hoisted reuses one timer across iterations: the sanctioned pattern.
+func Hoisted(ch chan int, n int) int {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	got := 0
+	for i := 0; i < n; i++ {
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		t.Reset(time.Second)
+		select {
+		case <-ch:
+			got++
+		case <-t.C:
+		}
+	}
+	return got
+}

@@ -1,0 +1,26 @@
+package timer
+
+import "time"
+
+// Wait polls with a fresh timer every iteration: each one leaks until it
+// fires.
+func Wait(ch chan int) int {
+	for {
+		select {
+		case v := <-ch:
+			return v
+		case <-time.After(time.Second): // want "time.After inside a loop"
+			continue
+		}
+	}
+}
+
+// Drain leaks one timer per channel.
+func Drain(chans []chan int) {
+	for _, c := range chans {
+		select {
+		case <-c:
+		case <-time.After(time.Millisecond): // want "time.After inside a loop"
+		}
+	}
+}

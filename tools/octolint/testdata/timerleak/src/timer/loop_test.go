@@ -1,0 +1,19 @@
+package timer
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPoll leaks a timer per poll: timerleak flags test files too, since
+// polling test loops are where the class kept reappearing.
+func TestPoll(t *testing.T) {
+	ch := make(chan int)
+	for i := 0; i < 3; i++ {
+		select {
+		case <-ch:
+		case <-time.After(time.Second): // want "time.After inside a loop"
+			t.Fatal("timeout")
+		}
+	}
+}

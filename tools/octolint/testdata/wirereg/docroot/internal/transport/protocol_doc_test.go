@@ -1,0 +1,14 @@
+package transport_test
+
+// Fixture copy of the size-pinning table: wirereg parses the case
+// literals out of this file; it is never compiled (testdata is invisible
+// to the go tool).
+
+var pinnedFixture = []struct {
+	name string
+	m    any
+	size int
+}{
+	{"Ping", wire.Ping{}, 2},
+	{"Mispinned", wire.Mispinned{}, 9},
+}

@@ -1,0 +1,26 @@
+// Package transport is a fixture stub of the repo's wire codec registry.
+package transport
+
+// Wire is the codec interface stub.
+type Wire interface {
+	WireType() uint16
+	EncodePayload(w *Writer)
+}
+
+// Writer is the codec writer stub.
+type Writer struct{}
+
+// U64 writes v.
+func (w *Writer) U64(v uint64) {}
+
+// Reader is the codec reader stub.
+type Reader struct{}
+
+// U64 reads a u64.
+func (r *Reader) U64() uint64 { return 0 }
+
+// RegisterType registers a decoder stub.
+func RegisterType(code uint16, dec func(r *Reader) Wire) {}
+
+// MarkBorrowSafe marks a registered type borrow-safe.
+func MarkBorrowSafe(code uint16) {}

@@ -1,0 +1,17 @@
+package wire
+
+import "internal/transport"
+
+// Internal is deliberately undocumented: a simulator-only control frame.
+type Internal struct{}
+
+// WireType implements transport.Wire.
+func (Internal) WireType() uint16 { return 0x0801 }
+
+// EncodePayload implements transport.Wire.
+func (Internal) EncodePayload(w *transport.Writer) {}
+
+func init() {
+	//octolint:allow wirereg simulator-only control frame, never crosses a real wire
+	transport.RegisterType(0x0801, func(r *transport.Reader) transport.Wire { return Internal{} })
+}

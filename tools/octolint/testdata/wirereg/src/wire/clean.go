@@ -1,0 +1,16 @@
+package wire
+
+import "internal/transport"
+
+// Echo sits in the 0x7Fxx test-reserved block: wirereg ignores it.
+type Echo struct{}
+
+// WireType implements transport.Wire.
+func (Echo) WireType() uint16 { return 0x7F01 }
+
+// EncodePayload implements transport.Wire.
+func (Echo) EncodePayload(w *transport.Writer) {}
+
+func init() {
+	transport.RegisterType(0x7F01, func(r *transport.Reader) transport.Wire { return Echo{} })
+}

@@ -1,0 +1,69 @@
+package wire
+
+import "internal/transport"
+
+// Ping is documented, registered, and pinned: the fully clean case.
+type Ping struct{}
+
+// WireType implements transport.Wire.
+func (Ping) WireType() uint16 { return 0x0101 }
+
+// EncodePayload implements transport.Wire.
+func (Ping) EncodePayload(w *transport.Writer) {}
+
+// Rogue is registered but missing from the fixture PROTOCOL.md.
+type Rogue struct{}
+
+// WireType implements transport.Wire.
+func (Rogue) WireType() uint16 { return 0x0901 }
+
+// EncodePayload implements transport.Wire.
+func (Rogue) EncodePayload(w *transport.Writer) {}
+
+// Drifted is named Renamed in the doc: spec drift.
+type Drifted struct{}
+
+// WireType implements transport.Wire.
+func (Drifted) WireType() uint16 { return 0x0501 } // want "but the implementing type is"
+
+// EncodePayload implements transport.Wire.
+func (Drifted) EncodePayload(w *transport.Writer) {}
+
+// Orphan claims a code nothing registers: its frames cannot decode.
+type Orphan struct{}
+
+// WireType implements transport.Wire.
+func (Orphan) WireType() uint16 { return 0x0404 } // want "never registers a decoder"
+
+// EncodePayload implements transport.Wire.
+func (Orphan) EncodePayload(w *transport.Writer) {}
+
+// Unpinned has a documented fixed size with no TestProtocolDocFixedSizes
+// case.
+type Unpinned struct{}
+
+// WireType implements transport.Wire.
+func (Unpinned) WireType() uint16 { return 0x0601 } // want "no case for it"
+
+// EncodePayload implements transport.Wire.
+func (Unpinned) EncodePayload(w *transport.Writer) {}
+
+// Mispinned is pinned at a size that disagrees with the doc.
+type Mispinned struct{}
+
+// WireType implements transport.Wire.
+func (Mispinned) WireType() uint16 { return 0x0701 } // want "reconcile them"
+
+// EncodePayload implements transport.Wire.
+func (Mispinned) EncodePayload(w *transport.Writer) {}
+
+func init() {
+	transport.RegisterType(0x0101, func(r *transport.Reader) transport.Wire { return Ping{} })
+	transport.RegisterType(0x0901, func(r *transport.Reader) transport.Wire { return Rogue{} }) // want "not documented in docs/PROTOCOL.md"
+	transport.RegisterType(0x0501, func(r *transport.Reader) transport.Wire { return Drifted{} })
+	transport.RegisterType(0x0301, func(r *transport.Reader) transport.Wire { return nil }) // want "encode side is missing"
+	transport.RegisterType(0x0601, func(r *transport.Reader) transport.Wire { return Unpinned{} })
+	transport.RegisterType(0x0701, func(r *transport.Reader) transport.Wire { return Mispinned{} })
+	transport.MarkBorrowSafe(0x0101)
+	transport.MarkBorrowSafe(0x0777) // want "without a RegisterType"
+}

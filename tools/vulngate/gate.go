@@ -1,0 +1,180 @@
+package main
+
+// Gate logic: parse the govulncheck -format json stream, classify each
+// reported OSV entry by the strongest evidence level govulncheck found
+// (called symbol > imported package > required module), and fail only on
+// called-level vulnerabilities that are not triaged in the allowlist.
+// Imported/required findings are advisory — the same policy govulncheck
+// itself applies in text mode — so the nightly gate stays actionable.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Evidence levels, strongest last.
+const (
+	levelRequired = iota // module in the build list
+	levelImported        // package imported
+	levelCalled          // vulnerable symbol reachable from this module
+)
+
+// message is one object in govulncheck's JSON stream. Each object carries
+// exactly one of these keys; the others decode to their zero value.
+type message struct {
+	OSV     *osvEntry `json:"osv"`
+	Finding *finding  `json:"finding"`
+}
+
+type osvEntry struct {
+	ID      string `json:"id"`
+	Summary string `json:"summary"`
+}
+
+type finding struct {
+	OSV          string  `json:"osv"`
+	FixedVersion string  `json:"fixed_version"`
+	Trace        []frame `json:"trace"`
+}
+
+type frame struct {
+	Module   string `json:"module"`
+	Version  string `json:"version"`
+	Package  string `json:"package"`
+	Function string `json:"function"`
+}
+
+// report aggregates everything the gate knows about one OSV ID.
+type report struct {
+	ID           string
+	Summary      string
+	Level        int
+	FixedVersion string
+	Symbol       string // example reachable symbol, called-level only
+}
+
+// level classifies one finding by its most precise trace frame.
+func (f *finding) level() int {
+	if len(f.Trace) == 0 {
+		return levelRequired
+	}
+	top := f.Trace[0]
+	switch {
+	case top.Function != "":
+		return levelCalled
+	case top.Package != "":
+		return levelImported
+	default:
+		return levelRequired
+	}
+}
+
+// parseStream folds a govulncheck JSON stream into per-OSV reports,
+// keyed and sorted by OSV ID.
+func parseStream(r io.Reader) ([]report, error) {
+	byID := map[string]*report{}
+	dec := json.NewDecoder(r)
+	for {
+		var m message
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding govulncheck stream: %w", err)
+		}
+		if m.OSV != nil {
+			rep := byID[m.OSV.ID]
+			if rep == nil {
+				rep = &report{ID: m.OSV.ID, Level: levelRequired}
+				byID[m.OSV.ID] = rep
+			}
+			rep.Summary = m.OSV.Summary
+		}
+		if m.Finding != nil {
+			rep := byID[m.Finding.OSV]
+			if rep == nil {
+				rep = &report{ID: m.Finding.OSV, Level: levelRequired}
+				byID[m.Finding.OSV] = rep
+			}
+			if lvl := m.Finding.level(); lvl > rep.Level {
+				rep.Level = lvl
+			}
+			if m.Finding.FixedVersion != "" {
+				rep.FixedVersion = m.Finding.FixedVersion
+			}
+			if len(m.Finding.Trace) > 0 && m.Finding.Trace[0].Function != "" && rep.Symbol == "" {
+				top := m.Finding.Trace[0]
+				rep.Symbol = top.Package + "." + top.Function
+			}
+		}
+	}
+	var out []report
+	for _, rep := range byID {
+		out = append(out, *rep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// parseAllowlist reads the triage file: one "OSV-ID reason..." per line,
+// '#' comments and blank lines ignored. An entry without a reason is a
+// malformed triage and rejected — the whole point is recording why.
+func parseAllowlist(r io.Reader) (map[string]string, error) {
+	triaged := map[string]string{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, reason, ok := strings.Cut(line, " ")
+		if !ok || strings.TrimSpace(reason) == "" {
+			return nil, fmt.Errorf("allowlist line %d: %q has no triage reason (want \"OSV-ID reason...\")", lineNo, line)
+		}
+		triaged[id] = strings.TrimSpace(reason)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return triaged, nil
+}
+
+// gate applies the policy and writes a human-readable verdict to w.
+// It returns the process exit code: 0 if every called-level finding is
+// triaged, 1 otherwise.
+func gate(reports []report, triaged map[string]string, w io.Writer) int {
+	blocking := 0
+	used := map[string]bool{}
+	for _, rep := range reports {
+		switch {
+		case rep.Level < levelCalled:
+			fmt.Fprintf(w, "vulngate: %s (informational — module affected, no reachable call path)\n", rep.ID)
+		case triaged[rep.ID] != "":
+			used[rep.ID] = true
+			fmt.Fprintf(w, "vulngate: %s triaged: %s\n", rep.ID, triaged[rep.ID])
+		default:
+			blocking++
+			fix := rep.FixedVersion
+			if fix == "" {
+				fix = "no fix released"
+			}
+			fmt.Fprintf(w, "vulngate: BLOCKING %s: %s (reached via %s; fixed in %s)\n",
+				rep.ID, rep.Summary, rep.Symbol, fix)
+		}
+	}
+	for id := range triaged {
+		if !used[id] {
+			fmt.Fprintf(w, "vulngate: note: allowlist entry %s no longer reported — consider removing it\n", id)
+		}
+	}
+	fmt.Fprintf(w, "vulngate: %d vulnerabilities reported, %d blocking\n", len(reports), blocking)
+	if blocking > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// stream is a canned govulncheck -format json excerpt: one called-level
+// vulnerability (with its OSV metadata and a symbol-precision finding),
+// one imported-only, and one module-level-only.
+const stream = `
+{"config":{"protocol_version":"v1.0.0","scanner_name":"govulncheck"}}
+{"progress":{"message":"Scanning your code..."}}
+{"osv":{"id":"GO-2024-0001","summary":"RCE in frobnicator"}}
+{"osv":{"id":"GO-2024-0002","summary":"DoS in widget parser"}}
+{"osv":{"id":"GO-2024-0003","summary":"Issue in unused module"}}
+{"finding":{"osv":"GO-2024-0001","fixed_version":"v1.4.2","trace":[{"module":"example.com/frob","package":"example.com/frob","function":"Spin"}]}}
+{"finding":{"osv":"GO-2024-0001","trace":[{"module":"example.com/frob","package":"example.com/frob"}]}}
+{"finding":{"osv":"GO-2024-0002","trace":[{"module":"example.com/widget","package":"example.com/widget/parse"}]}}
+{"finding":{"osv":"GO-2024-0003","trace":[{"module":"example.com/unused"}]}}
+`
+
+func parse(t *testing.T) []report {
+	t.Helper()
+	reports, err := parseStream(strings.NewReader(stream))
+	if err != nil {
+		t.Fatalf("parseStream: %v", err)
+	}
+	return reports
+}
+
+func TestParseStreamLevels(t *testing.T) {
+	reports := parse(t)
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3: %+v", len(reports), reports)
+	}
+	wantLevels := map[string]int{
+		"GO-2024-0001": levelCalled,
+		"GO-2024-0002": levelImported,
+		"GO-2024-0003": levelRequired,
+	}
+	for _, rep := range reports {
+		if rep.Level != wantLevels[rep.ID] {
+			t.Errorf("%s: level %d, want %d", rep.ID, rep.Level, wantLevels[rep.ID])
+		}
+	}
+	if reports[0].Symbol != "example.com/frob.Spin" {
+		t.Errorf("symbol = %q, want example.com/frob.Spin", reports[0].Symbol)
+	}
+	if reports[0].FixedVersion != "v1.4.2" {
+		t.Errorf("fixed version = %q, want v1.4.2", reports[0].FixedVersion)
+	}
+}
+
+func TestUntriagedCalledVulnBlocks(t *testing.T) {
+	var out strings.Builder
+	code := gate(parse(t), nil, &out)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "BLOCKING GO-2024-0001") {
+		t.Errorf("output lacks blocking verdict:\n%s", out.String())
+	}
+	// Imported- and required-level findings must not block.
+	if strings.Contains(out.String(), "BLOCKING GO-2024-0002") || strings.Contains(out.String(), "BLOCKING GO-2024-0003") {
+		t.Errorf("non-called findings must be informational:\n%s", out.String())
+	}
+}
+
+func TestTriagedVulnPasses(t *testing.T) {
+	triaged := map[string]string{"GO-2024-0001": "frobnicator only spins test fixtures"}
+	var out strings.Builder
+	if code := gate(parse(t), triaged, &out); code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "triaged: frobnicator only spins test fixtures") {
+		t.Errorf("triage reason not echoed:\n%s", out.String())
+	}
+}
+
+func TestStaleAllowlistEntryNoted(t *testing.T) {
+	triaged := map[string]string{"GO-1999-9999": "long gone"}
+	var out strings.Builder
+	code := gate(parse(t), triaged, &out)
+	if code != 1 { // GO-2024-0001 still blocks
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "GO-1999-9999 no longer reported") {
+		t.Errorf("stale entry not noted:\n%s", out.String())
+	}
+}
+
+func TestAllowlistParsing(t *testing.T) {
+	got, err := parseAllowlist(strings.NewReader(
+		"# triage file\n\nGO-2024-0001 fixture-only call path\n"))
+	if err != nil {
+		t.Fatalf("parseAllowlist: %v", err)
+	}
+	if got["GO-2024-0001"] != "fixture-only call path" {
+		t.Errorf("entry = %q", got["GO-2024-0001"])
+	}
+}
+
+func TestAllowlistEntryWithoutReasonRejected(t *testing.T) {
+	if _, err := parseAllowlist(strings.NewReader("GO-2024-0001\n")); err == nil {
+		t.Fatal("entry without a reason must be rejected")
+	}
+	if _, err := parseAllowlist(strings.NewReader("GO-2024-0001   \n")); err == nil {
+		t.Fatal("entry with blank reason must be rejected")
+	}
+}

@@ -1,0 +1,62 @@
+// Command vulngate turns govulncheck output into a CI gate with a triaged
+// allowlist. The nightly workflow pipes `govulncheck -format json ./...`
+// into it; the gate fails only on vulnerabilities with a reachable call
+// path that nobody has triaged in .govulncheck-triage, so a new advisory
+// in a merely-required module does not page anyone, and a consciously
+// accepted risk is recorded with its reason instead of silenced.
+//
+//	govulncheck -format json ./... | go run ./tools/vulngate
+//
+// Allowlist format (default .govulncheck-triage, override with
+// -allowlist): one "GO-YYYY-NNNN reason..." per line, '#' comments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	allowPath := flag.String("allowlist", ".govulncheck-triage", "triage allowlist file ('' to run with none)")
+	in := flag.String("in", "", "read the govulncheck JSON stream from a file instead of stdin")
+	flag.Parse()
+
+	triaged := map[string]string{}
+	if *allowPath != "" {
+		f, err := os.Open(*allowPath)
+		switch {
+		case os.IsNotExist(err):
+			// No triage file means nothing is triaged — valid, just strict.
+		case err != nil:
+			fail("open allowlist: %v", err)
+		default:
+			triaged, err = parseAllowlist(f)
+			f.Close()
+			if err != nil {
+				fail("%v", err)
+			}
+		}
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail("open input: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	reports, err := parseStream(src)
+	if err != nil {
+		fail("%v", err)
+	}
+	os.Exit(gate(reports, triaged, os.Stdout))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vulngate: "+format+"\n", args...)
+	os.Exit(2)
+}
